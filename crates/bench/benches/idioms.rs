@@ -1,0 +1,83 @@
+//! Benchmarks of the §5 programming idioms: segment-capacity tuning
+//! (§5.1), slices vs per-element operations (§5.2), and the recycling
+//! freelist (§3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperqueue::Hyperqueue;
+use swan::Runtime;
+
+const ITEMS: u64 = 500_000;
+
+fn run_pair(rt: &Runtime, cap: usize, recycle: bool, slices: bool) {
+    rt.scope(|s| {
+        let q = Hyperqueue::<u64>::with_config(s, cap, recycle);
+        s.spawn((q.pushdep(),), move |_, (mut p,)| {
+            if slices {
+                let mut i = 0u64;
+                while i < ITEMS {
+                    let mut ws = p.write_slice(128);
+                    let n = ws.capacity().min((ITEMS - i) as usize);
+                    for _ in 0..n {
+                        ws.push(i);
+                        i += 1;
+                    }
+                }
+            } else {
+                for i in 0..ITEMS {
+                    p.push(i);
+                }
+            }
+        });
+        s.spawn((q.popdep(),), move |_, (mut c,)| {
+            let mut sum = 0u64;
+            if slices {
+                while let Some(rs) = c.read_slice(128) {
+                    for &v in rs.as_slice() {
+                        sum = sum.wrapping_add(v);
+                    }
+                }
+            } else {
+                while !c.empty() {
+                    sum = sum.wrapping_add(c.pop());
+                }
+            }
+            assert_eq!(sum, ITEMS * (ITEMS - 1) / 2);
+        });
+    });
+}
+
+fn bench_segment_capacity(c: &mut Criterion) {
+    let rt = Runtime::with_workers(2);
+    let mut g = c.benchmark_group("segment_capacity");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.sample_size(10);
+    for cap in [32usize, 128, 512, 2048, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| run_pair(&rt, cap, true, false))
+        });
+    }
+    g.finish();
+}
+
+fn bench_recycling(c: &mut Criterion) {
+    let rt = Runtime::with_workers(2);
+    let mut g = c.benchmark_group("recycling");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.sample_size(10);
+    g.bench_function("on", |b| b.iter(|| run_pair(&rt, 256, true, false)));
+    g.bench_function("off", |b| b.iter(|| run_pair(&rt, 256, false, false)));
+    g.finish();
+}
+
+fn bench_slices(c: &mut Criterion) {
+    let rt = Runtime::with_workers(2);
+    let mut g = c.benchmark_group("slice_api");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.sample_size(10);
+    g.bench_function("per_element", |b| b.iter(|| run_pair(&rt, 1024, true, false)));
+    g.bench_function("slices", |b| b.iter(|| run_pair(&rt, 1024, true, true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_segment_capacity, bench_recycling, bench_slices);
+criterion_main!(benches);

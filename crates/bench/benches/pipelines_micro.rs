@@ -1,0 +1,29 @@
+//! A small fixed pipeline run across all four programming models — the
+//! per-model overhead comparison at a size where criterion can iterate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swan::Runtime;
+use workloads::ferret::{
+    run_hyperqueue, run_objects, run_pthread, run_tbb, FerretConfig, PthreadTuning,
+};
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = FerretConfig {
+        total_images: 96,
+        ..FerretConfig::small()
+    };
+    let workers = 4usize;
+    let rt = Runtime::with_workers(workers);
+    let mut g = c.benchmark_group("ferret_96_images_4workers");
+    g.sample_size(10);
+    g.bench_function("pthreads", |b| {
+        b.iter(|| run_pthread(&cfg, &PthreadTuning::oversubscribed(workers)))
+    });
+    g.bench_function("tbb", |b| b.iter(|| run_tbb(&cfg, workers, 4 * workers)));
+    g.bench_function("objects", |b| b.iter(|| run_objects(&cfg, &rt)));
+    g.bench_function("hyperqueue", |b| b.iter(|| run_hyperqueue(&cfg, &rt)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Microbenchmarks of the hyperqueue data path: push/pop throughput of a
+//! concurrent producer/consumer pair, compared against this repo's plain
+//! Lamport SPSC ring and crossbeam's bounded channel (the "how much does
+//! determinism cost per element?" question).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperqueue::Hyperqueue;
+use swan::Runtime;
+
+const ITEMS: u64 = 1_000_000;
+
+fn hyperqueue_pair(rt: &Runtime, seg_cap: usize) {
+    rt.scope(|s| {
+        let q = Hyperqueue::<u64>::with_segment_capacity(s, seg_cap);
+        s.spawn((q.pushdep(),), |_, (mut p,)| {
+            for i in 0..ITEMS {
+                p.push(i);
+            }
+        });
+        s.spawn((q.popdep(),), |_, (mut c,)| {
+            let mut sum = 0u64;
+            while !c.empty() {
+                sum = sum.wrapping_add(c.pop());
+            }
+            assert_eq!(sum, ITEMS * (ITEMS - 1) / 2);
+        });
+    });
+}
+
+fn spsc_pair(cap: usize) {
+    let (tx, rx) = pipelines::spsc::<u64>(cap);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..ITEMS {
+                tx.send(i);
+            }
+        });
+        scope.spawn(move || {
+            let mut sum = 0u64;
+            while let Some(v) = rx.recv() {
+                sum = sum.wrapping_add(v);
+            }
+            assert_eq!(sum, ITEMS * (ITEMS - 1) / 2);
+        });
+    });
+}
+
+fn crossbeam_pair(cap: usize) {
+    let (tx, rx) = crossbeam::channel::bounded::<u64>(cap);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..ITEMS {
+                tx.send(i).unwrap();
+            }
+        });
+        scope.spawn(move || {
+            let mut sum = 0u64;
+            while let Ok(v) = rx.recv() {
+                sum = sum.wrapping_add(v);
+            }
+            assert_eq!(sum, ITEMS * (ITEMS - 1) / 2);
+        });
+    });
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_throughput");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.sample_size(10);
+    let rt = Runtime::with_workers(2);
+    g.bench_function(BenchmarkId::new("hyperqueue", 1024), |b| {
+        b.iter(|| hyperqueue_pair(&rt, 1024))
+    });
+    g.bench_function(BenchmarkId::new("lamport_spsc", 1024), |b| {
+        b.iter(|| spsc_pair(1024))
+    });
+    g.bench_function(BenchmarkId::new("crossbeam_bounded", 1024), |b| {
+        b.iter(|| crossbeam_pair(1024))
+    });
+    g.finish();
+}
+
+fn bench_owner_ops(c: &mut Criterion) {
+    // Owner-only push+pop (no concurrency): the raw segment fast path.
+    let mut g = c.benchmark_group("owner_ops");
+    g.throughput(Throughput::Elements(100_000));
+    g.sample_size(20);
+    let rt = Runtime::with_workers(1);
+    g.bench_function("push_then_pop_100k", |b| {
+        b.iter(|| {
+            rt.scope(|s| {
+                let q = Hyperqueue::<u64>::with_segment_capacity(s, 4096);
+                for i in 0..100_000u64 {
+                    q.push(i);
+                }
+                let mut sum = 0u64;
+                while !q.empty() {
+                    sum = sum.wrapping_add(q.pop());
+                }
+                std::hint::black_box(sum);
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queues, bench_owner_ops);
+criterion_main!(benches);

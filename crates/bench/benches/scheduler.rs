@@ -1,0 +1,84 @@
+//! Microbenchmarks of the swan runtime: spawn/sync overhead, dataflow
+//! dependence overhead, and fork-join scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swan::{Runtime, Scope, Versioned};
+
+fn bench_spawn_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spawn_sync");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        let rt = Runtime::with_workers(workers);
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_with_input(
+            BenchmarkId::new("empty_tasks_10k", workers),
+            &rt,
+            |b, rt| {
+                b.iter(|| {
+                    rt.scope(|s| {
+                        for _ in 0..10_000 {
+                            s.spawn((), |_, ()| {});
+                        }
+                    });
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_versioned_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(5_000));
+    let rt = Runtime::with_workers(4);
+    g.bench_function("inout_chain_5k", |b| {
+        b.iter(|| {
+            let v: Versioned<u64> = Versioned::new(0);
+            rt.scope(|s| {
+                for _ in 0..5_000 {
+                    s.spawn((v.update(),), |_, (mut g,)| *g += 1);
+                }
+            });
+            assert_eq!(v.read_latest(), 5_000);
+        })
+    });
+    g.finish();
+}
+
+fn fib<'s>(s: &Scope<'s>, n: u64, out: &'s std::sync::atomic::AtomicU64) {
+    if n < 12 {
+        // Serial cutoff: keep leaf tasks coarse.
+        out.fetch_add(fib_serial(n), std::sync::atomic::Ordering::Relaxed);
+        return;
+    }
+    s.spawn((), move |s, ()| fib(s, n - 1, out));
+    fib(s, n - 2, out);
+}
+
+fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+fn bench_fork_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fork_join");
+    g.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        let rt = Runtime::with_workers(workers);
+        g.bench_with_input(BenchmarkId::new("fib_26", workers), &rt, |b, rt| {
+            b.iter(|| {
+                let out = std::sync::atomic::AtomicU64::new(0);
+                rt.scope(|s| fib(s, 26, &out));
+                assert_eq!(out.load(std::sync::atomic::Ordering::Relaxed), 121_393);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spawn_overhead, bench_versioned_chain, bench_fork_join);
+criterion_main!(benches);

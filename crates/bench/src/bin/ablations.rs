@@ -1,0 +1,130 @@
+//! Ablation studies for the design choices DESIGN.md calls out (beyond the
+//! paper's own figures):
+//!
+//! 1. queue segment capacity sweep (§5.1 says programmers should tune it);
+//! 2. drained-segment recycling on/off (§3.2's zero-allocation claim);
+//! 3. slice API vs per-element push/pop (§5.2);
+//! 4. pthreads thread-count tuning sensitivity (the scale-free argument:
+//!    mis-tuned pthreads loses performance, hyperqueues have no knob).
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablations [--scale small]
+//! ```
+
+use hyperqueue::Hyperqueue;
+use swan::Runtime;
+use workloads::ferret::{run_hyperqueue, run_pthread, run_serial, FerretConfig, PthreadTuning};
+
+fn pipe_elems(rt: &Runtime, cap: usize, recycle: bool, items: u64, use_slices: bool) -> std::time::Duration {
+    let (d, _) = bench::time(|| {
+        rt.scope(|s| {
+            let q = Hyperqueue::<u64>::with_config(s, cap, recycle);
+            s.spawn((q.pushdep(),), move |_, (mut p,)| {
+                if use_slices {
+                    let mut i = 0u64;
+                    while i < items {
+                        let mut ws = p.write_slice(256);
+                        let n = ws.capacity().min((items - i) as usize);
+                        for _ in 0..n {
+                            ws.push(i);
+                            i += 1;
+                        }
+                    }
+                } else {
+                    for i in 0..items {
+                        p.push(i);
+                    }
+                }
+            });
+            s.spawn((q.popdep(),), move |_, (mut c,)| {
+                let mut sum = 0u64;
+                if use_slices {
+                    while let Some(rs) = c.read_slice(256) {
+                        sum += rs.as_slice().iter().sum::<u64>();
+                    }
+                } else {
+                    while !c.empty() {
+                        sum += c.pop();
+                    }
+                }
+                assert_eq!(sum, items * (items - 1) / 2);
+            });
+        });
+    });
+    d
+}
+
+fn main() {
+    let args = bench::Args::parse();
+    let items: u64 = if args.is_small() { 2_000_000 } else { 20_000_000 };
+    let rt = Runtime::with_workers(2);
+
+    println!("Ablation 1: segment capacity sweep ({items} u64 items, 1 producer + 1 consumer)");
+    println!("{:<10} {:>12} {:>14}", "capacity", "time (ms)", "Melems/s");
+    for cap in [16usize, 64, 256, 1024, 4096, 16384] {
+        let d = pipe_elems(&rt, cap, true, items, false);
+        println!(
+            "{:<10} {:>12.1} {:>14.1}",
+            cap,
+            d.as_secs_f64() * 1e3,
+            items as f64 / d.as_secs_f64() / 1e6
+        );
+    }
+
+    println!("\nAblation 2: drained-segment recycling (capacity 256)");
+    for (label, recycle) in [("recycle on", true), ("recycle off", false)] {
+        let d = pipe_elems(&rt, 256, recycle, items, false);
+        println!(
+            "{:<12} {:>10.1} ms {:>10.1} Melems/s",
+            label,
+            d.as_secs_f64() * 1e3,
+            items as f64 / d.as_secs_f64() / 1e6
+        );
+    }
+
+    println!("\nAblation 3: per-element ops vs slices (§5.2, capacity 1024)");
+    for (label, slices) in [("push/pop", false), ("slices", true)] {
+        let d = pipe_elems(&rt, 1024, true, items, slices);
+        println!(
+            "{:<12} {:>10.1} ms {:>10.1} Melems/s",
+            label,
+            d.as_secs_f64() * 1e3,
+            items as f64 / d.as_secs_f64() / 1e6
+        );
+    }
+
+    println!("\nAblation 4: pthreads tuning sensitivity vs scale-free hyperqueue (ferret)");
+    let cores = bench::machine_cores().min(8);
+    let cfg = FerretConfig::bench(if args.is_small() { 150 } else { 600 });
+    let (serial_time, _) = bench::time(|| run_serial(&cfg));
+    let tunings: Vec<(String, PthreadTuning)> = vec![
+        ("1 thread/stage".into(), PthreadTuning::one_thread_per_stage()),
+        (
+            format!("tuned for {} cores", cores / 2),
+            PthreadTuning::oversubscribed(cores / 2),
+        ),
+        (
+            format!("tuned for {cores} cores"),
+            PthreadTuning::oversubscribed(cores),
+        ),
+        (
+            format!("tuned for {} cores", 4 * cores),
+            PthreadTuning::oversubscribed(4 * cores),
+        ),
+    ];
+    println!("machine restricted to {cores} cores for this ablation");
+    for (label, tuning) in &tunings {
+        let (d, _) = bench::time(|| run_pthread(&cfg, tuning));
+        println!(
+            "  pthreads {:<22} speedup {:>5.2}",
+            label,
+            serial_time.as_secs_f64() / d.as_secs_f64()
+        );
+    }
+    let rt = Runtime::with_workers(cores);
+    let (d, _) = bench::time(|| run_hyperqueue(&cfg, &rt));
+    println!(
+        "  hyperqueue (no knob)          speedup {:>5.2}",
+        serial_time.as_secs_f64() / d.as_secs_f64()
+    );
+}

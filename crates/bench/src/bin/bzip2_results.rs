@@ -1,0 +1,91 @@
+//! Regenerates the **§6.3 bzip2 results**: hyperqueue (naive and
+//! loop-split §5.4) versus the versioned-objects dataflow baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bzip2_results [--mbytes N] [--max-cores C]
+//! ```
+//!
+//! Expected shape (paper): both scale well; the loop-split hyperqueue
+//! matches the objects baseline ("obtained performance equivalent to that
+//! of the baseline task dataflow implementation").
+
+use swan::Runtime;
+use workloads::bzip2::{
+    decompress_stream, run_hyperqueue, run_hyperqueue_split, run_objects, run_serial, Bzip2Config,
+};
+use workloads::util::fnv1a;
+
+fn main() {
+    let args = bench::Args::parse();
+    let mbytes = args.get_usize("mbytes", if args.is_small() { 4 } else { 16 });
+    let max_cores = args.get_usize("max-cores", bench::machine_cores());
+    let batch = args.get_usize("batch", 0); // 0 = scale with cores
+    let cfg = Bzip2Config::bench(mbytes << 20);
+
+    eprintln!("bzip2 (§6.3): {mbytes} MiB, up to {max_cores} cores, split batch {batch} (0 = 2x cores)");
+    let original = workloads::bzip2::corpus(&cfg);
+    let (serial_time, (stream, _)) = bench::time(|| run_serial(&cfg, &original));
+    let reference = fnv1a(&stream);
+    assert_eq!(
+        decompress_stream(&stream).expect("stream decodes")[..],
+        original[..]
+    );
+    eprintln!(
+        "serial: {:.3}s ({:.2}x compression)",
+        serial_time.as_secs_f64(),
+        original.len() as f64 / stream.len() as f64
+    );
+
+    let cores = bench::core_sweep(max_cores);
+    let mut objects = Vec::new();
+    let mut hq = Vec::new();
+    let mut hq_split = Vec::new();
+
+    for &c in &cores {
+        let rt = Runtime::with_workers(c);
+        let (t, out) = bench::time(|| run_objects(&cfg, &original, &rt));
+        assert_eq!(fnv1a(&out), reference, "objects wrong at {c}");
+        objects.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        let (t, out) = bench::time(|| run_hyperqueue(&cfg, &original, &rt));
+        assert_eq!(fnv1a(&out), reference, "hyperqueue wrong at {c}");
+        hq.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        // The loop-split batch bounds the exposed parallelism, so it must
+        // scale with the core count (the paper tunes it likewise).
+        let b = if batch == 0 { (2 * c).max(8) } else { batch };
+        let (t, out) = bench::time(|| run_hyperqueue_split(&cfg, &original, &rt, b));
+        assert_eq!(fnv1a(&out), reference, "loop-split wrong at {c}");
+        hq_split.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        eprintln!(
+            "  {c:>2} cores: objects {:.2} hyperqueue {:.2} hq-split {:.2}",
+            objects.last().unwrap().1,
+            hq.last().unwrap().1,
+            hq_split.last().unwrap().1
+        );
+    }
+
+    let series = vec![
+        bench::Series {
+            name: "Objects",
+            points: objects,
+        },
+        bench::Series {
+            name: "Hyperqueue",
+            points: hq,
+        },
+        bench::Series {
+            name: "HQ loop-split",
+            points: hq_split,
+        },
+    ];
+    println!(
+        "{}",
+        bench::render_speedup_figure(
+            &format!("bzip2 (§6.3): speedup by implementation ({mbytes} MiB)"),
+            serial_time,
+            &series
+        )
+    );
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Figure 11**: dedup speedup vs. core count for Pthreads,
+//! TBB, Objects and Hyperqueue.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig11 [--mbytes N] [--max-cores C] [--scale small]
+//! ```
+//!
+//! Expected shape (paper): hyperqueues lead in the 6-8 core region (12-30%
+//! over pthreads) because the output stage streams chunk-by-chunk instead
+//! of waiting for gathered coarse-chunk lists; TBB trails pthreads; the
+//! serial output stage caps everyone (≈12.7 by Table 2's 8.2%).
+
+use swan::Runtime;
+use workloads::dedup::{
+    corpus, run_hyperqueue, run_objects, run_pthread, run_serial, run_tbb, DedupConfig,
+    DedupTuning,
+};
+
+fn main() {
+    let args = bench::Args::parse();
+    let mbytes = args.get_usize("mbytes", if args.is_small() { 8 } else { 48 });
+    let max_cores = args.get_usize("max-cores", bench::machine_cores());
+    let cfg = DedupConfig::bench(mbytes << 20);
+
+    eprintln!("figure 11: dedup, {mbytes} MiB, up to {max_cores} cores");
+    let data = corpus(&cfg);
+    let (serial_time, (serial_arch, _)) = bench::time(|| run_serial(&cfg, &data));
+    let reference = serial_arch.checksum();
+    eprintln!("serial: {:.3}s", serial_time.as_secs_f64());
+
+    let cores = bench::core_sweep(max_cores);
+    let mut pthreads = Vec::new();
+    let mut tbb = Vec::new();
+    let mut objects = Vec::new();
+    let mut hyperqueue = Vec::new();
+
+    for &c in &cores {
+        let (t, out) = bench::time(|| run_pthread(&cfg, &data, &DedupTuning::oversubscribed(c)));
+        assert_eq!(out.checksum(), reference, "pthread wrong at {c} cores");
+        pthreads.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        let (t, out) = bench::time(|| run_tbb(&cfg, &data, c, 4 * c));
+        assert_eq!(out.checksum(), reference, "tbb wrong at {c} cores");
+        tbb.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        let rt = Runtime::with_workers(c);
+        let (t, out) = bench::time(|| run_objects(&cfg, &data, &rt));
+        assert_eq!(out.checksum(), reference, "objects wrong at {c} cores");
+        objects.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        let (t, out) = bench::time(|| run_hyperqueue(&cfg, &data, &rt));
+        assert_eq!(out.checksum(), reference, "hyperqueue wrong at {c} cores");
+        hyperqueue.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        eprintln!(
+            "  {c:>2} cores: pthreads {:.2} tbb {:.2} objects {:.2} hyperqueue {:.2}",
+            pthreads.last().unwrap().1,
+            tbb.last().unwrap().1,
+            objects.last().unwrap().1,
+            hyperqueue.last().unwrap().1
+        );
+    }
+
+    let series = vec![
+        bench::Series {
+            name: "Pthreads",
+            points: pthreads,
+        },
+        bench::Series {
+            name: "TBB",
+            points: tbb,
+        },
+        bench::Series {
+            name: "Objects",
+            points: objects,
+        },
+        bench::Series {
+            name: "Hyperqueue",
+            points: hyperqueue,
+        },
+    ];
+    println!(
+        "{}",
+        bench::render_speedup_figure(
+            &format!("Figure 11: Dedup speedup by programming model ({mbytes} MiB)"),
+            serial_time,
+            &series
+        )
+    );
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 8**: ferret speedup vs. core count for Pthreads,
+//! TBB, Objects (dataflow without hyperqueues) and Hyperqueue.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig8 [--images N] [--max-cores C] [--scale small]
+//! ```
+//!
+//! Expected shape (paper): Pthreads/TBB/Hyperqueue track each other;
+//! Objects plateaus early because its input stage is not overlapped
+//! (Amdahl on the ~4.5% serial input).
+
+use swan::Runtime;
+use workloads::ferret::{
+    run_hyperqueue, run_objects, run_pthread, run_serial, run_tbb, FerretConfig, PthreadTuning,
+};
+
+fn main() {
+    let args = bench::Args::parse();
+    let images = args.get_usize("images", if args.is_small() { 250 } else { 3500 });
+    let max_cores = args.get_usize("max-cores", bench::machine_cores());
+    let cfg = FerretConfig::bench(images);
+
+    eprintln!("figure 8: ferret, {images} images, up to {max_cores} cores");
+    let (serial_time, (serial_out, _)) = bench::time(|| run_serial(&cfg));
+    let reference = serial_out.checksum();
+    eprintln!("serial: {:.3}s", serial_time.as_secs_f64());
+
+    let cores = bench::core_sweep(max_cores);
+    let mut pthreads = Vec::new();
+    let mut tbb = Vec::new();
+    let mut objects = Vec::new();
+    let mut hyperqueue = Vec::new();
+
+    for &c in &cores {
+        let (t, out) = bench::time(|| run_pthread(&cfg, &PthreadTuning::oversubscribed(c)));
+        assert_eq!(out.checksum(), reference, "pthread wrong at {c} cores");
+        pthreads.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        let (t, out) = bench::time(|| run_tbb(&cfg, c, 4 * c));
+        assert_eq!(out.checksum(), reference, "tbb wrong at {c} cores");
+        tbb.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        let rt = Runtime::with_workers(c);
+        let (t, out) = bench::time(|| run_objects(&cfg, &rt));
+        assert_eq!(out.checksum(), reference, "objects wrong at {c} cores");
+        objects.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        let (t, out) = bench::time(|| run_hyperqueue(&cfg, &rt));
+        assert_eq!(out.checksum(), reference, "hyperqueue wrong at {c} cores");
+        hyperqueue.push((c, serial_time.as_secs_f64() / t.as_secs_f64()));
+
+        eprintln!(
+            "  {c:>2} cores: pthreads {:.2} tbb {:.2} objects {:.2} hyperqueue {:.2}",
+            pthreads.last().unwrap().1,
+            tbb.last().unwrap().1,
+            objects.last().unwrap().1,
+            hyperqueue.last().unwrap().1
+        );
+    }
+
+    let series = vec![
+        bench::Series {
+            name: "Pthreads",
+            points: pthreads,
+        },
+        bench::Series {
+            name: "TBB",
+            points: tbb,
+        },
+        bench::Series {
+            name: "Objects",
+            points: objects,
+        },
+        bench::Series {
+            name: "Hyperqueue",
+            points: hyperqueue,
+        },
+    ];
+    println!(
+        "{}",
+        bench::render_speedup_figure(
+            &format!("Figure 8: Ferret speedup by programming model ({images} images)"),
+            serial_time,
+            &series
+        )
+    );
+}

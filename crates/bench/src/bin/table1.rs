@@ -1,0 +1,62 @@
+//! Regenerates **Table 1**: characterization of ferret's pipeline
+//! (iterations, per-stage time, percentage of serial execution time).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1 [--images N] [--scale small]
+//! ```
+//!
+//! The paper's percentages (on PARSEC `native`, 3500 images) are printed
+//! alongside for comparison; our calibration targets the *shape* (ranking
+//! dominant, vectorizing second), not the absolute seconds.
+
+use workloads::ferret::{run_serial, FerretConfig};
+
+/// Paper reference: (stage, iterations, seconds, percent).
+const PAPER: &[(&str, u64, f64, f64)] = &[
+    ("Input", 1, 34.000, 4.48),
+    ("Segmentation", 3500, 26.800, 3.57),
+    ("Extraction", 3500, 2.773, 0.35),
+    ("Vectorizing", 3500, 133.939, 16.20),
+    ("Ranking", 3500, 603.286, 75.30),
+    ("Output", 3500, 2.000, 0.10),
+];
+
+fn main() {
+    let args = bench::Args::parse();
+    let mut cfg = if args.is_small() {
+        FerretConfig::bench(args.get_usize("images", 350))
+    } else {
+        FerretConfig::bench(args.get_usize("images", 3500))
+    };
+    cfg.seed = args.get_usize("seed", cfg.seed as usize) as u64;
+
+    eprintln!(
+        "running serial ferret on {} images ({}x{} px, db {})...",
+        cfg.total_images, cfg.width, cfg.height, cfg.db_entries
+    );
+    let (out, clock) = run_serial(&cfg);
+    println!("{}", clock.render("Table 1: Characterization of ferret's pipeline (measured)"));
+    println!("output checksum: {:#018x}\n", out.checksum());
+
+    println!("Paper reference (PARSEC native, 2x Opteron 6272):");
+    println!(
+        "{:<16} {:>10} {:>12} {:>9}",
+        "Stage", "Iterations", "Time (s)", "Time (%)"
+    );
+    for (name, iters, secs, pct) in PAPER {
+        println!("{name:<16} {iters:>10} {secs:>12.3} {pct:>8.2}%");
+    }
+
+    // Shape comparison: measured% vs paper%.
+    println!("\nShape comparison (measured% vs paper%):");
+    let total = clock.total().as_secs_f64();
+    for (name, _, _, paper_pct) in PAPER {
+        let measured = clock
+            .entries()
+            .iter()
+            .find(|e| e.name == *name)
+            .map(|e| 100.0 * e.time.as_secs_f64() / total)
+            .unwrap_or(0.0);
+        println!("{name:<16} measured {measured:>6.2}%   paper {paper_pct:>6.2}%");
+    }
+}

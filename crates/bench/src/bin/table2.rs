@@ -1,0 +1,62 @@
+//! Regenerates **Table 2**: characterization of the dedup pipeline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2 [--mbytes N] [--scale small]
+//! ```
+
+use workloads::dedup::{corpus, run_serial, DedupConfig};
+
+/// Paper reference: (stage, iterations, seconds, percent).
+const PAPER: &[(&str, u64, f64, f64)] = &[
+    ("Fragment", 336, 1.900, 3.08),
+    ("FragmentRefine", 336, 3.916, 6.35),
+    ("Deduplicate", 369_950, 4.854, 7.90),
+    ("Compress", 168_364, 45.881, 74.48),
+    ("Output", 369_950, 5.049, 8.19),
+];
+
+fn main() {
+    let args = bench::Args::parse();
+    let mbytes = args.get_usize("mbytes", if args.is_small() { 8 } else { 48 });
+    let cfg = DedupConfig::bench(mbytes << 20);
+
+    eprintln!(
+        "running serial dedup on {} MiB (coarse {} KiB, fine ~{} B avg)...",
+        mbytes,
+        cfg.coarse_size >> 10,
+        cfg.chunking.min_size + (1 << cfg.chunking.mask_bits)
+    );
+    let data = corpus(&cfg);
+    let (arch, clock) = run_serial(&cfg, &data);
+    println!("{}", clock.render("Table 2: Characterization of the dedup pipeline (measured)"));
+    println!(
+        "archive: {} chunks, {} unique ({:.1}% unique), {:.2} MiB -> {:.2} MiB, checksum {:#018x}\n",
+        arch.total_chunks,
+        arch.unique_chunks,
+        100.0 * arch.unique_chunks as f64 / arch.total_chunks as f64,
+        (mbytes as f64),
+        arch.bytes.len() as f64 / (1 << 20) as f64,
+        arch.checksum()
+    );
+
+    println!("Paper reference (PARSEC native, 672 MB):");
+    println!(
+        "{:<16} {:>10} {:>12} {:>9}",
+        "Stage", "Iterations", "Time (s)", "Time (%)"
+    );
+    for (name, iters, secs, pct) in PAPER {
+        println!("{name:<16} {iters:>10} {secs:>12.3} {pct:>8.2}%");
+    }
+
+    println!("\nShape comparison (measured% vs paper%):");
+    let total = clock.total().as_secs_f64();
+    for (name, _, _, paper_pct) in PAPER {
+        let measured = clock
+            .entries()
+            .iter()
+            .find(|e| e.name == *name)
+            .map(|e| 100.0 * e.time.as_secs_f64() / total)
+            .unwrap_or(0.0);
+        println!("{name:<16} measured {measured:>6.2}%   paper {paper_pct:>6.2}%");
+    }
+}

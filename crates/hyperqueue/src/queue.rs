@@ -1,0 +1,618 @@
+//! The public hyperqueue API: the queue object, access-mode dependency
+//! arguments (`pushdep`/`popdep`/`pushpopdep`), and the per-task tokens
+//! through which tasks push and pop.
+//!
+//! # Ownership & privilege model
+//!
+//! * [`Hyperqueue`] is created by (and stays with) one *owner* task, which
+//!   holds both push and pop privileges (§4: "the top-level task always has
+//!   both"). It is `!Send`: it cannot leave its task.
+//! * Privileges are delegated to children by passing
+//!   [`Hyperqueue::pushdep`]/[`popdep`](Hyperqueue::popdep)/
+//!   [`pushpopdep`](Hyperqueue::pushpopdep) values as spawn dependencies;
+//!   the child's body receives a [`PushToken`]/[`PopToken`]/
+//!   [`PushPopToken`]. Tokens can delegate further, but only a *subset* of
+//!   their privileges (§2.3) — enforced by which methods exist on each
+//!   token type, and re-checked at run time.
+//! * Tokens perform pushes and pops through lock-free SPSC fast paths on a
+//!   cached segment; the queue mutex is only taken on segment boundaries,
+//!   spawns, completions and blocking.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swan::{AcquireCtx, DepArg, Frame, HelpMode, RuntimeHandle, Scope};
+
+use crate::segment::Segment;
+use crate::slice::{ReadSlice, WriteSlice};
+use crate::state::{EmptyProbe, Mode, Probe, QueueState, QueueStats, POP_LABEL, PUSH_LABEL};
+
+/// Default number of values per queue segment. §5.1 discusses tuning this;
+/// [`Hyperqueue::with_segment_capacity`] sets it per queue.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 256;
+
+pub(crate) struct QueueInner<T: Send + 'static> {
+    pub(crate) id: u64,
+    pub(crate) rt: RuntimeHandle,
+    pub(crate) state: Mutex<QueueState<T>>,
+}
+
+type SegCache<T> = Option<NonNull<Segment<T>>>;
+
+// ---------------------------------------------------------------------------
+// Shared op implementations (used by the owner object and all tokens).
+// ---------------------------------------------------------------------------
+
+fn push_impl<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+    value: T,
+) {
+    let mut value = value;
+    if let Some(seg) = cache {
+        // SAFETY: token/view discipline makes us the unique producer of the
+        // cached user-view tail segment.
+        match unsafe { seg.as_ref().try_push(value) } {
+            Ok(()) => return,
+            Err(v) => value = v, // full → slow path
+        }
+    }
+    let seg = {
+        let mut st = inner.state.lock();
+        let seg = st.producer_segment(frame.id.0, 1);
+        // SAFETY: as above; `producer_segment` guarantees one free slot.
+        unsafe {
+            seg.as_ref()
+                .try_push(value)
+                .unwrap_or_else(|_| unreachable!("fresh segment has room"))
+        };
+        seg
+    };
+    *cache = Some(seg);
+    // Segment transitions are rare; wake blocked consumers so freshly
+    // linked data is noticed promptly.
+    inner.rt.notify();
+}
+
+fn pop_impl<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+) -> T {
+    if let Some(seg) = cache {
+        // SAFETY: delegation gate + rule 3 make us the unique consumer.
+        if let Some(v) = unsafe { seg.as_ref().try_pop() } {
+            return v;
+        }
+    }
+    let mut result: Option<T> = None;
+    let fid = frame.id.0;
+    inner.rt.block_until(frame, HelpMode::Preceding, || {
+        let mut st = inner.state.lock();
+        match st.pop_probe(fid) {
+            Probe::Value(v, seg) => {
+                result = Some(v);
+                *cache = Some(seg);
+                true
+            }
+            Probe::Empty => panic!(
+                "hyperqueue: pop() on a permanently empty queue is an error (§2.1); \
+                 guard pops with empty()"
+            ),
+            Probe::Blocked => false,
+        }
+    });
+    result.expect("block_until returns only once the condition holds")
+}
+
+fn empty_impl<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+) -> bool {
+    if let Some(seg) = cache {
+        // SAFETY: unique consumer.
+        if unsafe { !seg.as_ref().is_empty() } {
+            return false;
+        }
+    }
+    let mut result: Option<bool> = None;
+    let fid = frame.id.0;
+    inner.rt.block_until(frame, HelpMode::Preceding, || {
+        let mut st = inner.state.lock();
+        match st.empty_probe(fid) {
+            EmptyProbe::HasData(seg) => {
+                *cache = Some(seg);
+                result = Some(false);
+                true
+            }
+            EmptyProbe::Empty => {
+                result = Some(true);
+                true
+            }
+            EmptyProbe::Blocked => false,
+        }
+    });
+    result.expect("block_until returns only once the condition holds")
+}
+
+fn write_slice_impl<'t, T: Send + 'static>(
+    inner: &'t Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+    len: usize,
+) -> WriteSlice<'t, T> {
+    let len = len.max(1);
+    // Fast path: the cached tail segment already has room for the whole
+    // request — no lock needed (the producer owns the tail index).
+    if let Some(seg) = cache {
+        // SAFETY: unique producer of the cached segment.
+        let free = unsafe {
+            let s = seg.as_ref();
+            s.capacity() - s.len()
+        };
+        if free >= len {
+            // SAFETY: unique producer; `len` slots are free.
+            return unsafe { WriteSlice::new(inner, *seg, len) };
+        }
+    }
+    let mut st = inner.state.lock();
+    let len = len.min(st.segment_capacity());
+    let seg = st.producer_segment(frame.id.0, len);
+    drop(st);
+    *cache = Some(seg);
+    // SAFETY: unique producer of `seg`; `len` slots are free.
+    unsafe { WriteSlice::new(inner, seg, len) }
+}
+
+fn read_slice_impl<'t, T: Send + 'static>(
+    inner: &'t Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+    max_len: usize,
+) -> Option<ReadSlice<'t, T>> {
+    if empty_impl(inner, frame, cache) {
+        return None;
+    }
+    let seg = cache.expect("empty_impl(false) caches the head segment");
+    // SAFETY: unique consumer of the head segment.
+    Some(unsafe { ReadSlice::new(inner, seg, max_len) })
+}
+
+fn spawn_transfer_and_release<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    ctx: &mut AcquireCtx<'_>,
+    mode: Mode,
+) {
+    let parent = Arc::clone(ctx.parent_frame());
+    let child = Arc::clone(ctx.frame());
+    let pred = {
+        let mut st = inner.state.lock();
+        st.spawn_transfer(parent.id.0, &child, mode)
+    };
+    if let Some(p) = pred {
+        // Rule 3: serialize pop-privileged siblings.
+        ctx.add_predecessor(p);
+    }
+    if mode.has_push() {
+        parent.label_incr((inner.id, PUSH_LABEL));
+    }
+    if mode.has_pop() {
+        parent.label_incr((inner.id, POP_LABEL));
+    }
+    let inner2 = Arc::clone(inner);
+    ctx.on_release(move || {
+        {
+            let mut st = inner2.state.lock();
+            st.complete(child.id.0);
+        }
+        if mode.has_push() {
+            parent.label_decr((inner2.id, PUSH_LABEL));
+        }
+        if mode.has_pop() {
+            parent.label_decr((inner2.id, POP_LABEL));
+        }
+        // Completion may have linked new data into the consumer chain or
+        // retired the last preceding producer: wake blocked waiters.
+        inner2.rt.notify();
+    });
+}
+
+fn initial_push_cache<T: Send + 'static>(inner: &Arc<QueueInner<T>>, frame_id: u64) -> SegCache<T> {
+    let st = inner.state.lock();
+    st.user_tail_segment(frame_id)
+}
+
+// ---------------------------------------------------------------------------
+// The queue object (owner side).
+// ---------------------------------------------------------------------------
+
+/// A deterministic single-producer/single-consumer queue abstraction for
+/// pipeline parallelism (the paper's `hyperqueue<T>`).
+///
+/// ```
+/// use swan::Runtime;
+/// use hyperqueue::Hyperqueue;
+///
+/// let rt = Runtime::with_workers(4);
+/// let mut out = Vec::new();
+/// rt.scope(|s| {
+///     let q = Hyperqueue::<u32>::new(s);
+///     // Producer task runs concurrently with the owner's pops below.
+///     s.spawn((q.pushdep(),), |_, (mut push,)| {
+///         for i in 0..100 {
+///             push.push(i);
+///         }
+///     });
+///     while !q.empty() {
+///         out.push(q.pop());
+///     }
+/// });
+/// assert_eq!(out, (0..100).collect::<Vec<_>>());
+/// ```
+pub struct Hyperqueue<T: Send + 'static> {
+    inner: Arc<QueueInner<T>>,
+    owner: Arc<Frame>,
+    push_cache: Cell<SegCache<T>>,
+    pop_cache: Cell<SegCache<T>>,
+    /// The queue must not leave its owner task.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T: Send + 'static> Hyperqueue<T> {
+    /// Creates a hyperqueue owned by the current scope's task, with the
+    /// default segment capacity.
+    pub fn new(scope: &Scope<'_>) -> Self {
+        Self::with_config(scope, DEFAULT_SEGMENT_CAPACITY, true)
+    }
+
+    /// Creates a hyperqueue with an explicit segment capacity (§5.1:
+    /// programmers often know the right granularity).
+    pub fn with_segment_capacity(scope: &Scope<'_>, capacity: usize) -> Self {
+        Self::with_config(scope, capacity, true)
+    }
+
+    /// Full-control constructor; `recycle` toggles the drained-segment
+    /// freelist (kept switchable for the ablation benchmarks).
+    pub fn with_config(scope: &Scope<'_>, capacity: usize, recycle: bool) -> Self {
+        let owner = Arc::clone(scope.frame());
+        let rt = scope.runtime();
+        let state = QueueState::new(&owner, capacity.max(2), recycle);
+        let inner = Arc::new(QueueInner {
+            id: swan::next_object_id(),
+            rt,
+            state: Mutex::new(state),
+        });
+        let push_cache = initial_push_cache(&inner, owner.id.0);
+        Hyperqueue {
+            inner,
+            owner,
+            push_cache: Cell::new(push_cache),
+            pop_cache: Cell::new(None),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The queue's object id (diagnostics; labels for selective sync).
+    pub fn object_id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// `pushdep` access for a spawn: the child may only push.
+    pub fn pushdep(&self) -> PushDep<T> {
+        // The child takes the user view; our cached tail is no longer ours.
+        self.push_cache.set(None);
+        PushDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// `popdep` access for a spawn: the child may only pop.
+    pub fn popdep(&self) -> PopDep<T> {
+        // Pop spawns also take the user view (§4.2) and the consumer role.
+        self.push_cache.set(None);
+        self.pop_cache.set(None);
+        PopDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// `pushpopdep` access for a spawn: the child may push and pop.
+    pub fn pushpopdep(&self) -> PushPopDep<T> {
+        self.push_cache.set(None);
+        self.pop_cache.set(None);
+        PushPopDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Pushes a value as the owner task.
+    pub fn push(&self, value: T) {
+        let mut cache = self.push_cache.get();
+        push_impl(&self.inner, &self.owner, &mut cache, value);
+        self.push_cache.set(cache);
+    }
+
+    /// Pops the next value as the owner task. Blocks while the value is in
+    /// flight; **panics** if the queue is permanently empty (guard with
+    /// [`Hyperqueue::empty`]).
+    pub fn pop(&self) -> T {
+        let mut cache = self.pop_cache.get();
+        let v = pop_impl(&self.inner, &self.owner, &mut cache);
+        self.pop_cache.set(cache);
+        v
+    }
+
+    /// The paper's `empty()`: `false` iff a value is available to this
+    /// task; `true` iff no more values can ever become visible to it;
+    /// blocks until one of the two is certain (§2.1).
+    pub fn empty(&self) -> bool {
+        let mut cache = self.pop_cache.get();
+        let r = empty_impl(&self.inner, &self.owner, &mut cache);
+        self.pop_cache.set(cache);
+        r
+    }
+
+    /// Requests a write slice of up to `len` values (§5.2).
+    pub fn write_slice(&self, len: usize) -> WriteSlice<'_, T> {
+        let mut cache = self.push_cache.get();
+        let ws = write_slice_impl(&self.inner, &self.owner, &mut cache, len);
+        self.push_cache.set(cache);
+        ws
+    }
+
+    /// Requests a read slice of up to `max_len` currently-visible values;
+    /// `None` iff the queue is permanently empty (§5.2).
+    pub fn read_slice(&self, max_len: usize) -> Option<ReadSlice<'_, T>> {
+        let mut cache = self.pop_cache.get();
+        let rs = read_slice_impl(&self.inner, &self.owner, &mut cache, max_len);
+        self.pop_cache.set(cache);
+        rs
+    }
+
+    /// Selective sync over pop-privileged children (§5.5:
+    /// `sync (popdep<T>) queue;`).
+    pub fn sync_pop(&self, scope: &Scope<'_>) {
+        scope.sync_label((self.inner.id, POP_LABEL));
+    }
+
+    /// Selective sync over push-privileged children.
+    pub fn sync_push(&self, scope: &Scope<'_>) {
+        scope.sync_label((self.inner.id, PUSH_LABEL));
+    }
+
+    /// Allocation/recycling counters.
+    pub fn stats(&self) -> QueueStats {
+        self.inner.state.lock().stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependency arguments.
+// ---------------------------------------------------------------------------
+
+/// Spawn argument granting push-only access (the paper's `pushdep<T>`).
+pub struct PushDep<T: Send + 'static> {
+    inner: Arc<QueueInner<T>>,
+}
+
+/// Spawn argument granting pop-only access (`popdep<T>`).
+pub struct PopDep<T: Send + 'static> {
+    inner: Arc<QueueInner<T>>,
+}
+
+/// Spawn argument granting combined access (`pushpopdep<T>`).
+pub struct PushPopDep<T: Send + 'static> {
+    inner: Arc<QueueInner<T>>,
+}
+
+impl<T: Send + 'static> DepArg for PushDep<T> {
+    type Guard = PushToken<T>;
+    fn acquire(self, ctx: &mut AcquireCtx<'_>) -> PushToken<T> {
+        spawn_transfer_and_release(&self.inner, ctx, Mode::Push);
+        let frame = Arc::clone(ctx.frame());
+        let cache = initial_push_cache(&self.inner, frame.id.0);
+        PushToken {
+            inner: self.inner,
+            frame,
+            cache,
+        }
+    }
+}
+
+impl<T: Send + 'static> DepArg for PopDep<T> {
+    type Guard = PopToken<T>;
+    fn acquire(self, ctx: &mut AcquireCtx<'_>) -> PopToken<T> {
+        spawn_transfer_and_release(&self.inner, ctx, Mode::Pop);
+        let frame = Arc::clone(ctx.frame());
+        PopToken {
+            inner: self.inner,
+            frame,
+            cache: None,
+        }
+    }
+}
+
+impl<T: Send + 'static> DepArg for PushPopDep<T> {
+    type Guard = PushPopToken<T>;
+    fn acquire(self, ctx: &mut AcquireCtx<'_>) -> PushPopToken<T> {
+        spawn_transfer_and_release(&self.inner, ctx, Mode::PushPop);
+        let frame = Arc::clone(ctx.frame());
+        let push_cache = initial_push_cache(&self.inner, frame.id.0);
+        PushPopToken {
+            inner: self.inner,
+            frame,
+            push_cache,
+            pop_cache: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokens (task-side capability objects).
+// ---------------------------------------------------------------------------
+
+/// Push capability held by a task spawned with [`PushDep`].
+pub struct PushToken<T: Send + 'static> {
+    inner: Arc<QueueInner<T>>,
+    frame: Arc<Frame>,
+    cache: SegCache<T>,
+}
+
+// SAFETY: tokens move into exactly one task body (possibly on another
+// thread). The cached raw segment pointer is owned by the queue arena,
+// which the Arc keeps alive, and the view discipline makes this token the
+// unique producer of that segment.
+unsafe impl<T: Send + 'static> Send for PushToken<T> {}
+
+impl<T: Send + 'static> PushToken<T> {
+    /// Appends `value` to the queue in this task's position of the serial
+    /// order.
+    pub fn push(&mut self, value: T) {
+        push_impl(&self.inner, &self.frame, &mut self.cache, value);
+    }
+
+    /// Delegates push privileges to a child spawn (recursive producers,
+    /// Fig. 2/3).
+    pub fn pushdep(&mut self) -> PushDep<T> {
+        self.cache = None; // the child takes the user view
+        PushDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Requests a write slice of up to `len` values (§5.2).
+    pub fn write_slice(&mut self, len: usize) -> WriteSlice<'_, T> {
+        write_slice_impl(&self.inner, &self.frame, &mut self.cache, len)
+    }
+
+    /// Selective sync over push-privileged children of the current task.
+    pub fn sync_push(&self, scope: &Scope<'_>) {
+        scope.sync_label((self.inner.id, PUSH_LABEL));
+    }
+
+    /// The queue's object id.
+    pub fn object_id(&self) -> u64 {
+        self.inner.id
+    }
+}
+
+/// Pop capability held by a task spawned with [`PopDep`].
+pub struct PopToken<T: Send + 'static> {
+    inner: Arc<QueueInner<T>>,
+    frame: Arc<Frame>,
+    cache: SegCache<T>,
+}
+
+// SAFETY: see PushToken.
+unsafe impl<T: Send + 'static> Send for PopToken<T> {}
+
+impl<T: Send + 'static> PopToken<T> {
+    /// Removes and returns the next value in serial order. Blocks while
+    /// the value is in flight; panics if permanently empty.
+    pub fn pop(&mut self) -> T {
+        pop_impl(&self.inner, &self.frame, &mut self.cache)
+    }
+
+    /// The paper's `empty()` (see [`Hyperqueue::empty`]).
+    pub fn empty(&mut self) -> bool {
+        empty_impl(&self.inner, &self.frame, &mut self.cache)
+    }
+
+    /// Delegates pop privileges to a child spawn.
+    pub fn popdep(&mut self) -> PopDep<T> {
+        self.cache = None; // the child becomes the consumer
+        PopDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Requests a read slice of up to `max_len` values; `None` iff
+    /// permanently empty (§5.2).
+    pub fn read_slice(&mut self, max_len: usize) -> Option<ReadSlice<'_, T>> {
+        read_slice_impl(&self.inner, &self.frame, &mut self.cache, max_len)
+    }
+
+    /// Selective sync over pop-privileged children of the current task.
+    pub fn sync_pop(&self, scope: &Scope<'_>) {
+        scope.sync_label((self.inner.id, POP_LABEL));
+    }
+
+    /// The queue's object id.
+    pub fn object_id(&self) -> u64 {
+        self.inner.id
+    }
+}
+
+/// Combined capability held by a task spawned with [`PushPopDep`].
+pub struct PushPopToken<T: Send + 'static> {
+    inner: Arc<QueueInner<T>>,
+    frame: Arc<Frame>,
+    push_cache: SegCache<T>,
+    pop_cache: SegCache<T>,
+}
+
+// SAFETY: see PushToken.
+unsafe impl<T: Send + 'static> Send for PushPopToken<T> {}
+
+impl<T: Send + 'static> PushPopToken<T> {
+    /// Pushes a value (see [`PushToken::push`]).
+    pub fn push(&mut self, value: T) {
+        push_impl(&self.inner, &self.frame, &mut self.push_cache, value);
+    }
+
+    /// Pops a value (see [`PopToken::pop`]).
+    pub fn pop(&mut self) -> T {
+        pop_impl(&self.inner, &self.frame, &mut self.pop_cache)
+    }
+
+    /// `empty()` (see [`Hyperqueue::empty`]).
+    pub fn empty(&mut self) -> bool {
+        empty_impl(&self.inner, &self.frame, &mut self.pop_cache)
+    }
+
+    /// Delegates push privileges only.
+    pub fn pushdep(&mut self) -> PushDep<T> {
+        self.push_cache = None;
+        PushDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Delegates pop privileges only.
+    pub fn popdep(&mut self) -> PopDep<T> {
+        self.push_cache = None;
+        self.pop_cache = None;
+        PopDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Delegates both privileges.
+    pub fn pushpopdep(&mut self) -> PushPopDep<T> {
+        self.push_cache = None;
+        self.pop_cache = None;
+        PushPopDep {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Requests a write slice (§5.2).
+    pub fn write_slice(&mut self, len: usize) -> WriteSlice<'_, T> {
+        write_slice_impl(&self.inner, &self.frame, &mut self.push_cache, len)
+    }
+
+    /// Requests a read slice (§5.2).
+    pub fn read_slice(&mut self, max_len: usize) -> Option<ReadSlice<'_, T>> {
+        read_slice_impl(&self.inner, &self.frame, &mut self.pop_cache, max_len)
+    }
+
+    /// The queue's object id.
+    pub fn object_id(&self) -> u64 {
+        self.inner.id
+    }
+}

@@ -1,0 +1,418 @@
+//! Queue segments: fixed-size single-producer/single-consumer circular
+//! buffers, linkable into lists (paper §3.2).
+//!
+//! A segment is the unit of storage of a hyperqueue. At any moment a
+//! segment is operated on by **at most one producer task and at most one
+//! consumer task** (invariant 6 of §4.4): the producer owns the `tail`
+//! index, the consumer owns the `head` index, and both are monotonic
+//! counters addressing the buffer modulo its capacity (Lamport's classic
+//! SPSC queue). A concurrent producer/consumer pair can therefore reuse a
+//! single segment indefinitely — the zero-allocation steady state the paper
+//! highlights.
+//!
+//! `next` links segments into lists; it is written at most once between
+//! resets (either by the producer appending a continuation segment, or by a
+//! view reduction concatenating two lists) and is read by the consumer to
+//! advance.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use swan::util::CachePadded;
+
+/// A fixed-capacity SPSC circular buffer with a link to the next segment.
+pub(crate) struct Segment<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Consumer index (monotonic; slot = head % cap).
+    head: CachePadded<AtomicUsize>,
+    /// Producer index (monotonic; slot = tail % cap).
+    tail: CachePadded<AtomicUsize>,
+    /// Next segment in the list; null while this segment is a list tail.
+    next: AtomicPtr<Segment<T>>,
+}
+
+// SAFETY: the buffer cells are accessed only through the SPSC protocol
+// (producer writes slot `tail` before publishing `tail+1` with Release; the
+// consumer reads slots below an Acquire-loaded `tail`), and the hyperqueue
+// view machinery guarantees a single producer and single consumer per
+// segment (invariant 6).
+unsafe impl<T: Send> Send for Segment<T> {}
+unsafe impl<T: Send> Sync for Segment<T> {}
+
+impl<T> Segment<T> {
+    /// Allocates an empty segment with capacity `cap` (min 2).
+    pub(crate) fn new(cap: usize) -> Box<Self> {
+        let cap = cap.max(2);
+        let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::new(Self {
+            buf,
+            cap,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })
+    }
+
+    /// Buffer capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of values currently stored (racy but monotonic-consistent:
+    /// producer sees an underestimate of pops, consumer of pushes).
+    pub(crate) fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// True if the consumer would find nothing.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer-side push. Fails (returning the value) when full.
+    ///
+    /// # Safety
+    /// Caller must be the unique producer of this segment.
+    pub(crate) unsafe fn try_push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed); // we own tail
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head == self.cap {
+            return Err(value);
+        }
+        // SAFETY: slot `tail % cap` is vacant: the consumer only reads
+        // slots below `tail` (it Acquire-loads our Release store), and we
+        // are the only producer.
+        unsafe { (*self.buf[tail % self.cap].get()).write(value) };
+        self.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer-side pop. Returns `None` when currently empty.
+    ///
+    /// # Safety
+    /// Caller must be the unique consumer of this segment.
+    pub(crate) unsafe fn try_pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed); // we own head
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: slot `head % cap` was initialized by the producer's write
+        // that happens-before our Acquire load of `tail`; we are the only
+        // consumer, so the slot is read exactly once.
+        let value = unsafe { (*self.buf[head % self.cap].get()).assume_init_read() };
+        self.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Peek at the front value without consuming it.
+    ///
+    /// # Safety
+    /// Caller must be the unique consumer of this segment.
+    #[allow(dead_code)]
+    pub(crate) unsafe fn peek(&self) -> Option<&T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: as in try_pop; the reference is valid until the consumer
+        // advances, which only the caller (unique consumer) can do.
+        Some(unsafe { (*self.buf[head % self.cap].get()).assume_init_ref() })
+    }
+
+    /// The link to the next segment (null = list tail).
+    pub(crate) fn next(&self) -> *mut Segment<T> {
+        self.next.load(Ordering::Acquire)
+    }
+
+    /// Links `next` after this segment.
+    ///
+    /// Called either by the unique producer (appending when full) or by a
+    /// view reduction holding the queue lock; per invariant 5 the segment
+    /// has no successor yet.
+    pub(crate) fn set_next(&self, next: *mut Segment<T>) {
+        let prev = self.next.swap(next, Ordering::AcqRel);
+        debug_assert!(prev.is_null(), "segment already linked (invariant 5)");
+    }
+
+    // ---- slice support (paper §5.2) ------------------------------------
+
+    /// Producer-owned tail index (for write slices).
+    pub(crate) fn raw_tail(&self) -> usize {
+        self.tail.load(Ordering::Relaxed)
+    }
+
+    /// Consumer-owned head index (for read slices).
+    pub(crate) fn raw_head(&self) -> usize {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Acquire-load of tail, for the consumer side.
+    #[allow(dead_code)]
+    pub(crate) fn tail_acquire(&self) -> usize {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    /// Writes `value` at absolute index `idx` without publishing.
+    ///
+    /// # Safety
+    /// Caller is the unique producer; `idx` lies in `[tail, head+cap)`.
+    pub(crate) unsafe fn write_at(&self, idx: usize, value: T) {
+        unsafe { (*self.buf[idx % self.cap].get()).write(value) };
+    }
+
+    /// Publishes values written up to absolute index `new_tail`.
+    ///
+    /// # Safety
+    /// Caller is the unique producer and has initialized all slots in
+    /// `[tail, new_tail)`.
+    pub(crate) unsafe fn publish_tail(&self, new_tail: usize) {
+        debug_assert!(new_tail >= self.tail.load(Ordering::Relaxed));
+        self.tail.store(new_tail, Ordering::Release);
+    }
+
+    /// Reads a reference to the value at absolute index `idx`.
+    ///
+    /// # Safety
+    /// Caller is the unique consumer; `head <= idx < tail` (published).
+    #[allow(dead_code)]
+    pub(crate) unsafe fn read_ref(&self, idx: usize) -> &T {
+        unsafe { (*self.buf[idx % self.cap].get()).assume_init_ref() }
+    }
+
+    /// Drops `n` values from the front and advances the head.
+    ///
+    /// # Safety
+    /// Caller is the unique consumer; `n <= len()`.
+    pub(crate) unsafe fn consume_front(&self, n: usize) {
+        let head = self.head.load(Ordering::Relaxed);
+        for i in 0..n {
+            // SAFETY: slots [head, head+n) are published and unread.
+            unsafe { (*self.buf[(head + i) % self.cap].get()).assume_init_drop() };
+        }
+        self.head.store(head + n, Ordering::Release);
+    }
+
+    /// Number of slots the consumer can view contiguously (up to the ring
+    /// wrap point).
+    pub(crate) fn contiguous_readable(&self) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let avail = tail - head;
+        let to_wrap = self.cap - (head % self.cap);
+        avail.min(to_wrap)
+    }
+
+    /// A contiguous array view over `[idx, idx+len)`.
+    ///
+    /// # Safety
+    /// Caller is the unique consumer; the span is published, within one
+    /// ring wrap, and not consumed while the reference is live.
+    pub(crate) unsafe fn read_slice_raw(&self, idx: usize, len: usize) -> &[T] {
+        debug_assert!(idx % self.cap + len <= self.cap, "slice wraps the ring");
+        let base = self.buf[idx % self.cap].get() as *const T;
+        // SAFETY: slots are adjacent `UnsafeCell<MaybeUninit<T>>`, layout-
+        // compatible with `T`, and the span is initialized per the caller
+        // contract.
+        unsafe { std::slice::from_raw_parts(base, len) }
+    }
+
+    // ---- lifecycle ------------------------------------------------------
+
+    /// Resets a fully drained segment for reuse from the freelist.
+    ///
+    /// # Safety
+    /// No task may hold any pointer to this segment (the recycling rules in
+    /// `state.rs` guarantee this: the segment was drained by the consumer
+    /// and has a non-null `next`, so per invariants 4–5 nobody else can
+    /// reach it).
+    pub(crate) unsafe fn reset(&self) {
+        debug_assert_eq!(self.len(), 0, "resetting a non-empty segment");
+        self.head.store(0, Ordering::Relaxed);
+        self.tail.store(0, Ordering::Relaxed);
+        self.next.store(ptr::null_mut(), Ordering::Release);
+    }
+
+    /// Drops all unconsumed values (used when the hyperqueue is destroyed
+    /// with values still inside, which the model allows — §2.1).
+    ///
+    /// # Safety
+    /// No concurrent access to the segment.
+    pub(crate) unsafe fn drop_remaining(&self) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            unsafe { (*self.buf[i % self.cap].get()).assume_init_drop() };
+        }
+        self.head.store(tail, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let s = Segment::<u32>::new(4);
+        unsafe {
+            assert!(s.try_pop().is_none());
+            s.try_push(1).unwrap();
+            s.try_push(2).unwrap();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.try_pop(), Some(1));
+            assert_eq!(s.try_pop(), Some(2));
+            assert!(s.try_pop().is_none());
+        }
+    }
+
+    #[test]
+    fn full_rejects_push() {
+        let s = Segment::<u32>::new(2);
+        unsafe {
+            s.try_push(1).unwrap();
+            s.try_push(2).unwrap();
+            assert_eq!(s.try_push(3), Err(3));
+            assert_eq!(s.try_pop(), Some(1));
+            s.try_push(3).unwrap();
+        }
+    }
+
+    #[test]
+    fn circular_reuse_wraps_many_times() {
+        let s = Segment::<u64>::new(4);
+        unsafe {
+            for i in 0..1000u64 {
+                s.try_push(i).unwrap();
+                assert_eq!(s.try_pop(), Some(i));
+            }
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let s = Segment::<u32>::new(4);
+        unsafe {
+            s.try_push(7).unwrap();
+            assert_eq!(s.peek(), Some(&7));
+            assert_eq!(s.peek(), Some(&7));
+            assert_eq!(s.try_pop(), Some(7));
+            assert_eq!(s.peek(), None);
+        }
+    }
+
+    #[test]
+    fn next_links_once() {
+        let a = Segment::<u32>::new(2);
+        let b = Box::into_raw(Segment::<u32>::new(2));
+        assert!(a.next().is_null());
+        a.set_next(b);
+        assert_eq!(a.next(), b);
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let s = Segment::<u32>::new(2);
+        let b = Box::into_raw(Segment::<u32>::new(2));
+        unsafe {
+            s.try_push(1).unwrap();
+            assert_eq!(s.try_pop(), Some(1));
+            s.set_next(b);
+            s.reset();
+        }
+        assert!(s.next().is_null());
+        assert!(s.is_empty());
+        unsafe {
+            s.try_push(9).unwrap();
+            assert_eq!(s.try_pop(), Some(9));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn drop_remaining_runs_destructors() {
+        let counter = Arc::new(());
+        let s = Segment::<Arc<()>>::new(8);
+        unsafe {
+            for _ in 0..5 {
+                s.try_push(Arc::clone(&counter)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&counter), 6);
+            s.drop_remaining();
+        }
+        assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn slice_primitives_roundtrip() {
+        let s = Segment::<u32>::new(8);
+        unsafe {
+            let t = s.raw_tail();
+            for i in 0..5 {
+                s.write_at(t + i, i as u32 * 10);
+            }
+            s.publish_tail(t + 5);
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.contiguous_readable(), 5);
+            let h = s.raw_head();
+            for i in 0..5 {
+                assert_eq!(*s.read_ref(h + i), i as u32 * 10);
+            }
+            s.consume_front(5);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn spsc_concurrent_order_preserved() {
+        const N: u64 = 200_000;
+        let s = Arc::new(Segment::<u64>::new(64));
+        let p = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    let mut v = i;
+                    loop {
+                        // SAFETY: single producer thread.
+                        match unsafe { s.try_push(v) } {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let c = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut expect = 0u64;
+                while expect < N {
+                    // SAFETY: single consumer thread.
+                    if let Some(v) = unsafe { s.try_pop() } {
+                        assert_eq!(v, expect, "SPSC order violated");
+                        expect += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        p.join().unwrap();
+        c.join().unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Views and the split/reduce algebra (paper §3.3).
+//!
+//! A *view* is a window onto a linked list of queue segments, written
+//! `(h, t)` for head and tail pointers. Pointers are **local** (they
+//! address a segment and may be dereferenced by the view's owner) or
+//! **non-local** (the segment at this end is shared with exactly one other
+//! view; represented in the paper by null, here by a paired unique id so
+//! the pairing discipline can be *checked*). The distinguished **empty
+//! view** ε contains no pointers at all — it is distinct from a shared view
+//! `(pNL, qNL)`.
+//!
+//! Two operations exist:
+//!
+//! * `split((s, s)) = ((s, pNL), (pNL, s))` — carves a head-only and a
+//!   tail-only view out of a local view, introducing a fresh non-local
+//!   pair. Unique to hyperqueues: it makes the head of a fresh list
+//!   reachable by the consumer before the producer finishes (§3.3, §4.1).
+//! * `reduce((h1, t1), (h2, t2)) = (h1, t2)` — concatenates two views in
+//!   program order. If `t1`/`h2` are local, the underlying segments are
+//!   physically linked (`s1.next = s2`); if non-local, they must be the two
+//!   halves of one split pair and the segments are already linked.
+
+use std::ptr::NonNull;
+
+use crate::segment::Segment;
+
+/// One end of a view.
+pub(crate) enum Ptr<T> {
+    /// No pointer — only valid in the empty view ε.
+    Nil,
+    /// A dereferenceable pointer to a segment.
+    Local(NonNull<Segment<T>>),
+    /// A shared end; the id pairs it with its partner view.
+    NonLocal(u64),
+}
+
+impl<T> Clone for Ptr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Ptr<T> {}
+
+impl<T> PartialEq for Ptr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Ptr::Nil, Ptr::Nil) => true,
+            (Ptr::Local(a), Ptr::Local(b)) => a == b,
+            (Ptr::NonLocal(a), Ptr::NonLocal(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+impl<T> Eq for Ptr<T> {}
+
+impl<T> std::fmt::Debug for Ptr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ptr::Nil => write!(f, "∅"),
+            Ptr::Local(p) => write!(f, "L({:p})", p.as_ptr()),
+            Ptr::NonLocal(id) => write!(f, "NL({id})"),
+        }
+    }
+}
+
+impl<T> Ptr<T> {
+    /// True for `Local`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn is_local(&self) -> bool {
+        matches!(self, Ptr::Local(_))
+    }
+
+    /// The segment pointer, if local.
+    pub(crate) fn as_local(&self) -> Option<NonNull<Segment<T>>> {
+        match self {
+            Ptr::Local(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// A view: ε or a (head, tail) pair. See module docs.
+pub(crate) struct View<T> {
+    pub(crate) head: Ptr<T>,
+    pub(crate) tail: Ptr<T>,
+}
+
+impl<T> Clone for View<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for View<T> {}
+
+impl<T> PartialEq for View<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.tail == other.tail
+    }
+}
+impl<T> Eq for View<T> {}
+
+impl<T> std::fmt::Debug for View<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "ε")
+        } else {
+            write!(f, "({:?}, {:?})", self.head, self.tail)
+        }
+    }
+}
+
+impl<T> View<T> {
+    /// The empty view ε.
+    pub(crate) const EMPTY: View<T> = View {
+        head: Ptr::Nil,
+        tail: Ptr::Nil,
+    };
+
+    /// The local view `(s, s)` on a single segment.
+    pub(crate) fn local(seg: NonNull<Segment<T>>) -> Self {
+        View {
+            head: Ptr::Local(seg),
+            tail: Ptr::Local(seg),
+        }
+    }
+
+    /// True for ε.
+    pub(crate) fn is_empty(&self) -> bool {
+        debug_assert_eq!(
+            matches!(self.head, Ptr::Nil),
+            matches!(self.tail, Ptr::Nil),
+            "half-empty view: {self:?}"
+        );
+        matches!(self.head, Ptr::Nil)
+    }
+
+    /// Takes the view out, leaving ε.
+    pub(crate) fn take(&mut self) -> View<T> {
+        std::mem::replace(self, View::EMPTY)
+    }
+
+    /// `split((h, t), p) = ((h, pNL), (pNL, t))` with `pNL` fresh.
+    ///
+    /// The paper defines split on `(s, s)`; the straightforward
+    /// generalization to any non-empty view is used nowhere else but keeps
+    /// the algebra total.
+    pub(crate) fn split(self, nonlocal_id: u64) -> (View<T>, View<T>) {
+        debug_assert!(!self.is_empty(), "split(ε) is undefined");
+        (
+            View {
+                head: self.head,
+                tail: Ptr::NonLocal(nonlocal_id),
+            },
+            View {
+                head: Ptr::NonLocal(nonlocal_id),
+                tail: self.tail,
+            },
+        )
+    }
+
+    /// `reduce(a, b)`: concatenates `b` after `a` (program order),
+    /// physically linking segments when both boundary pointers are local.
+    ///
+    /// # Safety
+    /// If `a.tail` and `b.head` are local, both segments must be alive and
+    /// the caller must hold the queue lock (the link mutates `s1.next`).
+    pub(crate) unsafe fn reduce(a: View<T>, b: View<T>) -> View<T> {
+        if a.is_empty() {
+            return b;
+        }
+        if b.is_empty() {
+            return a;
+        }
+        match (a.tail, b.head) {
+            (Ptr::Local(s1), Ptr::Local(s2)) => {
+                debug_assert_ne!(s1, s2, "reducing a view with itself");
+                // SAFETY: caller guarantees liveness + exclusion.
+                unsafe { s1.as_ref().set_next(s2.as_ptr()) };
+            }
+            (Ptr::NonLocal(x), Ptr::NonLocal(y)) => {
+                // The two halves of one split pair meet again; the segments
+                // on either side are already linked.
+                assert_eq!(
+                    x, y,
+                    "non-local pointers must match between successive views (§3.3)"
+                );
+            }
+            (t, h) => {
+                unreachable!("mixed reduce boundary: tail={t:?} head={h:?} cannot occur (§3.3)")
+            }
+        }
+        View {
+            head: a.head,
+            tail: b.tail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> NonNull<Segment<u32>> {
+        NonNull::new(Box::into_raw(Segment::new(4))).unwrap()
+    }
+
+    unsafe fn free(p: NonNull<Segment<u32>>) {
+        unsafe { drop(Box::from_raw(p.as_ptr())) };
+    }
+
+    #[test]
+    fn empty_view_identity_under_reduce() {
+        let s = seg();
+        let v = View::local(s);
+        unsafe {
+            assert_eq!(View::reduce(View::EMPTY, v), v);
+            assert_eq!(View::reduce(v, View::EMPTY), v);
+            let e: View<u32> = View::reduce(View::EMPTY, View::EMPTY);
+            assert!(e.is_empty());
+            free(s);
+        }
+    }
+
+    #[test]
+    fn split_produces_matching_pair() {
+        let s = seg();
+        let (head_only, tail_only) = View::local(s).split(7);
+        assert_eq!(head_only.head, Ptr::Local(s));
+        assert_eq!(head_only.tail, Ptr::NonLocal(7));
+        assert_eq!(tail_only.head, Ptr::NonLocal(7));
+        assert_eq!(tail_only.tail, Ptr::Local(s));
+        // Reducing the pair is the inverse of split (§3.3 case 2).
+        let merged = unsafe { View::reduce(head_only, tail_only) };
+        assert_eq!(merged, View::local(s));
+        unsafe { free(s) };
+    }
+
+    #[test]
+    fn reduce_local_links_segments() {
+        let s1 = seg();
+        let s2 = seg();
+        let merged = unsafe { View::reduce(View::local(s1), View::local(s2)) };
+        assert_eq!(merged.head, Ptr::Local(s1));
+        assert_eq!(merged.tail, Ptr::Local(s2));
+        unsafe {
+            assert_eq!(s1.as_ref().next(), s2.as_ptr(), "segments must be linked");
+            assert!(s2.as_ref().next().is_null());
+            free(s1);
+            free(s2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-local pointers must match")]
+    fn mismatched_nonlocals_panic() {
+        let a: View<u32> = View {
+            head: Ptr::NonLocal(1),
+            tail: Ptr::NonLocal(2),
+        };
+        let b: View<u32> = View {
+            head: Ptr::NonLocal(3),
+            tail: Ptr::NonLocal(4),
+        };
+        let _ = unsafe { View::reduce(a, b) };
+    }
+
+    #[test]
+    fn shared_view_is_not_empty() {
+        // (qNL, rNL) is a shared view, distinct from ε (§3.3).
+        let v: View<u32> = View {
+            head: Ptr::NonLocal(1),
+            tail: Ptr::NonLocal(2),
+        };
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn reduce_keeps_outer_nonlocals() {
+        // reduce((qNL, t1), (h2, rNL)) with t1/h2 local: result (qNL, rNL).
+        let s1 = seg();
+        let s2 = seg();
+        let a = View {
+            head: Ptr::NonLocal(9),
+            tail: Ptr::Local(s1),
+        };
+        let b = View {
+            head: Ptr::Local(s2),
+            tail: Ptr::NonLocal(11),
+        };
+        let r = unsafe { View::reduce(a, b) };
+        assert_eq!(r.head, Ptr::NonLocal(9));
+        assert_eq!(r.tail, Ptr::NonLocal(11));
+        unsafe {
+            assert_eq!(s1.as_ref().next(), s2.as_ptr());
+            free(s1);
+            free(s2);
+        }
+    }
+
+    #[test]
+    fn take_leaves_empty() {
+        let s = seg();
+        let mut v = View::local(s);
+        let t = v.take();
+        assert!(v.is_empty());
+        assert_eq!(t, View::local(s));
+        unsafe { free(s) };
+    }
+}

@@ -1,0 +1,244 @@
+//! A blocking bounded MPMC channel — the workhorse of PARSEC's pthreads
+//! pipelines.
+//!
+//! Producers block when the channel is full, consumers block when it is
+//! empty. The channel closes when every [`Sender`] has been dropped;
+//! consumers then drain the remaining values and receive `None`. This
+//! mirrors the hand-rolled `queue_t` of PARSEC's dedup/ferret pthreads
+//! codes (mutex + two condvars + terminator counting).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    producers: usize,
+}
+
+/// Producer handle; clone one per producer thread. The channel closes when
+/// the last clone drops.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Consumer handle; clonable for multi-consumer stages.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a bounded channel with capacity `cap` (min 1).
+pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            cap: cap.max(1),
+            producers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`.
+    pub fn send(&self, value: T) {
+        let mut st = self.chan.state.lock();
+        while st.queue.len() >= st.cap {
+            self.chan.not_full.wait(&mut st);
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.not_empty.notify_one();
+    }
+
+    /// Non-blocking send; returns the value if the channel is full.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut st = self.chan.state.lock();
+        if st.queue.len() >= st.cap {
+            return Err(value);
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().producers += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.chan.state.lock();
+            st.producers -= 1;
+            st.producers
+        };
+        if remaining == 0 {
+            // Closed: wake all consumers so they can observe termination.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next value; `None` once the channel is closed *and*
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Some(v);
+            }
+            if st.producers == 0 {
+                return None;
+            }
+            self.chan.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.chan.state.lock();
+        let v = st.queue.pop_front();
+        if v.is_some() {
+            drop(st);
+            self.chan.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Current queue length (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().queue.len()
+    }
+
+    /// True when no values are queued (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn values_flow_in_order_spsc() {
+        let (tx, rx) = channel::<u32>(4);
+        let h = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i);
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        h.join().unwrap();
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn close_returns_none_after_drain() {
+        let (tx, rx) = channel::<u32>(8);
+        tx.send(1);
+        tx.send(2);
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn multiple_producers_all_values_arrive() {
+        let (tx, rx) = channel::<u64>(2);
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..250 {
+                    tx.send(p * 1000 + i);
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 1000);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 1000, "duplicate or lost values");
+    }
+
+    #[test]
+    fn capacity_blocks_producer() {
+        let (tx, rx) = channel::<u32>(1);
+        tx.send(1);
+        assert_eq!(tx.try_send(2), Err(2));
+        assert_eq!(rx.try_recv(), Some(1));
+        assert!(tx.try_send(2).is_ok());
+    }
+
+    #[test]
+    fn multi_consumer_multiset_preserved() {
+        let (tx, rx) = channel::<u64>(16);
+        let n = 2000u64;
+        let producer = thread::spawn(move || {
+            for i in 1..=n {
+                tx.send(i);
+            }
+        });
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Some(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            }));
+        }
+        producer.join().unwrap();
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, n * (n + 1) / 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # pipelines — baseline pipeline-parallel programming models
+//!
+//! The comparison baselines of the hyperqueues paper (§6), rebuilt in
+//! Rust so every programming model runs the same workload kernels on the
+//! same allocator:
+//!
+//! * **pthreads-style** building blocks: blocking bounded MPMC channels
+//!   ([`bounded`]), a Lamport SPSC ring ([`spsc::SpscRing`]), and reorder buffers
+//!   ([`reorder`]). The workload drivers hand-roll thread-per-stage
+//!   pipelines from these, exactly like PARSEC's pthreads codes — including
+//!   the per-machine thread-count tuning the paper criticizes.
+//! * **TBB-style** [`tbb::TbbPipeline`]: a clone of Intel TBB's
+//!   `parallel_pipeline` with serial-in-order and parallel filters and
+//!   token-based throttling.
+//!
+//! Neither model is deterministic or scale-free; that contrast with the
+//! `hyperqueue` crate is the point of the evaluation.
+
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod reorder;
+pub mod spsc;
+pub mod tbb;
+
+pub use bounded::{channel, Receiver, Sender};
+pub use reorder::{ReorderBuffer, ReorderQueue};
+pub use spsc::{spsc, SpscReceiver, SpscRing, SpscSender};
+pub use tbb::{Item, TbbPipeline};

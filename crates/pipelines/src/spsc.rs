@@ -1,0 +1,214 @@
+//! A standalone lock-free SPSC bounded ring (Lamport 1983, the paper's
+//! ref \[11\]) with blocking wrappers.
+//!
+//! The pthreads-style drivers use it for serial-stage-to-serial-stage
+//! links, and the benchmark suite compares it against the hyperqueue's
+//! segment fast path.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Lock-free bounded SPSC ring buffer.
+pub struct SpscRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    closed: AtomicBool,
+}
+
+// SAFETY: Lamport SPSC protocol — producer owns `tail`, consumer owns
+// `head`; each slot is written before the Release store that publishes it
+// and read after the corresponding Acquire load.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring with capacity `cap` (min 2).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(2);
+        Self {
+            buf: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            cap,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Producer: attempts to enqueue.
+    ///
+    /// # Safety
+    /// Single producer.
+    pub unsafe fn try_push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head == self.cap {
+            return Err(value);
+        }
+        // SAFETY: slot is vacant (see segment.rs for the identical proof).
+        unsafe { (*self.buf[tail % self.cap].get()).write(value) };
+        self.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer: attempts to dequeue.
+    ///
+    /// # Safety
+    /// Single consumer.
+    pub unsafe fn try_pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: slot published by the producer.
+        let v = unsafe { (*self.buf[head % self.cap].get()).assume_init_read() };
+        self.head.store(head + 1, Ordering::Release);
+        Some(v)
+    }
+
+    /// Marks the stream finished (producer side).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// True once closed (more values may still be queued).
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Number of queued values (racy).
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .saturating_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// True when nothing is queued (racy).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            // SAFETY: [head, tail) hold unconsumed initialized values and
+            // we have exclusive access in drop.
+            unsafe { (*self.buf[i % self.cap].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Blocking SPSC producer endpoint.
+pub struct SpscSender<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+/// Blocking SPSC consumer endpoint.
+pub struct SpscReceiver<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+/// Creates a connected blocking SPSC pair.
+pub fn spsc<T>(cap: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let ring = Arc::new(SpscRing::new(cap));
+    (
+        SpscSender {
+            ring: Arc::clone(&ring),
+        },
+        SpscReceiver { ring },
+    )
+}
+
+impl<T> SpscSender<T> {
+    /// Spins (with yields) until the value fits.
+    pub fn send(&self, value: T) {
+        let mut v = value;
+        loop {
+            // SAFETY: the sender endpoint is unique (not Clone).
+            match unsafe { self.ring.try_push(v) } {
+                Ok(()) => return,
+                Err(back) => {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.ring.close();
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Blocks (spin+yield) for the next value; `None` when closed and
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        loop {
+            // SAFETY: the receiver endpoint is unique (not Clone).
+            if let Some(v) = unsafe { self.ring.try_pop() } {
+                return Some(v);
+            }
+            if self.ring.is_closed() {
+                // Final re-check: a value may have been pushed before close.
+                // SAFETY: as above.
+                return unsafe { self.ring.try_pop() };
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_preserved_across_threads() {
+        let (tx, rx) = spsc::<u64>(32);
+        let h = std::thread::spawn(move || {
+            for i in 0..50_000 {
+                tx.send(i);
+            }
+        });
+        for i in 0..50_000 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        h.join().unwrap();
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn close_with_values_in_flight() {
+        let (tx, rx) = spsc::<u32>(8);
+        tx.send(1);
+        tx.send(2);
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn drop_with_unconsumed_values_does_not_leak() {
+        let marker = Arc::new(());
+        let (tx, rx) = spsc::<Arc<()>>(8);
+        for _ in 0..5 {
+            tx.send(Arc::clone(&marker));
+        }
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! A clone of Intel TBB's `parallel_pipeline` (the paper's TBB baseline).
+//!
+//! The model: a linear chain of *filters*, each `serial (in-order)` or
+//! `parallel`; a bounded number of in-flight *tokens* throttles the
+//! pipeline; a pool of worker threads moves items through the filters,
+//! preferring to drain later stages before admitting new input, and running
+//! consecutive filters on the same thread when possible (item affinity).
+//!
+//! Faithful to TBB in the ways that matter for the paper's comparison:
+//!
+//! * programs must be *restructured* into the fixed filter-chain shape —
+//!   each filter consumes exactly one item and produces exactly one item,
+//!   which is what makes variable-rate stages (dedup's refine stage)
+//!   awkward (§6.2);
+//! * `serial_in_order` filters process items in input order, implemented
+//!   with sequence numbers and a reorder map;
+//! * no determinism guarantee and no serial elision exist (§7.1).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Type-erased pipeline item (TBB erases filter types the same way).
+pub type Item = Box<dyn Any + Send>;
+
+enum FilterImpl {
+    /// One item at a time, in input order; may hold mutable state.
+    Serial(Mutex<Box<dyn FnMut(Item) -> Item + Send>>),
+    /// Any number of items concurrently.
+    Parallel(Box<dyn Fn(Item) -> Item + Send + Sync>),
+}
+
+impl FilterImpl {
+    fn is_serial(&self) -> bool {
+        matches!(self, FilterImpl::Serial(_))
+    }
+}
+
+/// Builder for a [`run`](TbbPipeline::run)-able pipeline.
+pub struct TbbPipeline {
+    input: Mutex<Box<dyn FnMut() -> Option<Item> + Send>>,
+    filters: Vec<FilterImpl>,
+}
+
+struct Sched {
+    /// Per-filter pending items, keyed by sequence number (filters are
+    /// indexed 0..n over `filters`, i.e. *after* the input stage).
+    queues: Vec<BTreeMap<u64, Item>>,
+    /// Next sequence each serial filter will admit.
+    next_seq: Vec<u64>,
+    /// Whether a thread is inside a given serial filter.
+    busy: Vec<bool>,
+    input_busy: bool,
+    input_done: bool,
+    next_input_seq: u64,
+    in_flight: usize,
+}
+
+enum Work {
+    Input,
+    Stage(usize, u64, Item),
+    Exit,
+    Wait,
+}
+
+impl TbbPipeline {
+    /// Starts a pipeline with its (serial, stateful) input filter; return
+    /// `None` to end the stream — like TBB's `flow_control::stop()`.
+    pub fn input(f: impl FnMut() -> Option<Item> + Send + 'static) -> Self {
+        TbbPipeline {
+            input: Mutex::new(Box::new(f)),
+            filters: Vec::new(),
+        }
+    }
+
+    /// Appends a serial in-order filter.
+    pub fn serial_in_order(mut self, f: impl FnMut(Item) -> Item + Send + 'static) -> Self {
+        self.filters.push(FilterImpl::Serial(Mutex::new(Box::new(f))));
+        self
+    }
+
+    /// Appends a parallel filter.
+    pub fn parallel(mut self, f: impl Fn(Item) -> Item + Send + Sync + 'static) -> Self {
+        self.filters.push(FilterImpl::Parallel(Box::new(f)));
+        self
+    }
+
+    /// Runs the pipeline to completion on `threads` worker threads with at
+    /// most `max_tokens` items in flight (TBB's `ntoken`).
+    pub fn run(self, threads: usize, max_tokens: usize) {
+        let threads = threads.max(1);
+        let max_tokens = max_tokens.max(1);
+        let n = self.filters.len();
+        let sched = Mutex::new(Sched {
+            queues: (0..n).map(|_| BTreeMap::new()).collect(),
+            next_seq: vec![0; n],
+            busy: vec![false; n],
+            input_busy: false,
+            input_done: false,
+            next_input_seq: 0,
+            in_flight: 0,
+        });
+        let cv = Condvar::new();
+        let this = &self;
+        let sched = &sched;
+        let cv = &cv;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || this.worker(sched, cv, max_tokens));
+            }
+        });
+    }
+
+    fn find_work(&self, st: &mut Sched, max_tokens: usize) -> Work {
+        let n = self.filters.len();
+        // Drain later stages first (backpressure), TBB-style.
+        for k in (0..n).rev() {
+            if st.queues[k].is_empty() {
+                continue;
+            }
+            match &self.filters[k] {
+                FilterImpl::Serial(_) => {
+                    if !st.busy[k] {
+                        let want = st.next_seq[k];
+                        if let Some(item) = st.queues[k].remove(&want) {
+                            st.busy[k] = true;
+                            return Work::Stage(k, want, item);
+                        }
+                    }
+                }
+                FilterImpl::Parallel(_) => {
+                    let (&seq, _) = st.queues[k].iter().next().expect("non-empty");
+                    let item = st.queues[k].remove(&seq).expect("present");
+                    return Work::Stage(k, seq, item);
+                }
+            }
+        }
+        if !st.input_done && !st.input_busy && st.in_flight < max_tokens {
+            st.input_busy = true;
+            st.in_flight += 1;
+            return Work::Input;
+        }
+        if st.input_done && st.in_flight == 0 {
+            return Work::Exit;
+        }
+        Work::Wait
+    }
+
+    fn worker(&self, sched: &Mutex<Sched>, cv: &Condvar, max_tokens: usize) {
+        let n = self.filters.len();
+        let mut st = sched.lock();
+        loop {
+            match self.find_work(&mut st, max_tokens) {
+                Work::Exit => {
+                    cv.notify_all();
+                    return;
+                }
+                Work::Wait => {
+                    cv.wait(&mut st);
+                }
+                Work::Input => {
+                    drop(st);
+                    // The busy flag makes us the only thread in the input
+                    // filter; the mutex is uncontended.
+                    let produced = (self.input.lock())();
+                    st = sched.lock();
+                    st.input_busy = false;
+                    match produced {
+                        None => {
+                            st.input_done = true;
+                            st.in_flight -= 1;
+                            cv.notify_all();
+                        }
+                        Some(item) => {
+                            let seq = st.next_input_seq;
+                            st.next_input_seq += 1;
+                            if n == 0 {
+                                st.in_flight -= 1;
+                            } else {
+                                st.queues[0].insert(seq, item);
+                            }
+                            cv.notify_all();
+                        }
+                    }
+                }
+                Work::Stage(mut k, seq, mut item) => {
+                    // Item affinity: carry the item through consecutive
+                    // stages while we may.
+                    drop(st);
+                    loop {
+                        let out = match &self.filters[k] {
+                            FilterImpl::Serial(f) => (f.lock())(item),
+                            FilterImpl::Parallel(f) => f(item),
+                        };
+                        let mut guard = sched.lock();
+                        if self.filters[k].is_serial() {
+                            guard.busy[k] = false;
+                            guard.next_seq[k] = seq + 1;
+                        }
+                        if k + 1 == n {
+                            guard.in_flight -= 1;
+                            drop(out);
+                            cv.notify_all();
+                            st = guard;
+                            break;
+                        }
+                        // Try to run the next stage ourselves.
+                        let next_runnable = match &self.filters[k + 1] {
+                            FilterImpl::Parallel(_) => true,
+                            FilterImpl::Serial(_) => {
+                                !guard.busy[k + 1] && guard.next_seq[k + 1] == seq
+                            }
+                        };
+                        if next_runnable {
+                            if self.filters[k + 1].is_serial() {
+                                guard.busy[k + 1] = true;
+                            }
+                            cv.notify_all();
+                            drop(guard);
+                            k += 1;
+                            item = out;
+                            continue;
+                        }
+                        guard.queues[k + 1].insert(seq, out);
+                        cv.notify_all();
+                        st = guard;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn items_flow_through_all_filters() {
+        let total = 500u64;
+        let sum = Arc::new(AtomicU64::new(0));
+        let sum2 = Arc::clone(&sum);
+        let mut next = 0u64;
+        TbbPipeline::input(move || {
+            if next < total {
+                next += 1;
+                Some(Box::new(next) as Item)
+            } else {
+                None
+            }
+        })
+        .parallel(|item| {
+            let v = *item.downcast::<u64>().unwrap();
+            Box::new(v * 2) as Item
+        })
+        .serial_in_order(move |item| {
+            let v = *item.downcast_ref::<u64>().unwrap();
+            sum2.fetch_add(v, Ordering::Relaxed);
+            item
+        })
+        .run(4, 16);
+        // sum of 2*i for i in 1..=500
+        assert_eq!(sum.load(Ordering::Relaxed), total * (total + 1));
+    }
+
+    #[test]
+    fn serial_in_order_preserves_input_order() {
+        let total = 300u64;
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let mut next = 0u64;
+        TbbPipeline::input(move || {
+            if next < total {
+                next += 1;
+                Some(Box::new(next - 1) as Item)
+            } else {
+                None
+            }
+        })
+        .parallel(|item| {
+            // Shuffle completion order with value-dependent work.
+            let v = *item.downcast::<u64>().unwrap();
+            let mut acc = v;
+            for i in 0..((v % 7) * 1000) {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            Box::new(v) as Item
+        })
+        .serial_in_order(move |item| {
+            let v = *item.downcast_ref::<u64>().unwrap();
+            seen2.lock().push(v);
+            item
+        })
+        .run(8, 32);
+        let seen = Arc::try_unwrap(seen).ok().unwrap().into_inner();
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn token_limit_bounds_in_flight_items() {
+        // With max_tokens = 4, the live-item counter must never exceed 4.
+        let live = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let (live2, peak2) = (Arc::clone(&live), Arc::clone(&peak));
+        let live3 = Arc::clone(&live);
+        let mut next = 0u64;
+        TbbPipeline::input(move || {
+            if next < 100 {
+                next += 1;
+                let l = live3.fetch_add(1, Ordering::SeqCst) + 1;
+                peak2.fetch_max(l, Ordering::SeqCst);
+                Some(Box::new(next) as Item)
+            } else {
+                None
+            }
+        })
+        .parallel(|item| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            item
+        })
+        .serial_in_order(move |item| {
+            live2.fetch_sub(1, Ordering::SeqCst);
+            item
+        })
+        .run(8, 4);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "token cap exceeded: {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn single_thread_run_completes() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&count);
+        let mut next = 0;
+        TbbPipeline::input(move || {
+            if next < 50 {
+                next += 1;
+                Some(Box::new(()) as Item)
+            } else {
+                None
+            }
+        })
+        .serial_in_order(move |item| {
+            c2.fetch_add(1, Ordering::Relaxed);
+            item
+        })
+        .run(1, 2);
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn three_stage_mixed_pipeline() {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let mut next = 0u32;
+        TbbPipeline::input(move || {
+            if next < 64 {
+                next += 1;
+                Some(Box::new(next) as Item)
+            } else {
+                None
+            }
+        })
+        .parallel(|item| {
+            let v = *item.downcast::<u32>().unwrap();
+            Box::new(v as u64 * 3) as Item
+        })
+        .parallel(|item| {
+            let v = *item.downcast::<u64>().unwrap();
+            Box::new(v + 1) as Item
+        })
+        .serial_in_order(move |item| {
+            out2.lock().push(*item.downcast_ref::<u64>().unwrap());
+            item
+        })
+        .run(6, 12);
+        let out = out.lock().clone();
+        assert_eq!(out, (1..=64).map(|v| v as u64 * 3 + 1).collect::<Vec<_>>());
+    }
+}

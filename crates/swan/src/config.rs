@@ -1,0 +1,88 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Configuration for a [`crate::Runtime`].
+///
+/// The defaults follow the paper's philosophy: programs are *scale-free*, so
+/// the only knob a user normally touches is implicit (the machine's core
+/// count). Everything else exists for the benchmark harness and the test
+/// suite (chaos mode).
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of worker threads. Defaults to `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// Maximum depth of nested "help" execution a blocked worker will stack
+    /// before falling back to passive waiting. Bounds stack growth of the
+    /// help-first scheduling discipline (see DESIGN.md §3.1).
+    pub max_help_depth: usize,
+    /// How long a worker parks at a time while idle or blocked. Short parks
+    /// sidestep lost-wakeup corner cases at negligible cost for the
+    /// millisecond-scale pipeline stages this runtime targets.
+    pub park_timeout: Duration,
+    /// Chaos-testing mode: seeded random delays before task execution, used
+    /// by the determinism test-suite to shake out order-dependent bugs.
+    pub chaos: Option<ChaosConfig>,
+}
+
+/// Seeded scheduling jitter for determinism tests.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// PRNG seed; two runs with the same seed inject identical jitter.
+    pub seed: u64,
+    /// Upper bound on the random pre-task busy-wait, in microseconds.
+    pub max_delay_us: u64,
+}
+
+impl RuntimeConfig {
+    /// Default configuration with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Adds chaos-mode jitter (testing only).
+    pub fn with_chaos(mut self, seed: u64, max_delay_us: u64) -> Self {
+        self.chaos = Some(ChaosConfig { seed, max_delay_us });
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_help_depth: 64,
+            park_timeout: Duration::from_micros(200),
+            chaos: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_at_least_one_worker() {
+        assert!(RuntimeConfig::default().workers >= 1);
+    }
+
+    #[test]
+    fn with_workers_clamps_zero_to_one() {
+        assert_eq!(RuntimeConfig::with_workers(0).workers, 1);
+        assert_eq!(RuntimeConfig::with_workers(8).workers, 8);
+    }
+
+    #[test]
+    fn chaos_builder_sets_fields() {
+        let c = RuntimeConfig::with_workers(2).with_chaos(42, 100);
+        let chaos = c.chaos.expect("chaos set");
+        assert_eq!(chaos.seed, 42);
+        assert_eq!(chaos.max_delay_us, 100);
+    }
+}

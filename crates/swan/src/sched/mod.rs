@@ -1,0 +1,12 @@
+//! Scheduler internals: per-worker rings, the global injector, the task
+//! registry (the single arbiter of task state), and idle parking.
+
+mod injector;
+mod registry;
+mod ring;
+mod sleeper;
+
+pub use injector::Injector;
+pub use registry::{Registry, ReleaseFn, RunnableTask, TaskBody};
+pub use ring::Ring;
+pub use sleeper::Sleeper;

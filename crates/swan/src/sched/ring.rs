@@ -1,0 +1,234 @@
+//! A bounded multi-producer/multi-consumer ring of task ids.
+//!
+//! Each worker owns one ring: the owner pushes newly-ready task ids to it,
+//! and both the owner and thieves pop from it. Pops are FIFO, which
+//! approximates the serial elision's task order under help-first scheduling
+//! (see DESIGN.md §3.1) — unlike Cilk's LIFO owner-end pops, which assume
+//! work-first spawning.
+//!
+//! The algorithm is Dmitry Vyukov's bounded MPMC queue: each slot carries a
+//! sequence number that encodes, relative to the enqueue/dequeue positions,
+//! whether the slot is empty, full, or in transit. Producers and consumers
+//! claim a position with a CAS and then publish the slot with a Release
+//! store of the next expected sequence number.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::util::CachePadded;
+
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<u64>,
+}
+
+/// Bounded MPMC FIFO ring of `u64` task ids.
+pub struct Ring {
+    buffer: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the slot protocol guarantees that `value` is written by exactly one
+// producer before the Release store that makes it visible, and read by
+// exactly one consumer after an Acquire load of that sequence number, so the
+// UnsafeCell is never accessed concurrently.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// Creates a ring with capacity `cap` (rounded up to a power of two,
+    /// minimum 2).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(2);
+        let buffer: Box<[Slot]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(0),
+            })
+            .collect();
+        Self {
+            buffer,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Attempts to enqueue `value`; fails if the ring is full.
+    pub fn push(&self, value: u64) -> Result<(), u64> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: we won the CAS for this position, so we are
+                        // the unique producer for this slot until the Release
+                        // store below publishes it.
+                        unsafe { *slot.value.get() = value };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return Err(value); // full
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue; returns `None` if the ring is empty.
+    pub fn pop(&self) -> Option<u64> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: we won the CAS for this position; the
+                        // producer's Release store (observed by the Acquire
+                        // load of `seq`) happens-before this read.
+                        let value = unsafe { *slot.value.get() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued items (racy; for metrics/heuristics).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.saturating_sub(deq)
+    }
+
+    /// Approximate emptiness check (racy; for heuristics only).
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let r = Ring::with_capacity(8);
+        for i in 1..=5 {
+            r.push(i).unwrap();
+        }
+        for i in 1..=5 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn push_fails_when_full() {
+        let r = Ring::with_capacity(4);
+        for i in 0..4 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.push(99), Err(99));
+        assert_eq!(r.pop(), Some(0));
+        r.push(99).unwrap();
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let r = Ring::with_capacity(3);
+        for i in 0..4 {
+            r.push(i).unwrap(); // rounded up to 4
+        }
+        assert!(r.push(4).is_err());
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let r = Ring::with_capacity(4);
+        for round in 0..100u64 {
+            for i in 0..3 {
+                r.push(round * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(r.pop(), Some(round * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_preserve_multiset() {
+        const PER_THREAD: u64 = 10_000;
+        const PRODUCERS: u64 = 4;
+        let r = Arc::new(Ring::with_capacity(64));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let count = Arc::new(AtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = p * PER_THREAD + i + 1;
+                    loop {
+                        if r.push(v).is_ok() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for _ in 0..3 {
+            let r = Arc::clone(&r);
+            let sum = Arc::clone(&sum);
+            let count = Arc::clone(&count);
+            handles.push(std::thread::spawn(move || loop {
+                if count.load(Ordering::Relaxed) >= (PRODUCERS * PER_THREAD) as usize {
+                    break;
+                }
+                if let Some(v) = r.pop() {
+                    sum.fetch_add(v as usize, Ordering::Relaxed);
+                    count.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = PRODUCERS * PER_THREAD;
+        assert_eq!(count.load(Ordering::Relaxed), n as usize);
+        assert_eq!(sum.load(Ordering::Relaxed), (n * (n + 1) / 2) as usize);
+    }
+}

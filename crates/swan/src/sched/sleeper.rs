@@ -1,0 +1,86 @@
+//! Idle-worker parking.
+//!
+//! Workers that find no work park here with a short timeout; any event that
+//! may unblock someone (a task becoming ready, a task completing, a
+//! hyperqueue push) calls [`Sleeper::notify_all`]. Because every wait uses a
+//! timeout, a missed notification costs at most one park interval rather
+//! than a hang, which keeps the protocol simple and verifiably live.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Park/unpark rendezvous for idle or blocked workers.
+pub struct Sleeper {
+    lock: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Sleeper {
+    /// Creates a sleeper.
+    pub fn new() -> Self {
+        Self {
+            lock: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Parks the calling thread until a notification or `timeout` elapses.
+    pub fn park(&self, timeout: Duration) {
+        let epoch = {
+            let guard = self.lock.lock();
+            *guard
+        };
+        let mut guard = self.lock.lock();
+        if *guard != epoch {
+            return; // something happened between the two locks
+        }
+        self.cv.wait_for(&mut guard, timeout);
+    }
+
+    /// Wakes every parked thread.
+    pub fn notify_all(&self) {
+        let mut guard = self.lock.lock();
+        *guard = guard.wrapping_add(1);
+        drop(guard);
+        self.cv.notify_all();
+    }
+}
+
+impl Default for Sleeper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn park_times_out() {
+        let s = Sleeper::new();
+        let t0 = Instant::now();
+        s.park(Duration::from_millis(10));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn notify_wakes_parked_thread() {
+        let s = Arc::new(Sleeper::new());
+        let woke = Arc::new(AtomicBool::new(false));
+        let s2 = Arc::clone(&s);
+        let woke2 = Arc::clone(&woke);
+        let h = std::thread::spawn(move || {
+            // Long timeout; the notify should cut it short.
+            s2.park(Duration::from_secs(10));
+            woke2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        s.notify_all();
+        h.join().unwrap();
+        assert!(woke.load(Ordering::SeqCst));
+    }
+}

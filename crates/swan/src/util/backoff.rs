@@ -1,0 +1,72 @@
+use std::hint;
+use std::thread;
+
+/// Exponential backoff for spin loops.
+///
+/// The hyperqueue paper (§4.5) deliberately *blocks the worker* on
+/// `empty()` rather than suspending the task, because observed blocking
+/// delays are short. This helper implements the waiting discipline for those
+/// short blocks: spin with `spin_loop` hints for a few rounds, then start
+/// yielding the OS thread so that an oversubscribed machine still makes
+/// progress.
+pub struct Backoff {
+    step: u32,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Creates a fresh backoff counter.
+    pub fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Resets the counter, e.g. after observing progress.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Backs off for one round: busy-spin first, yield later.
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if self.step <= YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once spinning has been going on long enough that the caller
+    /// should consider parking the thread or re-checking a slow path.
+    pub fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_enough_rounds() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,15 @@
+//! Small concurrency utilities used throughout the runtime.
+//!
+//! These are deliberately written in-tree (rather than pulled from
+//! `crossbeam-utils`) because they are load-bearing for the scheduler and the
+//! hyperqueue data path, and the reproduction mandate is to build the system
+//! from scratch. The designs follow the standard treatments in *Rust Atomics
+//! and Locks* (Bos, 2023).
+
+mod backoff;
+mod cache_padded;
+mod rng;
+
+pub use backoff::Backoff;
+pub use cache_padded::CachePadded;
+pub use rng::XorShift64;

@@ -1,0 +1,76 @@
+/// A tiny xorshift64* PRNG used for steal-victim selection and for the
+/// chaos-testing mode.
+///
+/// Not cryptographic; chosen because victim selection must be allocation-free
+/// and wait-free, and the statistical quality of xorshift64* is more than
+/// adequate for load balancing.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a nonzero seed; zero seeds are remapped.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..bound` (bound must be nonzero).
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut r = XorShift64::new(42);
+        for _ in 0..1000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity_over_small_bound() {
+        let mut r = XorShift64::new(99);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.next_below(8)] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should get 10000 +- 15%.
+            assert!((8_500..11_500).contains(&c), "skewed bucket: {c}");
+        }
+    }
+}

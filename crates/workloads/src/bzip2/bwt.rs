@@ -1,0 +1,155 @@
+//! Burrows-Wheeler transform and its inverse.
+//!
+//! Forward: sort all rotations of the block (prefix-doubling over rotation
+//! ranks, O(n log² n)) and emit the last column plus the index of the
+//! original rotation. Inverse: the classic LF-mapping reconstruction.
+
+/// Forward BWT: returns (last column, index of the original rotation).
+pub fn bwt(block: &[u8]) -> (Vec<u8>, u32) {
+    let n = block.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    if n == 1 {
+        return (block.to_vec(), 0);
+    }
+    // rank[i] = equivalence class of rotation i under the first k chars.
+    let mut rank: Vec<u32> = block.iter().map(|&b| b as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut next_rank = vec![0u32; n];
+    let mut k = 1usize;
+    loop {
+        // Sort rotations by (rank[i], rank[i+k mod n]).
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            (rank[i], rank[(i + k) % n])
+        };
+        order.sort_unstable_by_key(|&i| key(i));
+        // Re-rank.
+        next_rank[order[0] as usize] = 0;
+        let mut r = 0u32;
+        for w in order.windows(2) {
+            if key(w[1]) != key(w[0]) {
+                r += 1;
+            }
+            next_rank[w[1] as usize] = r;
+        }
+        std::mem::swap(&mut rank, &mut next_rank);
+        if r as usize == n - 1 {
+            break; // all distinct
+        }
+        k *= 2;
+        if k >= 2 * n {
+            break; // cyclic duplicates (periodic block): ranks are stable
+        }
+    }
+    // For periodic inputs ties remain; break them by index for stability.
+    order.sort_unstable_by_key(|&i| (rank[i as usize], i));
+    let mut last = Vec::with_capacity(n);
+    let mut idx = 0u32;
+    for (pos, &i) in order.iter().enumerate() {
+        let i = i as usize;
+        last.push(block[(i + n - 1) % n]);
+        if i == 0 {
+            idx = pos as u32;
+        }
+    }
+    (last, idx)
+}
+
+/// Inverse BWT.
+pub fn ibwt(last: &[u8], idx: u32) -> Vec<u8> {
+    let n = last.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Count occurrences and compute, for each position in `last`, its
+    // position in the sorted first column (LF mapping).
+    let mut counts = [0usize; 256];
+    for &b in last {
+        counts[b as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut acc = 0usize;
+    for b in 0..256 {
+        starts[b] = acc;
+        acc += counts[b];
+    }
+    let mut lf = vec![0u32; n];
+    let mut seen = [0usize; 256];
+    for (i, &b) in last.iter().enumerate() {
+        lf[i] = (starts[b as usize] + seen[b as usize]) as u32;
+        seen[b as usize] += 1;
+    }
+    // Walk the cycle. `idx` is the row of the original string; its last
+    // character is last[idx], and LF jumps to the row of the rotation one
+    // step earlier, so walking LF yields the text right-to-left.
+    let mut out = vec![0u8; n];
+    let mut row = idx as usize;
+    for slot in out.iter_mut().rev() {
+        *slot = last[row];
+        row = lf[row] as usize;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn roundtrip(data: &[u8]) {
+        let (last, idx) = bwt(data);
+        assert_eq!(last.len(), data.len());
+        let back = ibwt(&last, idx);
+        assert_eq!(back, data, "BWT round-trip failed (len {})", data.len());
+    }
+
+    #[test]
+    fn classic_banana() {
+        // The textbook example: rotations of "banana".
+        let (last, idx) = bwt(b"banana");
+        assert_eq!(ibwt(&last, idx), b"banana");
+        assert_eq!(&last, b"nnbaaa");
+    }
+
+    #[test]
+    fn empty_single_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"ab");
+        roundtrip(b"aa");
+        roundtrip(b"abab");
+    }
+
+    #[test]
+    fn periodic_inputs() {
+        roundtrip(&b"ab".repeat(500));
+        roundtrip(&[7u8; 1000]);
+        roundtrip(&b"abc".repeat(333));
+    }
+
+    #[test]
+    fn random_blocks() {
+        let mut rng = SplitMix64::new(42);
+        for len in [10usize, 100, 1000, 10_000] {
+            let mut v = vec![0u8; len];
+            rng.fill(&mut v);
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn text_like_block_groups_symbols() {
+        // BWT of repetitive text should create long runs (that's its job).
+        let text = b"the quick brown fox jumps over the lazy dog. ".repeat(50);
+        let (last, idx) = bwt(&text);
+        let runs = last.windows(2).filter(|w| w[0] == w[1]).count();
+        let baseline = text.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(
+            runs > baseline * 3,
+            "BWT failed to concentrate runs: {runs} vs {baseline}"
+        );
+        assert_eq!(ibwt(&last, idx), text);
+    }
+}

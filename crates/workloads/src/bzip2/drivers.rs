@@ -1,0 +1,440 @@
+//! bzip2 drivers (§6.3): a 3-stage serial/parallel/serial pipeline.
+//!
+//! The paper compares the hyperqueue formulation against the
+//! versioned-objects dataflow baseline (which prior work showed handles
+//! bzip2 well) and reports two hyperqueue variants: the naive one-task-per-
+//! stage version and the loop-split version of §5.4 (Figure 5) that bounds
+//! queue growth. We implement all of them plus the serial baseline; every
+//! driver emits a byte-identical stream that really decompresses.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swan::{Runtime, Versioned};
+
+use crate::bzip2::block::{compress_block, decompress_block, BlockError};
+use crate::timing::StageClock;
+use crate::util::SplitMix64;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct Bzip2Config {
+    /// Total input size.
+    pub total_bytes: usize,
+    /// Compression block size (bzip2's -9 uses 900k; we default smaller so
+    /// a block is a few milliseconds of work).
+    pub block_size: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for Bzip2Config {
+    fn default() -> Self {
+        Self {
+            total_bytes: 24 << 20,
+            block_size: 128 << 10,
+            seed: 0xB21A,
+        }
+    }
+}
+
+impl Bzip2Config {
+    /// Small configuration for tests.
+    pub fn small() -> Self {
+        Self {
+            total_bytes: 192 << 10,
+            block_size: 16 << 10,
+            seed: 0xB21A,
+        }
+    }
+
+    /// Bench configuration with a given input size.
+    pub fn bench(total_bytes: usize) -> Self {
+        Self {
+            total_bytes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic text-like corpus (word soup over a fixed dictionary, so
+/// the BWT stage has realistic structure to exploit).
+pub fn corpus(cfg: &Bzip2Config) -> Arc<Vec<u8>> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    // Dictionary of 256 pseudo-words.
+    let words: Vec<Vec<u8>> = (0..256)
+        .map(|_| {
+            let len = 3 + rng.next_below(7) as usize;
+            (0..len).map(|_| b'a' + (rng.next_below(26) as u8)).collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(cfg.total_bytes + 16);
+    while out.len() < cfg.total_bytes {
+        // Zipf-ish pick: min of two uniforms skews toward low indices.
+        let i = rng.next_below(256).min(rng.next_below(256)) as usize;
+        out.extend_from_slice(&words[i]);
+        out.push(if rng.next_below(12) == 0 { b'\n' } else { b' ' });
+    }
+    out.truncate(cfg.total_bytes);
+    Arc::new(out)
+}
+
+const STREAM_MAGIC: &[u8; 4] = b"BZRS";
+
+fn stream_header(cfg: &Bzip2Config, original_len: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(STREAM_MAGIC);
+    out.extend_from_slice(&(cfg.block_size as u32).to_le_bytes());
+    out.extend_from_slice(&original_len.to_le_bytes());
+    out
+}
+
+fn append_block(stream: &mut Vec<u8>, compressed: &[u8]) {
+    stream.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
+    stream.extend_from_slice(compressed);
+}
+
+/// Decompresses a stream produced by any driver.
+pub fn decompress_stream(bytes: &[u8]) -> Result<Vec<u8>, BlockError> {
+    if bytes.len() < 16 || &bytes[..4] != STREAM_MAGIC {
+        return Err(BlockError::Truncated);
+    }
+    let expect = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
+    let mut out = Vec::with_capacity(expect.min(bytes.len().saturating_mul(512)).min(1 << 28));
+    let mut pos = 16usize;
+    while pos < bytes.len() {
+        if pos + 4 > bytes.len() {
+            return Err(BlockError::Truncated);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            return Err(BlockError::Truncated);
+        }
+        out.extend_from_slice(&decompress_block(&bytes[pos..pos + len])?);
+        pos += len;
+    }
+    if out.len() != expect {
+        return Err(BlockError::LengthMismatch);
+    }
+    Ok(out)
+}
+
+fn blocks_of(cfg: &Bzip2Config, data: &[u8]) -> Vec<Vec<u8>> {
+    data.chunks(cfg.block_size).map(|c| c.to_vec()).collect()
+}
+
+/// Parallel decompression with hyperqueues — a natural extension beyond
+/// the paper's evaluation. A serial frame scan validates and splits the
+/// stream; one decode task per block runs in parallel, each carrying the
+/// output queue's push privilege so the plaintext reassembles in frame
+/// order; a serial writer concatenates (or fails fast on the first bad
+/// block). Same 3-stage scale-free shape as compression.
+pub fn decompress_hyperqueue(bytes: &[u8], rt: &Runtime) -> Result<Vec<u8>, BlockError> {
+    if bytes.len() < 16 || &bytes[..4] != STREAM_MAGIC {
+        return Err(BlockError::Truncated);
+    }
+    let expect = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
+    // Frame scan (cheap, serial): collect block extents up front so a
+    // malformed frame fails before any task is spawned.
+    let mut extents = Vec::new();
+    let mut pos = 16usize;
+    while pos < bytes.len() {
+        if pos + 4 > bytes.len() {
+            return Err(BlockError::Truncated);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            return Err(BlockError::Truncated);
+        }
+        extents.push((pos, pos + len));
+        pos += len;
+    }
+    let mut out: Result<Vec<u8>, BlockError> = Err(BlockError::Truncated);
+    {
+        let out_ref = &mut out;
+        rt.scope(move |s| {
+            let q = hyperqueue::Hyperqueue::<Result<Vec<u8>, BlockError>>::with_segment_capacity(
+                s, 16,
+            );
+            // One decode task per block (the owner holds push privileges
+            // and delegates one grant per task — order is frame order).
+            for (lo, hi) in extents {
+                s.spawn((q.pushdep(),), move |_, (mut p,)| {
+                    p.push(decompress_block(&bytes[lo..hi]));
+                });
+            }
+            // Serial writer, in order, failing fast on the first error.
+            s.spawn((q.popdep(),), move |_, (mut c,)| {
+                let mut acc = Vec::with_capacity(expect.min(1 << 28));
+                let mut failed = None;
+                while !c.empty() {
+                    match c.pop() {
+                        Ok(block) if failed.is_none() => acc.extend_from_slice(&block),
+                        Ok(_) => {}
+                        Err(e) => failed = failed.or(Some(e)),
+                    }
+                }
+                *out_ref = match failed {
+                    Some(e) => Err(e),
+                    None if acc.len() == expect => Ok(acc),
+                    None => Err(BlockError::LengthMismatch),
+                };
+            });
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Serial driver (characterization for §6.3).
+// ---------------------------------------------------------------------------
+
+/// Runs bzip2 serially, timing the three stages. `data` is the input
+/// (built once via [`corpus`]).
+pub fn run_serial(cfg: &Bzip2Config, data: &Arc<Vec<u8>>) -> (Vec<u8>, StageClock) {
+    let data = Arc::clone(data);
+    let mut clock = StageClock::new();
+    let blocks = clock.time("Read", || blocks_of(cfg, &data));
+    let mut stream = stream_header(cfg, data.len() as u64);
+    for b in &blocks {
+        let c = clock.time("Compress", || compress_block(b));
+        clock.time("Write", || append_block(&mut stream, &c));
+    }
+    (stream, clock)
+}
+
+// ---------------------------------------------------------------------------
+// Versioned-objects dataflow driver (the paper's baseline for bzip2).
+// ---------------------------------------------------------------------------
+
+/// Runs bzip2 on versioned-object dataflow: one compress task per block
+/// (outdep renaming gives block-level parallelism), writer ordered by an
+/// inout chain.
+pub fn run_objects(cfg: &Bzip2Config, data: &Arc<Vec<u8>>, rt: &Runtime) -> Vec<u8> {
+    let data = Arc::clone(data);
+    let blocks = blocks_of(cfg, &data);
+    let stream = Arc::new(Mutex::new(stream_header(cfg, data.len() as u64)));
+    let order: Versioned<()> = Versioned::new(());
+    rt.scope(|s| {
+        for b in blocks {
+            let res: Versioned<Vec<u8>> = Versioned::new(Vec::new());
+            s.spawn((res.write(),), move |_, (mut w,)| {
+                *w = compress_block(&b);
+            });
+            let stream = Arc::clone(&stream);
+            s.spawn((res.read(), order.update()), move |_, (c, _g)| {
+                append_block(&mut stream.lock(), &c);
+            });
+        }
+    });
+    Arc::try_unwrap(stream)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|_| panic!("stream still shared"))
+}
+
+// ---------------------------------------------------------------------------
+// Hyperqueue v1: one task per stage, two hyperqueues.
+// ---------------------------------------------------------------------------
+
+/// Runs bzip2 with hyperqueues, first formulation of §6.3: reader task →
+/// input queue → stage-2 task that spawns one compressor per block (each
+/// carrying the output queue's push privilege) → writer task.
+pub fn run_hyperqueue(cfg: &Bzip2Config, data: &Arc<Vec<u8>>, rt: &Runtime) -> Vec<u8> {
+    let data = Arc::clone(data);
+    let mut out = None;
+    let out_ref = &mut out;
+    let header = stream_header(cfg, data.len() as u64);
+    rt.scope(move |s| {
+        let in_q = hyperqueue::Hyperqueue::<Vec<u8>>::with_segment_capacity(s, 32);
+        let out_q = hyperqueue::Hyperqueue::<Vec<u8>>::with_segment_capacity(s, 32);
+        {
+            let data = Arc::clone(&data);
+            let cfg = cfg.clone();
+            s.spawn((in_q.pushdep(),), move |_, (mut push,)| {
+                for b in data.chunks(cfg.block_size) {
+                    push.push(b.to_vec());
+                }
+            });
+        }
+        s.spawn(
+            (in_q.popdep(), out_q.pushdep()),
+            move |s, (mut pop, mut push)| {
+                while !pop.empty() {
+                    let block = pop.pop();
+                    s.spawn((push.pushdep(),), move |_, (mut p,)| {
+                        p.push(compress_block(&block));
+                    });
+                }
+            },
+        );
+        s.spawn((out_q.popdep(),), move |_, (mut pop,)| {
+            let mut stream = header;
+            while !pop.empty() {
+                let c = pop.pop();
+                append_block(&mut stream, &c);
+            }
+            *out_ref = Some(stream);
+        });
+    });
+    out.expect("writer ran")
+}
+
+// ---------------------------------------------------------------------------
+// Hyperqueue v2: loop split (§5.4, Figure 5).
+// ---------------------------------------------------------------------------
+
+/// Runs bzip2 with the §5.4 loop-split idiom: the owner pushes blocks in
+/// batches ("the producer is called once for every 10 elements") and
+/// spawns a consumer task per batch; rule 3 serializes the batch consumers
+/// in order, bounding queue growth by one batch under serial execution.
+pub fn run_hyperqueue_split(
+    cfg: &Bzip2Config,
+    data: &Arc<Vec<u8>>,
+    rt: &Runtime,
+    batch: usize,
+) -> Vec<u8> {
+    let data = Arc::clone(data);
+    let batch = batch.max(1);
+    let stream = Arc::new(Mutex::new(stream_header(cfg, data.len() as u64)));
+    rt.scope(|s| {
+        let in_q = hyperqueue::Hyperqueue::<Vec<u8>>::with_segment_capacity(s, batch.max(8));
+        let out_q = hyperqueue::Hyperqueue::<Vec<u8>>::with_segment_capacity(s, batch.max(8));
+        let blocks = blocks_of(cfg, &data);
+        let total = blocks.len();
+        let mut queued = 0usize;
+        for b in blocks {
+            // Inline producer (a "call with push privileges", Fig. 5).
+            in_q.push(b);
+            queued += 1;
+            if queued.is_multiple_of(batch) || queued == total {
+                let n = if queued.is_multiple_of(batch) { batch } else { queued % batch };
+                // Batch dispatcher: pops exactly its batch (values pushed
+                // later are invisible to it anyway — rule 4).
+                s.spawn(
+                    (in_q.popdep(), out_q.pushdep()),
+                    move |s, (mut pop, mut push)| {
+                        for _ in 0..n {
+                            let block = pop.pop();
+                            s.spawn((push.pushdep(),), move |_, (mut p,)| {
+                                p.push(compress_block(&block));
+                            });
+                        }
+                    },
+                );
+                // Batch writer: rule 3 chains these in order.
+                let stream = Arc::clone(&stream);
+                s.spawn((out_q.popdep(),), move |_, (mut pop,)| {
+                    for _ in 0..n {
+                        let c = pop.pop();
+                        append_block(&mut stream.lock(), &c);
+                    }
+                });
+            }
+        }
+    });
+    Arc::try_unwrap(stream)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|_| panic!("stream still shared"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::fnv1a;
+
+    #[test]
+    fn serial_stream_roundtrips_and_compresses() {
+        let cfg = Bzip2Config::small();
+        let data = corpus(&cfg);
+        let (stream, clock) = run_serial(&cfg, &data);
+        assert!(clock.total().as_nanos() > 0);
+        assert!(
+            stream.len() < data.len() / 2,
+            "poor compression: {} -> {}",
+            data.len(),
+            stream.len()
+        );
+        let restored = decompress_stream(&stream).expect("decompress");
+        assert_eq!(&restored[..], &data[..]);
+    }
+
+    #[test]
+    fn all_drivers_emit_identical_streams() {
+        let cfg = Bzip2Config::small();
+        let data = corpus(&cfg);
+        let (serial, _) = run_serial(&cfg, &data);
+        let rt = Runtime::with_workers(4);
+
+        let objects = run_objects(&cfg, &data, &rt);
+        assert_eq!(fnv1a(&objects), fnv1a(&serial), "objects diverged");
+
+        let hq = run_hyperqueue(&cfg, &data, &rt);
+        assert_eq!(fnv1a(&hq), fnv1a(&serial), "hyperqueue diverged");
+
+        let hq2 = run_hyperqueue_split(&cfg, &data, &rt, 4);
+        assert_eq!(fnv1a(&hq2), fnv1a(&serial), "loop-split diverged");
+    }
+
+    #[test]
+    fn hyperqueue_split_deterministic_across_workers_and_batches() {
+        let cfg = Bzip2Config::small();
+        let data = corpus(&cfg);
+        let (serial, _) = run_serial(&cfg, &data);
+        for workers in [1, 2, 8] {
+            for batch in [1, 3, 16] {
+                let rt = Runtime::with_workers(workers);
+                let out = run_hyperqueue_split(&cfg, &data, &rt, batch);
+                assert_eq!(
+                    fnv1a(&out),
+                    fnv1a(&serial),
+                    "diverged at workers={workers} batch={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_decompression_roundtrips_and_matches_serial() {
+        let cfg = Bzip2Config::small();
+        let data = corpus(&cfg);
+        let (stream, _) = run_serial(&cfg, &data);
+        for workers in [1, 4, 8] {
+            let rt = Runtime::with_workers(workers);
+            let restored = decompress_hyperqueue(&stream, &rt).expect("parallel decode");
+            assert_eq!(&restored[..], &data[..], "at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_decompression_rejects_corruption() {
+        let cfg = Bzip2Config::small();
+        let data = corpus(&cfg);
+        let (mut stream, _) = run_serial(&cfg, &data);
+        let rt = Runtime::with_workers(4);
+        // Corrupt a whole span inside some block payload (a single bit can
+        // land in format slack — unused code-length entries or post-EOB
+        // padding — which the format legitimately ignores).
+        let at = stream.len() / 2;
+        for b in stream[at..at + 32].iter_mut() {
+            *b ^= 0x5A;
+        }
+        assert!(
+            decompress_hyperqueue(&stream, &rt).is_err(),
+            "corruption must be detected in parallel decode too"
+        );
+        // Truncation is caught by the frame scan, before any task runs.
+        assert!(decompress_hyperqueue(&stream[..stream.len() - 2], &rt).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_truncation() {
+        let cfg = Bzip2Config::small();
+        let data = corpus(&cfg);
+        let (stream, _) = run_serial(&cfg, &data);
+        assert!(decompress_stream(&stream[..stream.len() - 3]).is_err());
+        assert!(decompress_stream(b"BZRSxx").is_err());
+        assert!(decompress_stream(b"nope").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! The bzip2 workload: block compression over a 3-stage pipeline
+//! (paper §6.3).
+//!
+//! ```text
+//! Read → Compress → Write
+//! serial    ∥        serial, in order
+//! ```
+//!
+//! The Compress kernel is a real block compressor (RLE1 → BWT → MTF →
+//! zero-run encoding → canonical Huffman, with CRC-32 integrity), so the
+//! middle stage carries genuine, verifiable work.
+
+pub mod block;
+pub mod bwt;
+pub mod drivers;
+pub mod mtf;
+pub mod rle;
+
+/// Canonical Huffman + bit I/O now live in [`crate::entropy`]; re-exported
+/// here because the block coder is their original home.
+pub mod huffman {
+    pub use crate::entropy::{BitReader, BitWriter, HuffmanCode};
+}
+
+pub use block::{compress_block, crc32, decompress_block, BlockError};
+pub use drivers::{
+    corpus, decompress_hyperqueue, decompress_stream, run_hyperqueue, run_hyperqueue_split,
+    run_objects, run_serial, Bzip2Config,
+};

@@ -1,0 +1,180 @@
+//! Move-to-front transform and zero-run-length encoding (bzip2's MTF +
+//! RUNA/RUNB stage).
+
+/// MTF-encodes `data` (byte → its index in a most-recently-used list).
+pub fn mtf(data: &[u8]) -> Vec<u8> {
+    let mut table: [u8; 256] = core::array::from_fn(|i| i as u8);
+    data.iter()
+        .map(|&b| {
+            let pos = table.iter().position(|&x| x == b).expect("byte in table") as u8;
+            // Move to front.
+            let mut i = pos as usize;
+            while i > 0 {
+                table[i] = table[i - 1];
+                i -= 1;
+            }
+            table[0] = b;
+            pos
+        })
+        .collect()
+}
+
+/// Inverse MTF.
+pub fn imtf(codes: &[u8]) -> Vec<u8> {
+    let mut table: [u8; 256] = core::array::from_fn(|i| i as u8);
+    codes
+        .iter()
+        .map(|&c| {
+            let b = table[c as usize];
+            let mut i = c as usize;
+            while i > 0 {
+                table[i] = table[i - 1];
+                i -= 1;
+            }
+            table[0] = b;
+            b
+        })
+        .collect()
+}
+
+/// Post-MTF symbols: `RUNA`/`RUNB` encode zero runs in bijective base 2;
+/// byte value `b > 0` becomes symbol `b + 1`; `EOB` terminates the block.
+pub const RUNA: u16 = 0;
+/// Second zero-run digit.
+pub const RUNB: u16 = 1;
+/// End-of-block symbol.
+pub const EOB: u16 = 257;
+/// Total alphabet size for the entropy coder.
+pub const ALPHABET: usize = 258;
+
+/// Encodes MTF output into the RUNA/RUNB symbol stream (always ends with
+/// [`EOB`]).
+pub fn zle_encode(mtf_codes: &[u8]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(mtf_codes.len() / 2 + 2);
+    let mut run = 0u64;
+    let flush = |run: &mut u64, out: &mut Vec<u16>| {
+        // Bijective base-2: run lengths 1,2,3,4,5… → A,B,AA,BA,AB,…
+        let mut n = *run;
+        while n > 0 {
+            if n & 1 == 1 {
+                out.push(RUNA);
+                n = (n - 1) >> 1;
+            } else {
+                out.push(RUNB);
+                n = (n - 2) >> 1;
+            }
+        }
+        *run = 0;
+    };
+    for &c in mtf_codes {
+        if c == 0 {
+            run += 1;
+        } else {
+            flush(&mut run, &mut out);
+            out.push(c as u16 + 1);
+        }
+    }
+    flush(&mut run, &mut out);
+    out.push(EOB);
+    out
+}
+
+/// Decodes a RUNA/RUNB symbol stream back to MTF codes. Stops at EOB.
+pub fn zle_decode(symbols: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    let mut run = 0u64;
+    let mut weight = 1u64;
+    let flush = |run: &mut u64, weight: &mut u64, out: &mut Vec<u8>| {
+        for _ in 0..*run {
+            out.push(0);
+        }
+        *run = 0;
+        *weight = 1;
+    };
+    for &s in symbols {
+        match s {
+            RUNA => {
+                run += weight;
+                weight <<= 1;
+            }
+            RUNB => {
+                run += 2 * weight;
+                weight <<= 1;
+            }
+            EOB => break,
+            b => {
+                flush(&mut run, &mut weight, &mut out);
+                out.push((b - 1) as u8);
+            }
+        }
+    }
+    flush(&mut run, &mut 1, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    #[test]
+    fn mtf_roundtrip_random() {
+        let mut rng = SplitMix64::new(1);
+        for len in [0usize, 1, 100, 5000] {
+            let mut v = vec![0u8; len];
+            rng.fill(&mut v);
+            assert_eq!(imtf(&mtf(&v)), v);
+        }
+    }
+
+    #[test]
+    fn mtf_maps_runs_to_zeros() {
+        let data = b"aaaaabbbbbaaaaa";
+        let m = mtf(data);
+        let zeros = m.iter().filter(|&&c| c == 0).count();
+        assert!(zeros >= 11, "runs must become zeros, got {m:?}");
+    }
+
+    #[test]
+    fn zle_roundtrip_various_runs() {
+        for run_len in [0usize, 1, 2, 3, 4, 7, 8, 100, 1000] {
+            let mut codes = vec![5u8, 9];
+            codes.extend(std::iter::repeat(0u8).take(run_len));
+            codes.push(3);
+            let enc = zle_encode(&codes);
+            assert_eq!(*enc.last().unwrap(), EOB);
+            assert_eq!(zle_decode(&enc), codes, "run_len {run_len}");
+        }
+    }
+
+    #[test]
+    fn zle_trailing_zero_run() {
+        let codes = vec![1u8, 0, 0, 0, 0, 0];
+        assert_eq!(zle_decode(&zle_encode(&codes)), codes);
+    }
+
+    #[test]
+    fn zle_compresses_zero_heavy_streams() {
+        let mut codes = vec![0u8; 10_000];
+        codes[5000] = 17;
+        let enc = zle_encode(&codes);
+        assert!(
+            enc.len() < 50,
+            "10k zeros should need ~log2 symbols, got {}",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn full_mtf_zle_roundtrip() {
+        let mut rng = SplitMix64::new(9);
+        let mut data = vec![0u8; 4096];
+        rng.fill(&mut data);
+        for b in data.iter_mut() {
+            *b %= 16; // low-entropy, run-prone
+        }
+        let m = mtf(&data);
+        let z = zle_encode(&m);
+        assert_eq!(imtf(&zle_decode(&z)), data);
+    }
+}

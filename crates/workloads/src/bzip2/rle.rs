@@ -1,0 +1,107 @@
+//! Initial run-length encoding (bzip2's "RLE1").
+//!
+//! Runs of 4-259 identical bytes become the 4 bytes followed by a count
+//! byte (0-255 extra repetitions). This bounds the damage degenerate
+//! inputs can do to the rotation sort and is exactly bzip2's scheme.
+
+/// RLE1-encodes `data`.
+pub fn rle1_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 8);
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 259 {
+            run += 1;
+        }
+        if run >= 4 {
+            out.extend_from_slice(&[b, b, b, b]);
+            out.push((run - 4) as u8);
+        } else {
+            for _ in 0..run {
+                out.push(b);
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// Inverse of [`rle1_encode`].
+pub fn rle1_decode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        // Detect an encoded run: four identical bytes then a count.
+        if i + 3 < data.len() && data[i + 1] == b && data[i + 2] == b && data[i + 3] == b {
+            let extra = *data.get(i + 4).unwrap_or(&0) as usize;
+            for _ in 0..4 + extra {
+                out.push(b);
+            }
+            i += 5;
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn roundtrip(data: &[u8]) {
+        assert_eq!(rle1_decode(&rle1_encode(data)), data);
+    }
+
+    #[test]
+    fn no_runs_passthrough() {
+        roundtrip(b"abcdefg");
+        assert_eq!(rle1_encode(b"abcdefg"), b"abcdefg");
+    }
+
+    #[test]
+    fn exact_run_lengths() {
+        for len in 1..=20usize {
+            let v = vec![b'z'; len];
+            roundtrip(&v);
+        }
+        roundtrip(&vec![b'q'; 259]);
+        roundtrip(&vec![b'q'; 260]);
+        roundtrip(&vec![b'q'; 1000]);
+    }
+
+    #[test]
+    fn long_runs_shrink() {
+        let v = vec![0u8; 100_000];
+        let e = rle1_encode(&v);
+        assert!(e.len() < 3000, "run encoding ineffective: {}", e.len());
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let mut rng = SplitMix64::new(77);
+        let mut v = Vec::new();
+        for i in 0..200 {
+            if i % 3 == 0 {
+                v.extend(std::iter::repeat((i % 251) as u8).take((i * 7) % 40 + 1));
+            } else {
+                let mut r = vec![0u8; (i * 13) % 50 + 1];
+                rng.fill(&mut r);
+                v.extend(r);
+            }
+        }
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn three_byte_runs_not_escaped() {
+        // Exactly three identical bytes stay literal (no count byte).
+        assert_eq!(rle1_encode(b"aaab"), b"aaab");
+        roundtrip(b"aaab");
+    }
+}

@@ -1,0 +1,377 @@
+//! A deflate-style byte compressor (the Compress kernel), with its
+//! decompressor.
+//!
+//! Two phases, as in zlib: an LZ77 pass (hash-chain matching with lazy
+//! evaluation, 16-bit offsets — plenty for dedup's ≤16 KiB chunks)
+//! producing a token stream, then a canonical-Huffman entropy pass over
+//! that stream. A stored-mode tag keeps incompressible chunks from
+//! inflating. Both phases are what give the kernel zlib's role *and* cost
+//! profile in the dedup pipeline (Compress dominates Table 2).
+
+use crate::entropy::{BitReader, BitWriter, HuffmanCode};
+
+const MIN_MATCH: usize = 4;
+const HASH_BITS: u32 = 15;
+/// How many hash-chain candidates the matcher examines per position.
+const MAX_CHAIN: usize = 256;
+/// Entropy-pass alphabet: LZ bytes 0..=255 plus an end marker.
+const LZ_EOB: u16 = 256;
+const LZ_ALPHABET: usize = 257;
+/// Mode tags (first output byte).
+const MODE_STORED: u8 = 0;
+const MODE_HUFFMAN: u8 = 1;
+
+#[inline]
+fn hash4(b: &[u8]) -> usize {
+    let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: usize) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Option<usize> {
+    let mut v = 0usize;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos)?;
+        *pos += 1;
+        v |= ((b & 0x7f) as usize) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 42 {
+            return None; // malformed
+        }
+    }
+}
+
+/// Packs code lengths (< 64) at 6 bits apiece.
+fn pack_lengths(lengths: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for &l in lengths {
+        debug_assert!(l < 64, "Huffman length {l} exceeds 6-bit packing");
+        w.write(l as u64, 6);
+    }
+    w.finish()
+}
+
+/// Inverse of [`pack_lengths`].
+fn unpack_lengths(data: &[u8], n: usize) -> Option<Vec<u8>> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut v = 0u8;
+        for _ in 0..6 {
+            v = (v << 1) | r.read_bit()?;
+        }
+        out.push(v);
+    }
+    Some(out)
+}
+
+/// Compresses `input`. The output always round-trips through
+/// [`decompress`].
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let lz = lz_compress(input);
+    // Entropy pass over the LZ stream (zlib's second phase).
+    let mut freqs = vec![0u64; LZ_ALPHABET];
+    for &b in &lz {
+        freqs[b as usize] += 1;
+    }
+    freqs[LZ_EOB as usize] += 1;
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let mut w = BitWriter::new();
+    let symbols: Vec<u16> = lz.iter().map(|&b| b as u16).chain([LZ_EOB]).collect();
+    code.encode(&symbols, &mut w);
+    let payload = w.finish();
+    let table = pack_lengths(&code.lengths);
+    if 1 + table.len() + payload.len() < 1 + lz.len() {
+        let mut out = Vec::with_capacity(1 + table.len() + payload.len());
+        out.push(MODE_HUFFMAN);
+        out.extend_from_slice(&table);
+        out.extend_from_slice(&payload);
+        out
+    } else {
+        let mut out = Vec::with_capacity(1 + lz.len());
+        out.push(MODE_STORED);
+        out.extend_from_slice(&lz);
+        out
+    }
+}
+
+/// Decompresses a [`compress`] stream.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let (&mode, rest) = data.split_first().ok_or(DecompressError::Truncated)?;
+    match mode {
+        MODE_STORED => lz_decompress(rest),
+        MODE_HUFFMAN => {
+            let table_bytes = (LZ_ALPHABET * 6).div_ceil(8);
+            if rest.len() < table_bytes {
+                return Err(DecompressError::Truncated);
+            }
+            let lengths = unpack_lengths(&rest[..table_bytes], LZ_ALPHABET)
+                .ok_or(DecompressError::Truncated)?;
+            let code = HuffmanCode::from_lengths(lengths);
+            let mut r = BitReader::new(&rest[table_bytes..]);
+            let symbols = code
+                .decode_until(&mut r, LZ_EOB)
+                .ok_or(DecompressError::Truncated)?;
+            let lz: Vec<u8> = symbols
+                .iter()
+                .take_while(|&&s| s != LZ_EOB)
+                .map(|&s| s as u8)
+                .collect();
+            lz_decompress(&lz)
+        }
+        _ => Err(DecompressError::Truncated),
+    }
+}
+
+/// LZ77 pass: hash-chain matching with lazy evaluation.
+fn lz_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    write_varint(&mut out, input.len());
+    if input.is_empty() {
+        return out;
+    }
+    // Hash-chain matcher: `head` maps a 4-byte hash to the most recent
+    // position, `prev` links each position to the previous one with the
+    // same hash (zlib's structure).
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut prev = vec![u32::MAX; input.len()];
+    let insert = |head: &mut [u32], prev: &mut [u32], pos: usize, data: &[u8]| {
+        let h = hash4(&data[pos..]);
+        prev[pos] = head[h];
+        head[h] = pos as u32;
+    };
+    // Finds the longest match for position `i` by walking the hash chain.
+    let find_match = |head: &[u32], prev: &[u32], i: usize| -> (usize, usize) {
+        let h = hash4(&input[i..]);
+        let mut cand = head[h];
+        let mut best_len = 0usize;
+        let mut best_pos = 0usize;
+        let max = input.len() - i;
+        for _ in 0..MAX_CHAIN {
+            if cand == u32::MAX {
+                break;
+            }
+            let c = cand as usize;
+            if i - c > u16::MAX as usize {
+                break; // chain is recency-ordered; older ones are farther
+            }
+            if input[c..c + MIN_MATCH] == input[i..i + MIN_MATCH] {
+                let mut l = MIN_MATCH;
+                while l < max && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_pos = c;
+                    if l == max {
+                        break;
+                    }
+                }
+            }
+            cand = prev[c];
+        }
+        (best_len, best_pos)
+    };
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= input.len() {
+        let (mut best_len, mut best_pos) = find_match(&head, &prev, i);
+        insert(&mut head, &mut prev, i, input);
+        // Lazy matching (zlib): if the *next* position matches longer,
+        // emit this byte as a literal and take the later match.
+        if best_len >= MIN_MATCH && i + 1 + MIN_MATCH <= input.len() {
+            let (next_len, next_pos) = find_match(&head, &prev, i + 1);
+            if next_len > best_len {
+                insert(&mut head, &mut prev, i + 1, input);
+                i += 1;
+                best_len = next_len;
+                best_pos = next_pos;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            // Token: literal run, then the match.
+            write_varint(&mut out, i - lit_start);
+            out.extend_from_slice(&input[lit_start..i]);
+            write_varint(&mut out, best_len - MIN_MATCH);
+            out.extend_from_slice(&((i - best_pos) as u16).to_le_bytes());
+            // Index every position inside the match (full chain insertion,
+            // as zlib does below its "fast" levels).
+            let mut j = i + 1;
+            while j + MIN_MATCH <= input.len() && j < i + best_len {
+                insert(&mut head, &mut prev, j, input);
+                j += 1;
+            }
+            i += best_len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    // Trailing literals; omitted entirely when the input ends on a match,
+    // so every byte of the stream is load-bearing (truncation detectable).
+    if lit_start < input.len() {
+        write_varint(&mut out, input.len() - lit_start);
+        out.extend_from_slice(&input[lit_start..]);
+    }
+    out
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended unexpectedly or a varint was malformed.
+    Truncated,
+    /// A back-reference pointed before the start of the buffer.
+    BadOffset,
+    /// Decompressed length does not match the header.
+    LengthMismatch,
+}
+
+/// Inverse of the LZ77 pass.
+fn lz_decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut pos = 0usize;
+    let expect = read_varint(data, &mut pos).ok_or(DecompressError::Truncated)?;
+    // The header is untrusted: use it only as a capped capacity *hint* so
+    // corrupt input cannot demand an absurd allocation up front.
+    let mut out = Vec::with_capacity(expect.min(data.len().saturating_mul(256)).min(1 << 28));
+    while out.len() < expect {
+        let lit = read_varint(data, &mut pos).ok_or(DecompressError::Truncated)?;
+        if pos + lit > data.len() {
+            return Err(DecompressError::Truncated);
+        }
+        out.extend_from_slice(&data[pos..pos + lit]);
+        pos += lit;
+        if out.len() >= expect {
+            break;
+        }
+        let extra = read_varint(data, &mut pos).ok_or(DecompressError::Truncated)?;
+        if pos + 2 > data.len() {
+            return Err(DecompressError::Truncated);
+        }
+        let off = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        let match_len = extra + MIN_MATCH;
+        // A match may never run past the declared output length; without
+        // this check a truncated/corrupted varint could demand an
+        // arbitrarily large allocation.
+        if match_len > expect - out.len() {
+            return Err(DecompressError::Truncated);
+        }
+        if off == 0 || off > out.len() {
+            return Err(DecompressError::BadOffset);
+        }
+        let start = out.len() - off;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if out.len() != expect {
+        return Err(DecompressError::LengthMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "round-trip failed for len {}", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"aaaa");
+    }
+
+    #[test]
+    fn highly_repetitive_input_compresses_well() {
+        let data = b"abcabcabcabcabcabcabcabcabcabcabcabc".repeat(100);
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 4,
+            "repetitive data barely compressed: {} -> {}",
+            data.len(),
+            c.len()
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_input_roundtrips() {
+        let mut rng = SplitMix64::new(11);
+        for len in [1usize, 100, 4096, 70_000] {
+            let mut data = vec![0u8; len];
+            rng.fill(&mut data);
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn text_like_input_roundtrips_and_shrinks() {
+        let text = "the quick brown fox jumps over the lazy dog. ".repeat(200);
+        let c = compress(text.as_bytes());
+        assert!(c.len() < text.len());
+        roundtrip(text.as_bytes());
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "aaaa..." exercises the overlapping-copy path (offset 1).
+        let data = vec![b'x'; 5000];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let c = compress(b"hello hello hello hello hello");
+        for cut in 1..c.len().min(10) {
+            assert!(
+                decompress(&c[..c.len() - cut]).is_err(),
+                "truncation by {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_structured_input() {
+        let mut rng = SplitMix64::new(21);
+        let mut data = Vec::new();
+        let mut block = vec![0u8; 512];
+        rng.fill(&mut block);
+        for i in 0..50 {
+            if i % 3 == 0 {
+                data.extend_from_slice(&block);
+            } else {
+                let mut fresh = vec![0u8; 300 + (i * 17) % 400];
+                rng.fill(&mut fresh);
+                data.extend_from_slice(&fresh);
+            }
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        roundtrip(&data);
+    }
+}

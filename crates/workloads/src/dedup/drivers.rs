@@ -1,0 +1,474 @@
+//! Dedup drivers: one per programming model of Figure 11.
+//!
+//! Every driver produces a **byte-identical archive**: unique-chunk ids are
+//! assigned by the serial-order output stage, and compressed bytes live in
+//! records shared across duplicate instances (see `store.rs`). The test
+//! suite asserts equality against the serial driver and round-trips the
+//! archive back to the original corpus.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use swan::{Runtime, Versioned};
+
+use crate::dedup::stages::*;
+use crate::dedup::store::DedupStore;
+use crate::timing::StageClock;
+
+fn store_for(cfg: &DedupConfig) -> Arc<DedupStore> {
+    // Shard roughly with corpus size to keep lock contention flat.
+    let shards = (cfg.total_bytes / (1 << 20)).next_power_of_two().clamp(8, 256);
+    DedupStore::new(shards)
+}
+
+// ---------------------------------------------------------------------------
+// Serial driver (+ Table 2 characterization).
+// ---------------------------------------------------------------------------
+
+/// Runs dedup serially with per-stage timing — regenerates Table 2.
+/// `data` is the input corpus (built once via [`corpus`]; input
+/// preparation is not pipeline time in the paper either — PARSEC mmaps
+/// the input file).
+pub fn run_serial(cfg: &DedupConfig, data: &Arc<Vec<u8>>) -> (Archive, StageClock) {
+    let data = Arc::clone(data);
+    let store = store_for(cfg);
+    let mut clock = StageClock::new();
+    let coarse = {
+        let t0 = std::time::Instant::now();
+        let c = fragment(cfg, &data);
+        clock.add("Fragment", c.len() as u64, t0.elapsed());
+        c
+    };
+    let mut writer = ArchiveWriter::new(data.len() as u64);
+    for c in &coarse {
+        let fines = clock.time("FragmentRefine", || refine(cfg, &data, c));
+        for f in fines {
+            let (record, inserted) = clock.time("Deduplicate", || deduplicate(&store, &f));
+            if inserted {
+                clock.time("Compress", || compress_into(&record, &f));
+            }
+            clock.time("Output", || {
+                let comp = record.compressed.wait();
+                writer.write(&record, &comp);
+            });
+        }
+    }
+    (writer.finish(), clock)
+}
+
+// ---------------------------------------------------------------------------
+// Two-level reorder (pthreads output ordering).
+// ---------------------------------------------------------------------------
+
+/// Restores `(coarse_seq, fine_idx)` order for streams where the number of
+/// fine chunks per coarse chunk is unknown until the `last_in_coarse`
+/// marker arrives — the dedup-specific ordering problem the PARSEC
+/// pthreads code solves with its two-level sequence numbers.
+pub struct TwoLevelReorder<T> {
+    state: Mutex<TlrState<T>>,
+    ready: Condvar,
+}
+
+struct TlrState<T> {
+    parked: BTreeMap<(u64, u32), (bool, T)>,
+    next: (u64, u32),
+    total_coarse: u64,
+}
+
+impl<T> TwoLevelReorder<T> {
+    /// Creates a reorderer expecting `total_coarse` coarse groups.
+    pub fn new(total_coarse: u64) -> Self {
+        Self {
+            state: Mutex::new(TlrState {
+                parked: BTreeMap::new(),
+                next: (0, 0),
+                total_coarse,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Inserts an item tagged with its coarse/fine position.
+    pub fn insert(&self, coarse: u64, fine: u32, last_in_coarse: bool, value: T) {
+        let mut st = self.state.lock();
+        st.parked.insert((coarse, fine), (last_in_coarse, value));
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next in-order item; `None` after the last chunk of
+    /// the last coarse group.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if st.next.0 >= st.total_coarse {
+                return None;
+            }
+            let key = st.next;
+            if let Some((last, v)) = st.parked.remove(&key) {
+                st.next = if last { (key.0 + 1, 0) } else { (key.0, key.1 + 1) };
+                return Some(v);
+            }
+            self.ready.wait(&mut st);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pthreads-style driver.
+// ---------------------------------------------------------------------------
+
+/// Thread tuning for the pthreads dedup driver.
+#[derive(Clone, Debug)]
+pub struct DedupTuning {
+    /// FragmentRefine threads.
+    pub refine_threads: usize,
+    /// Deduplicate threads.
+    pub dedup_threads: usize,
+    /// Compress threads.
+    pub compress_threads: usize,
+    /// Inter-stage queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl DedupTuning {
+    /// PARSEC-style oversubscription scaled to `cores`.
+    pub fn oversubscribed(cores: usize) -> Self {
+        let t = ((cores * 7) / 8).max(1);
+        DedupTuning {
+            refine_threads: t.div_ceil(4).max(1),
+            dedup_threads: t.div_ceil(2).max(1),
+            compress_threads: t,
+            queue_capacity: (4 * cores).max(16),
+        }
+    }
+}
+
+/// Runs dedup with explicit stage threads and bounded queues.
+pub fn run_pthread(cfg: &DedupConfig, data: &Arc<Vec<u8>>, tuning: &DedupTuning) -> Archive {
+    let data = Arc::clone(data);
+    let store = store_for(cfg);
+    let coarse = fragment(cfg, &data);
+    let total_coarse = coarse.len() as u64;
+    let cap = tuning.queue_capacity;
+
+    let (coarse_tx, coarse_rx) = pipelines::channel::<CoarseChunk>(cap);
+    let (fine_tx, fine_rx) = pipelines::channel::<FineChunk>(cap);
+    let (comp_tx, comp_rx) = pipelines::channel::<(FineChunk, Arc<crate::dedup::store::ChunkRecord>)>(cap);
+    let reorder = Arc::new(TwoLevelReorder::<ProcessedChunk>::new(total_coarse));
+
+    let mut archive = None;
+    std::thread::scope(|scope| {
+        // Fragment (serial).
+        scope.spawn(move || {
+            for c in coarse {
+                coarse_tx.send(c);
+            }
+        });
+        // FragmentRefine pool.
+        for _ in 0..tuning.refine_threads {
+            let rx = coarse_rx.clone();
+            let tx = fine_tx.clone();
+            let data = Arc::clone(&data);
+            scope.spawn(move || {
+                while let Some(c) = rx.recv() {
+                    for f in refine(cfg, &data, &c) {
+                        tx.send(f);
+                    }
+                }
+            });
+        }
+        // Deduplicate pool: uniques go to compress, duplicates straight to
+        // the output reorderer (PARSEC's exact topology).
+        for _ in 0..tuning.dedup_threads {
+            let rx = fine_rx.clone();
+            let tx = comp_tx.clone();
+            let ro = Arc::clone(&reorder);
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                while let Some(f) = rx.recv() {
+                    let (record, inserted) = deduplicate(&store, &f);
+                    if inserted {
+                        tx.send((f, record));
+                    } else {
+                        ro.insert(
+                            f.coarse_seq,
+                            f.fine_idx,
+                            f.last_in_coarse,
+                            ProcessedChunk {
+                                coarse_seq: f.coarse_seq,
+                                fine_idx: f.fine_idx,
+                                last_in_coarse: f.last_in_coarse,
+                                record,
+                            },
+                        );
+                    }
+                }
+            });
+        }
+        // Compress pool.
+        for _ in 0..tuning.compress_threads {
+            let rx = comp_rx.clone();
+            let ro = Arc::clone(&reorder);
+            scope.spawn(move || {
+                while let Some((f, record)) = rx.recv() {
+                    compress_into(&record, &f);
+                    ro.insert(
+                        f.coarse_seq,
+                        f.fine_idx,
+                        f.last_in_coarse,
+                        ProcessedChunk {
+                            coarse_seq: f.coarse_seq,
+                            fine_idx: f.fine_idx,
+                            last_in_coarse: f.last_in_coarse,
+                            record,
+                        },
+                    );
+                }
+            });
+        }
+        drop(coarse_rx);
+        drop(fine_tx);
+        drop(fine_rx);
+        drop(comp_tx);
+        drop(comp_rx);
+        // Output (serial, two-level in-order).
+        let ro = Arc::clone(&reorder);
+        let len = data.len() as u64;
+        let out = scope.spawn(move || {
+            let mut w = ArchiveWriter::new(len);
+            while let Some(p) = ro.recv() {
+                let comp = p.record.compressed.wait();
+                w.write(&p.record, &comp);
+            }
+            w.finish()
+        });
+        archive = Some(out.join().expect("output thread"));
+    });
+    archive.expect("archive produced")
+}
+
+// ---------------------------------------------------------------------------
+// TBB-style driver: the nested-pipeline formulation (Figure 10(a)).
+// ---------------------------------------------------------------------------
+
+/// Runs dedup on the TBB clone using Reed et al.'s nested-pipeline
+/// factoring: the parallel filter runs refine+dedup+compress for a whole
+/// coarse chunk and hands the output stage a *gathered list* — so the
+/// writer waits for entire coarse chunks (the §6.2 scalability limit).
+pub fn run_tbb(cfg: &DedupConfig, data: &Arc<Vec<u8>>, threads: usize, tokens: usize) -> Archive {
+    let data = Arc::clone(data);
+    let store = store_for(cfg);
+    let coarse = fragment(cfg, &data);
+    let len = data.len() as u64;
+    let mut iter = coarse.into_iter();
+    let writer = Arc::new(Mutex::new(Some(ArchiveWriter::new(len))));
+    let writer2 = Arc::clone(&writer);
+    let data2 = Arc::clone(&data);
+    let store2 = Arc::clone(&store);
+    let cfg2 = cfg.clone();
+
+    pipelines::TbbPipeline::input(move || {
+        iter.next().map(|c| Box::new(c) as pipelines::Item)
+    })
+    .parallel(move |item| {
+        let c = *item.downcast::<CoarseChunk>().expect("CoarseChunk");
+        // The whole inner pipeline, gathered into a list.
+        let list: Vec<ProcessedChunk> = refine(&cfg2, &data2, &c)
+            .into_iter()
+            .map(|f| dedup_and_compress(&store2, f))
+            .collect();
+        Box::new(list) as pipelines::Item
+    })
+    .serial_in_order(move |item| {
+        let list = item.downcast_ref::<Vec<ProcessedChunk>>().expect("list");
+        let mut guard = writer2.lock();
+        let w = guard.as_mut().expect("writer still open");
+        for p in list {
+            let comp = p.record.compressed.wait();
+            w.write(&p.record, &comp);
+        }
+        item
+    })
+    .run(threads, tokens);
+
+    let w = writer.lock().take().expect("writer present");
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Swan objects driver (dataflow without hyperqueues).
+// ---------------------------------------------------------------------------
+
+/// Runs dedup on versioned-object dataflow: one task per coarse chunk
+/// produces a gathered list (the model cannot stream a variable number of
+/// outputs — §1), and an inout chain serializes the writer in order.
+pub fn run_objects(cfg: &DedupConfig, data: &Arc<Vec<u8>>, rt: &Runtime) -> Archive {
+    let data = Arc::clone(data);
+    let store = store_for(cfg);
+    let coarse = fragment(cfg, &data);
+    let writer = Arc::new(Mutex::new(ArchiveWriter::new(data.len() as u64)));
+    let order: Versioned<()> = Versioned::new(());
+    rt.scope(|s| {
+        for c in coarse {
+            let res: Versioned<Vec<ProcessedChunk>> = Versioned::new(Vec::new());
+            let data = Arc::clone(&data);
+            let store = Arc::clone(&store);
+            s.spawn((res.write(),), move |_, (mut w,)| {
+                *w = refine(cfg, &data, &c)
+                    .into_iter()
+                    .map(|f| dedup_and_compress(&store, f))
+                    .collect();
+            });
+            let writer = Arc::clone(&writer);
+            s.spawn((res.read(), order.update()), move |_, (list, _guard)| {
+                let mut w = writer.lock();
+                for p in list.iter() {
+                    let comp = p.record.compressed.wait();
+                    w.write(&p.record, &comp);
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(writer)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|_| panic!("writer still shared"))
+        .finish()
+}
+
+// ---------------------------------------------------------------------------
+// Hyperqueue driver (Figure 10(b)/(c)).
+// ---------------------------------------------------------------------------
+
+/// Runs dedup with hyperqueues, following Figure 10(c) literally: the
+/// Fragment task builds a *local* hyperqueue per coarse chunk connecting
+/// FragmentRefine to a fused Deduplicate+Compress task, which streams
+/// finished chunks onto the global write queue; the Output task consumes
+/// the write queue concurrently with everything else.
+pub fn run_hyperqueue(cfg: &DedupConfig, data: &Arc<Vec<u8>>, rt: &Runtime) -> Archive {
+    let data = Arc::clone(data);
+    let store = store_for(cfg);
+    let len = data.len() as u64;
+    let mut archive = None;
+    let arch_ref = &mut archive;
+    rt.scope(move |s| {
+        let write_q = hyperqueue::Hyperqueue::<ProcessedChunk>::with_segment_capacity(s, 256);
+        // Fragment: iterates coarse chunks, wiring a nested pipeline per
+        // chunk through a local hyperqueue.
+        {
+            let data = Arc::clone(&data);
+            let store = Arc::clone(&store);
+            s.spawn((write_q.pushdep(),), move |s, (mut wq,)| {
+                for c in fragment(cfg, &data) {
+                    let local = hyperqueue::Hyperqueue::<FineChunk>::with_segment_capacity(s, 64);
+                    {
+                        let data = Arc::clone(&data);
+                        s.spawn((local.pushdep(),), move |_, (mut push,)| {
+                            for f in refine(cfg, &data, &c) {
+                                push.push(f);
+                            }
+                        });
+                    }
+                    {
+                        let store = Arc::clone(&store);
+                        s.spawn(
+                            (local.popdep(), wq.pushdep()),
+                            move |_, (mut pop, mut push)| {
+                                while !pop.empty() {
+                                    push.push(dedup_and_compress(&store, pop.pop()));
+                                }
+                            },
+                        );
+                    }
+                    // `local` drops here; its storage lives on in the
+                    // children's tokens until they complete (§2.1).
+                }
+            });
+        }
+        // Output: a single serial consumer of the global write queue.
+        s.spawn((write_q.popdep(),), move |_, (mut pop,)| {
+            let mut w = ArchiveWriter::new(len);
+            while !pop.empty() {
+                let p = pop.pop();
+                let comp = p.record.compressed.wait();
+                w.write(&p.record, &comp);
+            }
+            *arch_ref = Some(w.finish());
+        });
+    });
+    archive.expect("output task ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_drivers_produce_identical_archives() {
+        let cfg = DedupConfig::small();
+        let data = corpus(&cfg);
+        let (serial, clock) = run_serial(&cfg, &data);
+        assert!(clock.total().as_nanos() > 0);
+        assert!(serial.unique_chunks > 0);
+        assert!(serial.unique_chunks < serial.total_chunks);
+
+        let pthread = run_pthread(&cfg, &data, &DedupTuning::oversubscribed(4));
+        assert_eq!(pthread.checksum(), serial.checksum(), "pthread diverged");
+
+        let tbb = run_tbb(&cfg, &data, 4, 8);
+        assert_eq!(tbb.checksum(), serial.checksum(), "tbb diverged");
+
+        let rt = Runtime::with_workers(4);
+        let objects = run_objects(&cfg, &data, &rt);
+        assert_eq!(objects.checksum(), serial.checksum(), "objects diverged");
+
+        let hq = run_hyperqueue(&cfg, &data, &rt);
+        assert_eq!(hq.checksum(), serial.checksum(), "hyperqueue diverged");
+    }
+
+    #[test]
+    fn serial_archive_roundtrips_to_corpus() {
+        let cfg = DedupConfig::small();
+        let data = corpus(&cfg);
+        let (arch, _) = run_serial(&cfg, &data);
+        let restored = unarchive(&arch.bytes).expect("unarchive");
+        assert_eq!(&restored[..], &data[..]);
+        assert!(arch.bytes.len() < data.len(), "no compression achieved");
+    }
+
+    #[test]
+    fn hyperqueue_archive_roundtrips_and_is_deterministic() {
+        let cfg = DedupConfig::small();
+        let data = corpus(&cfg);
+        let mut checksums = Vec::new();
+        for workers in [1, 2, 8] {
+            let rt = Runtime::with_workers(workers);
+            let arch = run_hyperqueue(&cfg, &data, &rt);
+            let restored = unarchive(&arch.bytes).expect("unarchive");
+            assert_eq!(&restored[..], &data[..], "round-trip at {workers} workers");
+            checksums.push(arch.checksum());
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "archive differs across worker counts: {checksums:?}"
+        );
+    }
+
+    #[test]
+    fn two_level_reorder_handles_unknown_group_sizes() {
+        let ro = TwoLevelReorder::<(u64, u32)>::new(3);
+        // Group sizes 2, 1, 3 — inserted out of order.
+        ro.insert(2, 1, false, (2, 1));
+        ro.insert(0, 1, true, (0, 1));
+        ro.insert(1, 0, true, (1, 0));
+        ro.insert(0, 0, false, (0, 0));
+        ro.insert(2, 0, false, (2, 0));
+        ro.insert(2, 2, true, (2, 2));
+        let mut got = Vec::new();
+        while let Some(v) = ro.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![(0, 0), (0, 1), (1, 0), (2, 0), (2, 1), (2, 2)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! The dedup workload: deduplicating compression over a 5-stage pipeline
+//! (paper §6.2, Figure 9, Table 2, Figures 10-11).
+//!
+//! Stage schematic (Figure 9):
+//!
+//! ```text
+//! Fragment → FragmentRefine → Deduplicate → Compress → Output
+//! serial        ∥ (1→many)       ∥          ∥ (skipped   serial,
+//!                                              for dups)  in order
+//! ```
+//!
+//! The variable-rate refine stage and the skip-for-duplicates compress
+//! stage are what make dedup awkward for rigid pipeline models and are the
+//! paper's showcase for hyperqueues (Figure 10).
+
+pub mod compress;
+pub mod drivers;
+pub mod hashing;
+pub mod rolling;
+pub mod stages;
+pub mod store;
+
+pub use drivers::{
+    run_hyperqueue, run_objects, run_pthread, run_serial, run_tbb, DedupTuning, TwoLevelReorder,
+};
+pub use stages::{corpus, unarchive, Archive, DedupConfig};
+pub use store::DedupStore;

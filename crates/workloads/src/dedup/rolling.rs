@@ -1,0 +1,241 @@
+//! Content-defined chunking with a rolling hash (the FragmentRefine
+//! kernel).
+//!
+//! A buzhash-style rolling hash over a sliding window declares a chunk
+//! boundary whenever the low `mask_bits` of the hash are all ones, subject
+//! to minimum and maximum chunk sizes. Identical content produces identical
+//! boundaries (after the window re-synchronizes), which is what makes
+//! deduplication find repeated regions regardless of their alignment —
+//! the property fixed-size chunking lacks.
+
+/// Chunking parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkParams {
+    /// Minimum chunk size in bytes.
+    pub min_size: usize,
+    /// A boundary fires with probability `2^-mask_bits` per byte, so the
+    /// average chunk size is roughly `min_size + 2^mask_bits`.
+    pub mask_bits: u32,
+    /// Hard maximum chunk size.
+    pub max_size: usize,
+    /// Rolling window width.
+    pub window: usize,
+}
+
+impl Default for ChunkParams {
+    fn default() -> Self {
+        Self {
+            min_size: 512,
+            mask_bits: 11, // ~2 KiB average, like PARSEC's fine chunks
+            max_size: 16 * 1024,
+            window: 48,
+        }
+    }
+}
+
+impl ChunkParams {
+    /// Small chunks for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            min_size: 32,
+            mask_bits: 6,
+            max_size: 1024,
+            window: 16,
+        }
+    }
+}
+
+/// The byte-substitution table for buzhash, generated once from a fixed
+/// seed (SplitMix64) so chunking is deterministic across runs and builds.
+fn buz_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut rng = crate::util::SplitMix64::new(0xB022_7AB1E);
+        let mut t = [0u64; 256];
+        for e in t.iter_mut() {
+            *e = rng.next();
+        }
+        t
+    })
+}
+
+/// The rolling hasher itself (exposed for tests and reuse).
+pub struct RollingHash {
+    window: usize,
+    hash: u64,
+    ring: Vec<u8>,
+    pos: usize,
+    fill: usize,
+}
+
+impl RollingHash {
+    /// Creates a hasher with the given window width.
+    pub fn new(window: usize) -> Self {
+        Self {
+            window: window.max(2),
+            hash: 0,
+            ring: vec![0; window.max(2)],
+            pos: 0,
+            fill: 0,
+        }
+    }
+
+    /// Rolls one byte in (and the oldest byte out, once warm). Returns the
+    /// updated hash.
+    #[inline]
+    pub fn roll(&mut self, byte: u8) -> u64 {
+        let t = buz_table();
+        if self.fill == self.window {
+            let out = self.ring[self.pos];
+            // `out` entered `window` steps ago, so its contribution in the
+            // current hash is its table value rotated `window - 1` times
+            // (one rotation per subsequent insertion). Cancel it before
+            // this insertion's rotation.
+            self.hash ^= t[out as usize].rotate_left(((self.window - 1) % 64) as u32);
+        } else {
+            self.fill += 1;
+        }
+        self.hash = self.hash.rotate_left(1) ^ t[byte as usize];
+        self.ring[self.pos] = byte;
+        self.pos = (self.pos + 1) % self.window;
+        self.hash
+    }
+
+    /// Resets the window state.
+    pub fn reset(&mut self) {
+        self.hash = 0;
+        self.fill = 0;
+        self.pos = 0;
+        self.ring.fill(0);
+    }
+}
+
+/// Splits `data` into content-defined chunks; returns end offsets
+/// (exclusive), covering all of `data`.
+pub fn chunk_boundaries(data: &[u8], p: &ChunkParams) -> Vec<usize> {
+    let mut ends = Vec::new();
+    if data.is_empty() {
+        return ends;
+    }
+    let mask = (1u64 << p.mask_bits) - 1;
+    let mut hasher = RollingHash::new(p.window);
+    let mut start = 0usize;
+    // A boundary cannot fire before `min_size`, so skip hashing until the
+    // window can influence an eligible position (the standard chunker
+    // optimization; PARSEC's anchor pass does the same jump).
+    let skip = p.min_size.saturating_sub(p.window);
+    let mut i = skip.min(data.len());
+    while i < data.len() {
+        let h = hasher.roll(data[i]);
+        let len = i - start + 1;
+        if (len >= p.min_size && (h & mask) == mask) || len >= p.max_size {
+            ends.push(i + 1);
+            start = i + 1;
+            hasher.reset();
+            i += 1 + skip;
+            continue;
+        }
+        i += 1;
+    }
+    if start < data.len() {
+        ends.push(data.len());
+    }
+    ends
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut v = vec![0u8; n];
+        SplitMix64::new(seed).fill(&mut v);
+        v
+    }
+
+    #[test]
+    fn boundaries_cover_input_exactly() {
+        let data = random_bytes(20_000, 1);
+        let p = ChunkParams::tiny();
+        let ends = chunk_boundaries(&data, &p);
+        assert_eq!(*ends.last().unwrap(), data.len());
+        let mut prev = 0;
+        for &e in &ends {
+            assert!(e > prev);
+            let len = e - prev;
+            assert!(len <= p.max_size, "over-long chunk {len}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn average_chunk_size_in_expected_range() {
+        let data = random_bytes(1 << 20, 2);
+        let p = ChunkParams::default();
+        let ends = chunk_boundaries(&data, &p);
+        let avg = data.len() / ends.len();
+        let expect = p.min_size + (1 << p.mask_bits);
+        assert!(
+            avg > expect / 3 && avg < expect * 3,
+            "avg {avg}, expected around {expect}"
+        );
+    }
+
+    #[test]
+    fn identical_content_chunks_identically() {
+        let data = random_bytes(50_000, 3);
+        let p = ChunkParams::tiny();
+        let a = chunk_boundaries(&data, &p);
+        let b = chunk_boundaries(&data, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_region_produces_duplicate_chunks() {
+        // Two copies of the same 8 KiB block, far apart and misaligned:
+        // the chunker must emit at least one identical chunk from each.
+        let block = random_bytes(8192, 4);
+        let mut data = random_bytes(5000, 5);
+        data.extend_from_slice(&block);
+        data.extend(random_bytes(3333, 6)); // misalign the second copy
+        data.extend_from_slice(&block);
+        data.extend(random_bytes(2000, 7));
+
+        let p = ChunkParams::tiny();
+        let ends = chunk_boundaries(&data, &p);
+        let mut seen = std::collections::HashSet::new();
+        let mut dup = 0;
+        let mut prev = 0;
+        for &e in &ends {
+            if !seen.insert(data[prev..e].to_vec()) {
+                dup += 1;
+            }
+            prev = e;
+        }
+        assert!(dup >= 2, "content-defined chunking found no duplicates");
+    }
+
+    #[test]
+    fn rolling_hash_slides_correctly() {
+        // Hash of a window must depend only on the window contents: roll
+        // two different prefixes followed by the same window and compare.
+        let w = 16;
+        let win = random_bytes(w, 8);
+        let mut h1 = RollingHash::new(w);
+        let mut h2 = RollingHash::new(w);
+        for b in random_bytes(100, 9) {
+            h1.roll(b);
+        }
+        for b in random_bytes(57, 10) {
+            h2.roll(b);
+        }
+        let (mut a, mut b) = (0, 0);
+        for &x in &win {
+            a = h1.roll(x);
+            b = h2.roll(x);
+        }
+        assert_eq!(a, b, "hash must be a function of the window only");
+    }
+}

@@ -1,0 +1,191 @@
+//! The global deduplication store shared by all Deduplicate-stage workers.
+//!
+//! Maps content hash → a shared [`ChunkRecord`]. The *inserting* worker
+//! compresses the chunk and fulfills the record's promise; every duplicate
+//! holder shares the record, so the Output stage can emit identical bytes
+//! no matter which worker won the insertion race — this is what makes the
+//! dedup output byte-deterministic across all programming models.
+//!
+//! Deadlock discipline (see `drivers.rs`): every driver compresses a chunk
+//! *immediately after* inserting its record, within the same task or
+//! filter execution, so a promise observed by a duplicate is always being
+//! fulfilled by already-running code.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::dedup::hashing::Digest;
+
+/// A write-once cell with blocking read (tiny promise/future).
+pub struct Promise<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T: Clone> Promise<T> {
+    /// Empty promise.
+    pub fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Fulfills the promise. Panics if called twice.
+    pub fn set(&self, value: T) {
+        let mut slot = self.slot.lock();
+        assert!(slot.is_none(), "promise fulfilled twice");
+        *slot = Some(value);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Non-blocking read.
+    pub fn try_get(&self) -> Option<T> {
+        self.slot.lock().clone()
+    }
+
+    /// Blocking read.
+    pub fn wait(&self) -> T {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(v) = &*slot {
+                return v.clone();
+            }
+            self.ready.wait(&mut slot);
+        }
+    }
+}
+
+impl<T: Clone> Default for Promise<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared per-unique-chunk state.
+pub struct ChunkRecord {
+    /// Content hash of the raw chunk.
+    pub hash: Digest,
+    /// Raw (uncompressed) length.
+    pub raw_len: usize,
+    /// Compressed bytes, fulfilled by the inserting worker.
+    pub compressed: Promise<Arc<Vec<u8>>>,
+}
+
+/// Sharded hash → record map.
+pub struct DedupStore {
+    shards: Vec<Mutex<HashMap<Digest, Arc<ChunkRecord>>>>,
+}
+
+impl DedupStore {
+    /// Creates a store with a power-of-two shard count.
+    pub fn new(shards: usize) -> Arc<Self> {
+        let n = shards.next_power_of_two().max(1);
+        Arc::new(Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        })
+    }
+
+    fn shard(&self, hash: &Digest) -> &Mutex<HashMap<Digest, Arc<ChunkRecord>>> {
+        let idx = u64::from_le_bytes(hash[..8].try_into().expect("8 bytes"))
+            as usize
+            & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Returns the record for `hash`, inserting a fresh one if absent.
+    /// The boolean is `true` iff this call inserted (the caller is then
+    /// responsible for compressing and fulfilling the promise).
+    pub fn insert_or_get(&self, hash: Digest, raw_len: usize) -> (Arc<ChunkRecord>, bool) {
+        let mut shard = self.shard(&hash).lock();
+        if let Some(r) = shard.get(&hash) {
+            return (Arc::clone(r), false);
+        }
+        let r = Arc::new(ChunkRecord {
+            hash,
+            raw_len,
+            compressed: Promise::new(),
+        });
+        shard.insert(hash, Arc::clone(&r));
+        (r, true)
+    }
+
+    /// Number of unique chunks seen.
+    pub fn unique_chunks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promise_set_then_get() {
+        let p = Promise::new();
+        assert!(p.try_get().is_none());
+        p.set(42u32);
+        assert_eq!(p.try_get(), Some(42));
+        assert_eq!(p.wait(), 42);
+    }
+
+    #[test]
+    fn promise_wait_blocks_until_set() {
+        let p = Arc::new(Promise::<u32>::new());
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || p2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        p.set(7);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn promise_double_set_panics() {
+        let p = Promise::new();
+        p.set(1u8);
+        p.set(2u8);
+    }
+
+    #[test]
+    fn store_dedups_by_hash() {
+        let store = DedupStore::new(8);
+        let h1 = [1u8; 32];
+        let h2 = [2u8; 32];
+        let (r1, ins1) = store.insert_or_get(h1, 100);
+        assert!(ins1);
+        let (r1b, ins1b) = store.insert_or_get(h1, 100);
+        assert!(!ins1b);
+        assert!(Arc::ptr_eq(&r1, &r1b));
+        let (_, ins2) = store.insert_or_get(h2, 50);
+        assert!(ins2);
+        assert_eq!(store.unique_chunks(), 2);
+    }
+
+    #[test]
+    fn store_concurrent_insertions_have_one_winner() {
+        let store = DedupStore::new(16);
+        let winners = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = Arc::clone(&store);
+                let winners = Arc::clone(&winners);
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        let mut h = [0u8; 32];
+                        h[..4].copy_from_slice(&i.to_le_bytes());
+                        let (_, inserted) = store.insert_or_get(h, 1);
+                        if inserted {
+                            winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(std::sync::atomic::Ordering::Relaxed), 1000);
+        assert_eq!(store.unique_chunks(), 1000);
+    }
+}

@@ -1,0 +1,323 @@
+//! Canonical Huffman coding over arbitrary `u16` symbol alphabets, plus
+//! the bit-level I/O it needs. Shared by the bzip2 block coder (alphabet
+//! 258: MTF bytes + RUNA/RUNB + EOB) and the dedup chunk compressor
+//! (alphabet 257: LZ bytes + EOB).
+
+/// Append-only bit buffer (MSB-first within each byte).
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self {
+            bytes: Vec::new(),
+            bit_pos: 0,
+        }
+    }
+
+    /// Writes the low `len` bits of `code`, MSB first.
+    pub fn write(&mut self, code: u64, len: u8) {
+        for i in (0..len).rev() {
+            let bit = (code >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Finishes, returning the padded byte buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl Default for BitWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bit-level reader matching [`BitWriter`].
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Next bit; `None` at end of input.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u8> {
+        let byte = *self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit)
+    }
+}
+
+/// A canonical Huffman code: lengths per symbol plus assigned codes.
+pub struct HuffmanCode {
+    /// Code length per symbol (0 = unused).
+    pub lengths: Vec<u8>,
+    /// 64-bit so that *untrusted* length tables (up to 63 via the 6-bit
+    /// packing used by the dedup chunk format) cannot overflow the
+    /// canonical assignment; garbage tables then merely fail to decode.
+    codes: Vec<u64>,
+}
+
+impl HuffmanCode {
+    /// Builds a code from symbol frequencies (heap Huffman, then
+    /// canonicalized). Symbols with zero frequency get no code.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let alphabet = freqs.len();
+        let present: Vec<usize> = (0..alphabet).filter(|&s| freqs[s] > 0).collect();
+        let mut lengths = vec![0u8; alphabet];
+        match present.len() {
+            0 => {}
+            1 => lengths[present[0]] = 1,
+            _ => {
+                // Heap Huffman over (weight, node). Node: leaf or internal.
+                #[derive(PartialEq, Eq)]
+                struct Item(u64, usize); // weight, node index
+                impl Ord for Item {
+                    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                        o.0.cmp(&self.0).then(o.1.cmp(&self.1)) // min-heap
+                    }
+                }
+                impl PartialOrd for Item {
+                    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                        Some(self.cmp(o))
+                    }
+                }
+                let mut parent = vec![usize::MAX; 2 * present.len()];
+                let mut heap = std::collections::BinaryHeap::new();
+                for (node, &sym) in present.iter().enumerate() {
+                    heap.push(Item(freqs[sym], node));
+                }
+                let mut next = present.len();
+                while heap.len() > 1 {
+                    let a = heap.pop().expect("len>1");
+                    let b = heap.pop().expect("len>1");
+                    parent[a.1] = next;
+                    parent[b.1] = next;
+                    heap.push(Item(a.0 + b.0, next));
+                    next += 1;
+                }
+                for (node, &sym) in present.iter().enumerate() {
+                    let mut depth = 0u8;
+                    let mut p = parent[node];
+                    while p != usize::MAX {
+                        depth += 1;
+                        p = parent[p];
+                    }
+                    lengths[sym] = depth.max(1);
+                }
+            }
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Builds the canonical code table from lengths. Accepts untrusted
+    /// tables (lengths up to 63): malformed ones produce codes that fail
+    /// to decode rather than panicking or overflowing.
+    pub fn from_lengths(lengths: Vec<u8>) -> Self {
+        let mut codes = vec![0u64; lengths.len()];
+        // Canonical assignment: sort by (length, symbol).
+        let mut order: Vec<usize> = (0..lengths.len()).filter(|&s| lengths[s] > 0).collect();
+        order.sort_unstable_by_key(|&s| (lengths[s], s));
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            code = code.checked_shl((lengths[s] - prev_len) as u32).unwrap_or(0);
+            codes[s] = code;
+            code += 1;
+            prev_len = lengths[s];
+        }
+        Self { lengths, codes }
+    }
+
+    /// Encodes `symbols` into `w`.
+    pub fn encode(&self, symbols: &[u16], w: &mut BitWriter) {
+        for &s in symbols {
+            let s = s as usize;
+            debug_assert!(self.lengths[s] > 0, "symbol {s} has no code");
+            w.write(self.codes[s], self.lengths[s]);
+        }
+    }
+
+    /// Decodes until (and including) `stop_symbol`; `None` on malformed
+    /// input.
+    pub fn decode_until(&self, r: &mut BitReader<'_>, stop_symbol: u16) -> Option<Vec<u16>> {
+        // Canonical decode tables: first code and first index per length.
+        let max_len = *self.lengths.iter().max()? as usize;
+        if max_len == 0 {
+            return Some(Vec::new());
+        }
+        let mut order: Vec<usize> = (0..self.lengths.len())
+            .filter(|&s| self.lengths[s] > 0)
+            .collect();
+        order.sort_unstable_by_key(|&s| (self.lengths[s], s));
+        let mut first_code = vec![0u64; max_len + 2];
+        let mut first_idx = vec![0usize; max_len + 2];
+        let mut count = vec![0usize; max_len + 2];
+        for &s in &order {
+            count[self.lengths[s] as usize] += 1;
+        }
+        {
+            let mut code = 0u64;
+            let mut idx = 0usize;
+            for len in 1..=max_len {
+                first_code[len] = code;
+                first_idx[len] = idx;
+                code = (code + count[len] as u64) << 1;
+                idx += count[len];
+            }
+        }
+        let mut out = Vec::new();
+        'outer: loop {
+            let mut code = 0u64;
+            for len in 1..=max_len {
+                code = (code << 1) | r.read_bit()? as u64;
+                if count[len] > 0 && code < first_code[len] + count[len] as u64 && code >= first_code[len] {
+                    let sym = order[first_idx[len] + (code - first_code[len]) as usize] as u16;
+                    out.push(sym);
+                    if sym == stop_symbol {
+                        break 'outer;
+                    }
+                    continue 'outer;
+                }
+            }
+            return None; // code longer than any assigned length
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bzip2::mtf::EOB;
+    use crate::util::SplitMix64;
+
+    const ALPHABET: usize = 258;
+
+    fn code_for(symbols: &[u16]) -> HuffmanCode {
+        let mut freqs = vec![0u64; ALPHABET];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        HuffmanCode::from_frequencies(&freqs)
+    }
+
+    fn roundtrip(mut symbols: Vec<u16>) {
+        if symbols.last() != Some(&EOB) {
+            symbols.push(EOB);
+        }
+        let code = code_for(&symbols);
+        let mut w = BitWriter::new();
+        code.encode(&symbols, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let decoded = code.decode_until(&mut r, EOB).expect("decodes");
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn bitio_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0b1, 1);
+        w.write(0b0110_1001_0110_1001, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut got = 0u32;
+        for _ in 0..20 {
+            got = (got << 1) | r.read_bit().unwrap() as u32;
+        }
+        assert_eq!(got, 0b1011_0110_1001_0110_1001);
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        roundtrip(vec![42, 42, 42, 42]);
+    }
+
+    #[test]
+    fn two_symbol_stream() {
+        roundtrip(vec![0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn skewed_frequencies() {
+        let mut syms = vec![7u16; 10_000];
+        syms.extend([1u16, 2, 3, 4, 5, 6, 8, 9, 10]);
+        roundtrip(syms);
+    }
+
+    #[test]
+    fn random_symbol_streams() {
+        let mut rng = SplitMix64::new(5);
+        for len in [1usize, 10, 1000, 20_000] {
+            let syms: Vec<u16> = (0..len)
+                .map(|_| (rng.next_below(256)) as u16)
+                .collect();
+            roundtrip(syms);
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freqs = vec![0u64; ALPHABET];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 % 17) + 1; // all symbols present, varied freqs
+        }
+        let code = HuffmanCode::from_frequencies(&freqs);
+        // Check prefix-freedom pairwise on (code, len).
+        let entries: Vec<(u64, u8)> = (0..ALPHABET)
+            .map(|s| (code.codes[s], code.lengths[s]))
+            .collect();
+        for (i, &(ca, la)) in entries.iter().enumerate() {
+            for &(cb, lb) in entries.iter().skip(i + 1) {
+                let l = la.min(lb);
+                assert!(
+                    ca >> (la - l) != cb >> (lb - l),
+                    "prefix violation between codes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_code_stays_decodable() {
+        // Fibonacci-ish frequencies produce deep trees; they must still
+        // round-trip through the canonical tables.
+        let mut freqs = vec![0u64; ALPHABET];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut().take(40) {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        freqs[EOB as usize] = 1;
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let symbols: Vec<u16> = (0..40).chain([EOB]).collect();
+        let mut w = BitWriter::new();
+        code.encode(&symbols, &mut w);
+        let bytes = w.finish();
+        let decoded = code
+            .decode_until(&mut BitReader::new(&bytes), EOB)
+            .expect("decodes");
+        assert_eq!(decoded, symbols);
+    }
+}

@@ -1,0 +1,273 @@
+//! Synthetic ferret dataset: a deterministic directory tree of
+//! deterministic "images".
+//!
+//! The PARSEC `native` input is a directory tree of JPEGs plus an image
+//! database. The pipeline-scheduling behaviour the paper measures depends
+//! on (a) the *recursive traversal* shape of the input stage — the
+//! programmability problem §6.1 centres on — and (b) per-stage compute
+//! ratios, not on actual image content. We synthesize both: the tree is
+//! generated from a seed, and each "image" is a seeded PRNG raster
+//! "decoded" (smoothed) at load time to model JPEG decode cost.
+
+use crate::util::SplitMix64;
+
+/// Reference to an image file discovered during traversal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImageRef {
+    /// Dense id in traversal (serial program) order.
+    pub id: u32,
+    /// Simulated file path.
+    pub path: String,
+    /// Seed from which pixels are generated at "load" time.
+    pub seed: u64,
+}
+
+/// A node of the synthetic directory tree.
+#[derive(Debug)]
+pub struct DirNode {
+    /// Directory name.
+    pub name: String,
+    /// Sub-directories.
+    pub dirs: Vec<DirNode>,
+    /// Images directly in this directory.
+    pub images: Vec<ImageRef>,
+}
+
+impl DirNode {
+    /// Total image count in this subtree.
+    pub fn total_images(&self) -> usize {
+        self.images.len() + self.dirs.iter().map(|d| d.total_images()).sum::<usize>()
+    }
+}
+
+/// Builds a deterministic tree containing exactly `total` images.
+///
+/// The shape mimics an image corpus: a few levels of directories with a
+/// geometric spread, images at the leaves.
+pub fn build_tree(total: usize, seed: u64) -> DirNode {
+    let mut rng = SplitMix64::new(seed);
+    let mut next_id = 0u32;
+    let root = build_node("corpus", total, 0, &mut rng, &mut next_id);
+    debug_assert_eq!(root.total_images(), total);
+    root
+}
+
+fn build_node(
+    name: &str,
+    budget: usize,
+    depth: usize,
+    rng: &mut SplitMix64,
+    next_id: &mut u32,
+) -> DirNode {
+    let mut node = DirNode {
+        name: name.to_string(),
+        dirs: Vec::new(),
+        images: Vec::new(),
+    };
+    if budget == 0 {
+        return node;
+    }
+    // Leaf directories hold up to 16 images; inner nodes split the budget
+    // over 2-4 children plus a few local images.
+    if depth >= 3 || budget <= 16 {
+        for _ in 0..budget {
+            node.images.push(make_image(&node.name, rng, next_id));
+        }
+        return node;
+    }
+    let local = (rng.next_below(4) as usize).min(budget);
+    for _ in 0..local {
+        node.images.push(make_image(&node.name, rng, next_id));
+    }
+    let mut rest = budget - local;
+    let children = 2 + rng.next_below(3) as usize; // 2..=4
+    for c in 0..children {
+        if rest == 0 {
+            break;
+        }
+        let share = if c + 1 == children {
+            rest
+        } else {
+            let s = rest / (children - c);
+            // jitter the split so the tree is irregular like a real corpus
+            let jitter = rng.next_below((s / 2).max(1) as u64 + 1) as usize;
+            (s + jitter).min(rest)
+        };
+        let child_name = format!("{name}/d{c}");
+        node.dirs
+            .push(build_node(&child_name, share, depth + 1, rng, next_id));
+        rest -= share;
+    }
+    // Any unassigned remainder becomes local images.
+    for _ in 0..rest {
+        node.images.push(make_image(&node.name, rng, next_id));
+    }
+    node
+}
+
+fn make_image(dir: &str, rng: &mut SplitMix64, next_id: &mut u32) -> ImageRef {
+    let id = *next_id;
+    *next_id += 1;
+    ImageRef {
+        id,
+        path: format!("{dir}/img{id:05}.jpg"),
+        seed: rng.next(),
+    }
+}
+
+/// Recursive traversal in serial program order, calling `f` on each image.
+/// This is the "natural" recursive shape that the pthreads and hyperqueue
+/// versions keep, and that TBB forces the programmer to restructure (§6.1).
+pub fn traverse(node: &DirNode, f: &mut impl FnMut(&ImageRef)) {
+    for img in &node.images {
+        f(img);
+    }
+    for d in &node.dirs {
+        traverse(d, f);
+    }
+}
+
+/// The restructured traversal: an explicit-stack iterator, i.e. the state
+/// machine §6.1 says is "all but rocket science … but tedious and
+/// error-prone". Required by the TBB driver, whose input filter must be
+/// callable once per item.
+pub struct TreeIter<'t> {
+    /// Stack of (node, next-image-index, next-dir-index).
+    stack: Vec<(&'t DirNode, usize, usize)>,
+}
+
+impl<'t> TreeIter<'t> {
+    /// Starts a traversal equivalent to [`traverse`].
+    pub fn new(root: &'t DirNode) -> Self {
+        Self {
+            stack: vec![(root, 0, 0)],
+        }
+    }
+}
+
+impl<'t> Iterator for TreeIter<'t> {
+    type Item = &'t ImageRef;
+
+    fn next(&mut self) -> Option<&'t ImageRef> {
+        loop {
+            let &(node, img_idx, dir_idx) = self.stack.last()?;
+            if img_idx < node.images.len() {
+                self.stack.last_mut().expect("nonempty").1 += 1;
+                return Some(&node.images[img_idx]);
+            }
+            if dir_idx < node.dirs.len() {
+                self.stack.last_mut().expect("nonempty").2 += 1;
+                self.stack.push((&node.dirs[dir_idx], 0, 0));
+                continue;
+            }
+            self.stack.pop();
+        }
+    }
+}
+
+/// Owned variant of [`TreeIter`] for contexts that demand `'static`
+/// closures (the TBB input filter). Addresses nodes by index paths instead
+/// of borrows — more of the restructuring tax §6.1 talks about.
+pub struct OwnedTreeIter {
+    tree: std::sync::Arc<DirNode>,
+    /// Stack of (index path from root, next-image, next-dir).
+    stack: Vec<(Vec<usize>, usize, usize)>,
+}
+
+impl OwnedTreeIter {
+    /// Starts an owned traversal equivalent to [`traverse`].
+    pub fn new(tree: std::sync::Arc<DirNode>) -> Self {
+        Self {
+            tree,
+            stack: vec![(Vec::new(), 0, 0)],
+        }
+    }
+
+    fn resolve(&self, path: &[usize]) -> &DirNode {
+        let mut n: &DirNode = &self.tree;
+        for &i in path {
+            n = &n.dirs[i];
+        }
+        n
+    }
+}
+
+impl Iterator for OwnedTreeIter {
+    type Item = ImageRef;
+
+    fn next(&mut self) -> Option<ImageRef> {
+        loop {
+            let (path, img_idx, dir_idx) = self.stack.last()?.clone();
+            let node = self.resolve(&path);
+            if img_idx < node.images.len() {
+                let img = node.images[img_idx].clone();
+                self.stack.last_mut().expect("nonempty").1 += 1;
+                return Some(img);
+            }
+            if dir_idx < node.dirs.len() {
+                self.stack.last_mut().expect("nonempty").2 += 1;
+                let mut child = path.clone();
+                child.push(dir_idx);
+                self.stack.push((child, 0, 0));
+                continue;
+            }
+            self.stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_exact_image_count() {
+        for total in [0, 1, 16, 100, 357] {
+            let t = build_tree(total, 42);
+            assert_eq!(t.total_images(), total);
+        }
+    }
+
+    #[test]
+    fn tree_is_deterministic() {
+        let a = build_tree(200, 7);
+        let b = build_tree(200, 7);
+        let mut ia = Vec::new();
+        let mut ib = Vec::new();
+        traverse(&a, &mut |i| ia.push(i.clone()));
+        traverse(&b, &mut |i| ib.push(i.clone()));
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn traversal_ids_are_in_discovery_order() {
+        // Ids are assigned during construction in the same recursive order
+        // the traversal visits, so they must come out sorted.
+        let t = build_tree(300, 99);
+        let mut ids = Vec::new();
+        traverse(&t, &mut |i| ids.push(i.id));
+        assert_eq!(ids.len(), 300);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "recursive order must match id order");
+    }
+
+    #[test]
+    fn iterator_matches_recursive_traversal() {
+        let t = build_tree(250, 1234);
+        let mut rec = Vec::new();
+        traverse(&t, &mut |i| rec.push(i.id));
+        let via_iter: Vec<u32> = TreeIter::new(&t).map(|i| i.id).collect();
+        assert_eq!(rec, via_iter, "restructured traversal diverges (§6.1!)");
+    }
+
+    #[test]
+    fn tree_is_actually_nested() {
+        let t = build_tree(500, 5);
+        assert!(!t.dirs.is_empty(), "want a real tree, not a flat dir");
+        assert!(
+            t.dirs.iter().any(|d| !d.dirs.is_empty()),
+            "want at least two levels"
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Ferret drivers: one per programming model of Figure 8.
+//!
+//! All drivers run the identical stage kernels and must produce
+//! byte-identical output (asserted by the test-suite), except that this is
+//! *guaranteed* only for the deterministic ones (serial, hyperqueue, and —
+//! by construction of its in-order stages — objects). The pthreads and TBB
+//! drivers restore output order with reorder buffers / serial in-order
+//! filters, as the PARSEC codes do.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swan::{Runtime, Versioned};
+
+use crate::ferret::data::{build_tree, traverse, DirNode, OwnedTreeIter};
+use crate::ferret::stages::*;
+use crate::timing::StageClock;
+use crate::util::fnv1a_lines;
+
+/// The ordered result lines of a ferret run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FerretOutput {
+    /// One line per image, in serial input order.
+    pub lines: Vec<String>,
+}
+
+impl FerretOutput {
+    /// Order-sensitive checksum for cross-driver comparison.
+    pub fn checksum(&self) -> u64 {
+        fnv1a_lines(&self.lines)
+    }
+}
+
+/// Builds the shared corpus tree for `cfg`.
+pub fn corpus(cfg: &FerretConfig) -> Arc<DirNode> {
+    Arc::new(build_tree(cfg.total_images, cfg.seed))
+}
+
+// ---------------------------------------------------------------------------
+// Serial driver (+ Table 1 characterization).
+// ---------------------------------------------------------------------------
+
+/// Runs ferret serially, timing each stage — regenerates Table 1.
+pub fn run_serial(cfg: &FerretConfig) -> (FerretOutput, StageClock) {
+    let tree = corpus(cfg);
+    let db = FerretDb::build(cfg);
+    let mut clock = StageClock::new();
+    let mut lines = Vec::with_capacity(cfg.total_images);
+
+    // Input = traversal + load/decode, measured as one serial stage with a
+    // single "iteration", as in Table 1.
+    let t0 = std::time::Instant::now();
+    let mut images = Vec::with_capacity(cfg.total_images);
+    traverse(&tree, &mut |r| images.push(load(cfg, r)));
+    clock.add("Input", 1, t0.elapsed());
+
+    for img in images {
+        let seg = clock.time("Segmentation", || segment(cfg, img));
+        let ex = clock.time("Extraction", || extract(cfg, seg));
+        let q = clock.time("Vectorizing", || vectorize(cfg, ex));
+        let r = clock.time("Ranking", || rank(cfg, &db, q));
+        let line = clock.time("Output", || output_line(&r));
+        lines.push(line);
+    }
+    (FerretOutput { lines }, clock)
+}
+
+// ---------------------------------------------------------------------------
+// Pthreads-style driver.
+// ---------------------------------------------------------------------------
+
+/// Thread-count tuning for the pthreads driver — the per-machine knob the
+/// paper criticizes (§6.1: "for best performance, the number of threads
+/// per stage needs to be tuned individually"; they settled on 28 per
+/// parallel stage for 32 cores).
+#[derive(Clone, Debug)]
+pub struct PthreadTuning {
+    /// Threads for the segmentation stage.
+    pub seg_threads: usize,
+    /// Threads for the extraction stage.
+    pub extract_threads: usize,
+    /// Threads for the vectorizing stage.
+    pub vect_threads: usize,
+    /// Threads for the ranking stage.
+    pub rank_threads: usize,
+    /// Capacity of inter-stage queues.
+    pub queue_capacity: usize,
+}
+
+impl PthreadTuning {
+    /// The paper's recipe scaled to `cores`: heavy oversubscription, most
+    /// threads on every parallel stage (28-of-32 ≈ 7/8).
+    pub fn oversubscribed(cores: usize) -> Self {
+        let t = ((cores * 7) / 8).max(1);
+        PthreadTuning {
+            seg_threads: t,
+            extract_threads: t,
+            vect_threads: t,
+            rank_threads: t,
+            queue_capacity: (2 * cores).max(8),
+        }
+    }
+
+    /// A deliberately mis-tuned configuration (one thread per stage) used
+    /// by the tuning-sensitivity experiment.
+    pub fn one_thread_per_stage() -> Self {
+        PthreadTuning {
+            seg_threads: 1,
+            extract_threads: 1,
+            vect_threads: 1,
+            rank_threads: 1,
+            queue_capacity: 8,
+        }
+    }
+}
+
+/// Runs ferret with explicit threads and bounded queues (PARSEC pthreads
+/// shape).
+pub fn run_pthread(cfg: &FerretConfig, tuning: &PthreadTuning) -> FerretOutput {
+    let tree = corpus(cfg);
+    let db = FerretDb::build(cfg);
+    let cap = tuning.queue_capacity;
+    let (in_tx, in_rx) = pipelines::channel::<LoadedImage>(cap);
+    let (seg_tx, seg_rx) = pipelines::channel::<SegmentedImage>(cap);
+    let (ex_tx, ex_rx) = pipelines::channel::<ExtractedImage>(cap);
+    let (vec_tx, vec_rx) = pipelines::channel::<QueryVectors>(cap);
+    let reorder = Arc::new(pipelines::ReorderQueue::<RankResult>::new());
+    let total = cfg.total_images as u64;
+
+    let mut lines = Vec::with_capacity(cfg.total_images);
+    std::thread::scope(|scope| {
+        // Input: serial recursive traversal, unchanged from the serial code
+        // (this is the natural shape hyperqueues also keep).
+        {
+            let tree = Arc::clone(&tree);
+            scope.spawn(move || {
+                traverse(&tree, &mut |r| in_tx.send(load(cfg, r)));
+                // in_tx drops here → channel closes.
+            });
+        }
+        for _ in 0..tuning.seg_threads {
+            let rx = in_rx.clone();
+            let tx = seg_tx.clone();
+            scope.spawn(move || {
+                while let Some(img) = rx.recv() {
+                    tx.send(segment(cfg, img));
+                }
+            });
+        }
+        for _ in 0..tuning.extract_threads {
+            let rx = seg_rx.clone();
+            let tx = ex_tx.clone();
+            scope.spawn(move || {
+                while let Some(s) = rx.recv() {
+                    tx.send(extract(cfg, s));
+                }
+            });
+        }
+        for _ in 0..tuning.vect_threads {
+            let rx = ex_rx.clone();
+            let tx = vec_tx.clone();
+            scope.spawn(move || {
+                while let Some(e) = rx.recv() {
+                    tx.send(vectorize(cfg, e));
+                }
+            });
+        }
+        for _ in 0..tuning.rank_threads {
+            let rx = vec_rx.clone();
+            let ro = Arc::clone(&reorder);
+            let db = Arc::clone(&db);
+            scope.spawn(move || {
+                while let Some(q) = rx.recv() {
+                    let r = rank(cfg, &db, q);
+                    ro.insert(r.id as u64, r);
+                }
+            });
+        }
+        // Drop the original sender clones so stages can terminate.
+        drop(in_rx);
+        drop(seg_tx);
+        drop(seg_rx);
+        drop(ex_tx);
+        drop(ex_rx);
+        drop(vec_tx);
+        drop(vec_rx);
+        // Output: serial, in order.
+        reorder.close_at(total);
+        let ro = Arc::clone(&reorder);
+        let out = scope.spawn(move || {
+            let mut lines = Vec::new();
+            while let Some(r) = ro.recv() {
+                lines.push(output_line(&r));
+            }
+            lines
+        });
+        lines = out.join().expect("output thread");
+    });
+    FerretOutput { lines }
+}
+
+// ---------------------------------------------------------------------------
+// TBB-style driver.
+// ---------------------------------------------------------------------------
+
+/// Runs ferret on the TBB `parallel_pipeline` clone. Note the input stage
+/// had to be restructured into an explicit-state iterator (§6.1).
+pub fn run_tbb(cfg: &FerretConfig, threads: usize, tokens: usize) -> FerretOutput {
+    let tree = corpus(cfg);
+    let db = FerretDb::build(cfg);
+    let lines = Arc::new(Mutex::new(Vec::with_capacity(cfg.total_images)));
+    let lines2 = Arc::clone(&lines);
+    let mut iter = OwnedTreeIter::new(tree);
+    let cfg = cfg.clone();
+    let cfg_seg = cfg.clone();
+    let cfg_ex = cfg.clone();
+    let cfg_vec = cfg.clone();
+    let cfg_rank = cfg.clone();
+
+    pipelines::TbbPipeline::input(move || {
+        iter.next()
+            .map(|r| Box::new(load(&cfg, &r)) as pipelines::Item)
+    })
+    .parallel(move |item| {
+        let img = *item.downcast::<LoadedImage>().expect("LoadedImage");
+        Box::new(segment(&cfg_seg, img)) as pipelines::Item
+    })
+    .parallel(move |item| {
+        let s = *item.downcast::<SegmentedImage>().expect("SegmentedImage");
+        Box::new(extract(&cfg_ex, s)) as pipelines::Item
+    })
+    .parallel(move |item| {
+        let e = *item.downcast::<ExtractedImage>().expect("ExtractedImage");
+        Box::new(vectorize(&cfg_vec, e)) as pipelines::Item
+    })
+    .parallel(move |item| {
+        let q = *item.downcast::<QueryVectors>().expect("QueryVectors");
+        Box::new(rank(&cfg_rank, &db, q)) as pipelines::Item
+    })
+    .serial_in_order(move |item| {
+        let r = item.downcast_ref::<RankResult>().expect("RankResult");
+        lines2.lock().push(output_line(r));
+        item
+    })
+    .run(threads, tokens);
+
+    let lines = Arc::try_unwrap(lines)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|a| a.lock().clone());
+    FerretOutput { lines }
+}
+
+// ---------------------------------------------------------------------------
+// Swan objects (task dataflow without hyperqueues).
+// ---------------------------------------------------------------------------
+
+/// Runs ferret on versioned-object dataflow *without* hyperqueues. As in
+/// the paper's "objects" version, the input stage is not overlapped with
+/// the pipeline (the baseline dataflow model cannot express the
+/// variable-rate traversal as a task), which caps scalability (Fig. 8).
+pub fn run_objects(cfg: &FerretConfig, rt: &Runtime) -> FerretOutput {
+    let tree = corpus(cfg);
+    let db = FerretDb::build(cfg);
+    // Phase 1 (serial, unoverlapped): the input stage.
+    let mut images = Vec::with_capacity(cfg.total_images);
+    traverse(&tree, &mut |r| images.push(load(cfg, r)));
+    // Phase 2: per-image dataflow tasks; output ordered by an inout chain.
+    let out: Versioned<Vec<String>> = Versioned::new(Vec::with_capacity(cfg.total_images));
+    rt.scope(|s| {
+        for img in images.drain(..) {
+            let res: Versioned<Option<RankResult>> = Versioned::new(None);
+            let db = Arc::clone(&db);
+            s.spawn((res.write(),), move |_, (mut w,)| {
+                *w = Some(process_image(cfg, &db, img));
+            });
+            s.spawn((res.read(), out.update()), move |_, (r, mut o)| {
+                o.push(output_line(r.as_ref().expect("writer ran first")));
+            });
+        }
+    });
+    FerretOutput {
+        lines: out.read_latest(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hyperqueue driver (the paper's version).
+// ---------------------------------------------------------------------------
+
+/// Runs ferret with hyperqueues: the unmodified recursive traversal feeds
+/// an input hyperqueue; per-image tasks carry the output hyperqueue's push
+/// privilege so results reassemble in serial order; a single output task
+/// drains in order (§6.1).
+pub fn run_hyperqueue(cfg: &FerretConfig, rt: &Runtime) -> FerretOutput {
+    let tree = corpus(cfg);
+    let db = FerretDb::build(cfg);
+    let mut lines = Vec::with_capacity(cfg.total_images);
+    let lines_ref = &mut lines;
+    rt.scope(move |s| {
+        let in_q = hyperqueue::Hyperqueue::<LoadedImage>::with_segment_capacity(s, 64);
+        let out_q = hyperqueue::Hyperqueue::<RankResult>::with_segment_capacity(s, 64);
+        // Stage 1: input — the *unchanged* recursive traversal (§6.1).
+        {
+            let tree = Arc::clone(&tree);
+            s.spawn((in_q.pushdep(),), move |_, (mut push,)| {
+                traverse(&tree, &mut |r| push.push(load(cfg, r)));
+            });
+        }
+        // Stages 2-5: a dispatcher pops images and spawns one task per
+        // image; each task holds a push grant on the output queue, so the
+        // hyperqueue reduction restores serial order automatically.
+        {
+            let db = Arc::clone(&db);
+            s.spawn(
+                (in_q.popdep(), out_q.pushdep()),
+                move |s, (mut pop, mut push)| {
+                    while !pop.empty() {
+                        let img = pop.pop();
+                        let db = Arc::clone(&db);
+                        s.spawn((push.pushdep(),), move |_, (mut p,)| {
+                            p.push(process_image(cfg, &db, img));
+                        });
+                    }
+                },
+            );
+        }
+        // Stage 6: output — one coarse task iterating the queue (§6.1:
+        // "a single large task is spawned for this stage which iterates
+        // over all elements in the queue").
+        s.spawn((out_q.popdep(),), move |_, (mut pop,)| {
+            while !pop.empty() {
+                lines_ref.push(output_line(&pop.pop()));
+            }
+        });
+    });
+    FerretOutput { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_drivers_agree_with_serial() {
+        let cfg = FerretConfig::small();
+        let (serial, clock) = run_serial(&cfg);
+        assert_eq!(serial.lines.len(), cfg.total_images);
+        assert!(clock.total().as_nanos() > 0);
+
+        let pthread = run_pthread(&cfg, &PthreadTuning::oversubscribed(4));
+        assert_eq!(pthread.checksum(), serial.checksum(), "pthread diverged");
+
+        let tbb = run_tbb(&cfg, 4, 16);
+        assert_eq!(tbb.checksum(), serial.checksum(), "tbb diverged");
+
+        let rt = Runtime::with_workers(4);
+        let objects = run_objects(&cfg, &rt);
+        assert_eq!(objects.checksum(), serial.checksum(), "objects diverged");
+
+        let hq = run_hyperqueue(&cfg, &rt);
+        assert_eq!(hq.checksum(), serial.checksum(), "hyperqueue diverged");
+    }
+
+    #[test]
+    fn hyperqueue_deterministic_across_worker_counts() {
+        let cfg = FerretConfig::small();
+        let (serial, _) = run_serial(&cfg);
+        for workers in [1, 2, 8] {
+            let rt = Runtime::with_workers(workers);
+            let out = run_hyperqueue(&cfg, &rt);
+            assert_eq!(
+                out.lines, serial.lines,
+                "hyperqueue output differs at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn mis_tuned_pthread_still_correct() {
+        let cfg = FerretConfig::small();
+        let (serial, _) = run_serial(&cfg);
+        let out = run_pthread(&cfg, &PthreadTuning::one_thread_per_stage());
+        assert_eq!(out.checksum(), serial.checksum());
+    }
+}

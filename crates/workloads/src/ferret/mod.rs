@@ -1,0 +1,23 @@
+//! The ferret workload: content-based image similarity search over a
+//! 6-stage pipeline (paper §6.1, Figure 7, Table 1, Figure 8).
+//!
+//! Stage schematic (Figure 7):
+//!
+//! ```text
+//! input → seg → extr → vect → rank → out
+//! serial   ∥      ∥      ∥      ∥    serial(in order)
+//! ```
+//!
+//! `input` is a recursive directory traversal (the §6.1 programmability
+//! crux); `rank` dominates the serial profile (Table 1).
+
+pub mod data;
+pub mod drivers;
+pub mod stages;
+
+pub use data::{build_tree, traverse, DirNode, ImageRef, OwnedTreeIter, TreeIter};
+pub use drivers::{
+    corpus, run_hyperqueue, run_objects, run_pthread, run_serial, run_tbb, FerretOutput,
+    PthreadTuning,
+};
+pub use stages::{FerretConfig, FerretDb};

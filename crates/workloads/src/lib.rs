@@ -1,0 +1,24 @@
+//! # workloads — the paper's evaluation benchmarks, end to end
+//!
+//! PARSEC-like pipeline workloads with drivers for every programming model
+//! the paper compares (§6): serial, pthreads-style, TBB-style, Swan
+//! versioned-object dataflow, and hyperqueues.
+//!
+//! * [`ferret`] — 6-stage image-similarity search (Table 1, Figure 8)
+//! * [`dedup`] — 5-stage deduplicating compressor (Table 2, Figure 11)
+//! * [`bzip2`] — 3-stage block compressor (§6.3)
+//!
+//! Every workload is *algorithmically real* (the dedup output really
+//! round-trips; bzip2 really compresses via BWT+MTF+Huffman) but runs on
+//! deterministic synthetic inputs; see DESIGN.md for the substitutions.
+
+#![warn(missing_docs)]
+
+pub mod bzip2;
+pub mod dedup;
+pub mod entropy;
+pub mod ferret;
+pub mod timing;
+pub mod util;
+
+pub use timing::{StageClock, StageEntry};

@@ -1,0 +1,122 @@
+//! Per-stage timing for the serial characterization runs (Tables 1 and 2
+//! of the paper).
+
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time and iteration counts per pipeline stage.
+#[derive(Clone, Debug, Default)]
+pub struct StageClock {
+    entries: Vec<StageEntry>,
+}
+
+/// One row of a characterization table.
+#[derive(Clone, Debug)]
+pub struct StageEntry {
+    /// Stage name as the paper prints it.
+    pub name: &'static str,
+    /// Number of stage invocations ("Iterations" column).
+    pub iterations: u64,
+    /// Accumulated time.
+    pub time: Duration,
+}
+
+impl StageClock {
+    /// Creates an empty clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, attributing its wall time to `stage`.
+    pub fn time<R>(&mut self, stage: &'static str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(stage, 1, t0.elapsed());
+        r
+    }
+
+    /// Adds a manual measurement.
+    pub fn add(&mut self, stage: &'static str, iterations: u64, time: Duration) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == stage) {
+            e.iterations += iterations;
+            e.time += time;
+        } else {
+            self.entries.push(StageEntry {
+                name: stage,
+                iterations,
+                time,
+            });
+        }
+    }
+
+    /// The accumulated rows, in first-recorded order.
+    pub fn entries(&self) -> &[StageEntry] {
+        &self.entries
+    }
+
+    /// Total time across stages.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|e| e.time).sum()
+    }
+
+    /// Renders the table in the paper's format (iterations, seconds, %).
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let total = self.total().as_secs_f64().max(1e-12);
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(out, "{:<16} {:>10} {:>12} {:>9}", "Stage", "Iterations", "Time (s)", "Time (%)");
+        for e in &self.entries {
+            let secs = e.time.as_secs_f64();
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10} {:>12.3} {:>8.2}%",
+                e.name,
+                e.iterations,
+                secs,
+                100.0 * secs / total
+            );
+        }
+        let _ = writeln!(out, "{:<16} {:>10} {:>12.3} {:>8.2}%", "Total", "", total, 100.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_stage() {
+        let mut c = StageClock::new();
+        c.add("a", 1, Duration::from_millis(10));
+        c.add("b", 2, Duration::from_millis(30));
+        c.add("a", 1, Duration::from_millis(10));
+        assert_eq!(c.entries().len(), 2);
+        let a = &c.entries()[0];
+        assert_eq!(a.iterations, 2);
+        assert_eq!(a.time, Duration::from_millis(20));
+        assert_eq!(c.total(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn time_measures_closure() {
+        let mut c = StageClock::new();
+        let v = c.time("work", || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(c.total() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn render_contains_all_stages() {
+        let mut c = StageClock::new();
+        c.add("Input", 1, Duration::from_millis(5));
+        c.add("Ranking", 35, Duration::from_millis(75));
+        let s = c.render("Table: test");
+        assert!(s.contains("Input"));
+        assert!(s.contains("Ranking"));
+        assert!(s.contains("Time (%)"));
+    }
+}

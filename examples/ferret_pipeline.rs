@@ -1,0 +1,47 @@
+//! Ferret (§6.1): content-based image similarity search over the 6-stage
+//! pipeline of Figure 7, with the hyperqueue formulation of the paper —
+//! the *unchanged* recursive directory traversal feeds an input queue,
+//! per-image tasks carry the output queue's push privilege, and a single
+//! output task drains results in serial order.
+//!
+//! ```text
+//! cargo run --release --example ferret_pipeline [-- images [workers]]
+//! ```
+
+use hyperqueues::swan::Runtime;
+use hyperqueues::workloads::ferret::{run_hyperqueue, run_serial, FerretConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let images = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(500);
+    let workers = args
+        .get(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let cfg = FerretConfig::bench(images);
+
+    println!("ferret: {images} images, {workers} workers");
+    let t0 = std::time::Instant::now();
+    let (serial, clock) = run_serial(&cfg);
+    let serial_time = t0.elapsed();
+    println!("\nserial stage breakdown:");
+    print!("{}", clock.render("  (Table 1 shape)"));
+
+    let rt = Runtime::with_workers(workers);
+    let t0 = std::time::Instant::now();
+    let out = run_hyperqueue(&cfg, &rt);
+    let hq_time = t0.elapsed();
+
+    assert_eq!(out.lines, serial.lines, "hyperqueue output diverged!");
+    println!(
+        "\nhyperqueue: {:?} vs serial {:?}  (speedup {:.2}x on {workers} workers)",
+        hq_time,
+        serial_time,
+        serial_time.as_secs_f64() / hq_time.as_secs_f64()
+    );
+    println!("outputs identical: true");
+    println!("\nfirst results:");
+    for line in out.lines.iter().take(3) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,93 @@
+//! A domain example beyond the paper's benchmarks: a deterministic
+//! word-frequency pipeline (the shape of a log-analytics job).
+//!
+//! Stage 1 (serial): a reader splits text into lines — natural streaming
+//! code, no restructuring. Stage 2 (parallel): per-batch tokenization +
+//! local counting, spawned per batch with push privileges on the output
+//! queue so partial results arrive *in batch order*. Stage 3 (serial):
+//! merge — because merge order is deterministic, ties in the final top-10
+//! resolve identically on every run and core count.
+//!
+//! ```text
+//! cargo run --release --example wordcount [-- mbytes]
+//! ```
+
+use std::collections::HashMap;
+
+use hyperqueues::hyperqueue::Hyperqueue;
+use hyperqueues::swan::Runtime;
+use hyperqueues::workloads::bzip2::{corpus, Bzip2Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mbytes: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(8);
+    let text = corpus(&Bzip2Config::bench(mbytes << 20)); // word-soup corpus
+
+    let mut results = Vec::new();
+    for workers in [1, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)] {
+        let rt = Runtime::with_workers(workers);
+        let t0 = std::time::Instant::now();
+        let mut merged: HashMap<String, u64> = HashMap::new();
+        let merged_ref = &mut merged;
+        let text_ref = &text;
+        rt.scope(move |s| {
+            let lines_q = Hyperqueue::<String>::with_segment_capacity(s, 256);
+            let counts_q = Hyperqueue::<Vec<(String, u64)>>::with_segment_capacity(s, 32);
+            // Stage 1: serial reader.
+            s.spawn((lines_q.pushdep(),), move |_, (mut push,)| {
+                for line in text_ref.split(|&b| b == b'\n') {
+                    push.push(String::from_utf8_lossy(line).into_owned());
+                }
+            });
+            // Stage 2: dispatcher pops line batches, spawns counting tasks.
+            s.spawn(
+                (lines_q.popdep(), counts_q.pushdep()),
+                move |s, (mut pop, mut push)| {
+                    let mut batch = Vec::with_capacity(64);
+                    loop {
+                        let done = pop.empty();
+                        if !done {
+                            batch.push(pop.pop());
+                        }
+                        if batch.len() == 64 || (done && !batch.is_empty()) {
+                            let work: Vec<String> = std::mem::take(&mut batch);
+                            s.spawn((push.pushdep(),), move |_, (mut p,)| {
+                                let mut local: HashMap<String, u64> = HashMap::new();
+                                for line in &work {
+                                    for w in line.split_whitespace() {
+                                        *local.entry(w.to_string()).or_insert(0) += 1;
+                                    }
+                                }
+                                let mut v: Vec<(String, u64)> = local.into_iter().collect();
+                                v.sort_unstable(); // deterministic partials
+                                p.push(v);
+                            });
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                },
+            );
+            // Stage 3: serial merge, in batch order.
+            s.spawn((counts_q.popdep(),), move |_, (mut pop,)| {
+                while !pop.empty() {
+                    for (w, n) in pop.pop() {
+                        *merged_ref.entry(w).or_insert(0) += n;
+                    }
+                }
+            });
+        });
+        let elapsed = t0.elapsed();
+        let mut top: Vec<(String, u64)> = merged.into_iter().collect();
+        top.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(10);
+        println!("workers={workers:<2} {elapsed:?}  top-3: {:?}", &top[..3.min(top.len())]);
+        results.push(top);
+    }
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "word counts diverged across core counts!"
+    );
+    println!("top-10 identical across core counts — deterministic analytics.");
+}

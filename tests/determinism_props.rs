@@ -1,0 +1,158 @@
+//! Property-based determinism tests: randomized pipeline programs must
+//! observe values in serial-elision order under every scheduling we can
+//! provoke. This is the paper's central claim, attacked with proptest.
+
+use hyperqueues::hyperqueue::{Hyperqueue, PushToken};
+use hyperqueues::swan::{Runtime, RuntimeConfig, Scope};
+use proptest::prelude::*;
+
+/// A randomized producer tree: at each node either push a run of values or
+/// split into children (recursively), preserving serial order.
+#[derive(Clone, Debug)]
+enum Plan {
+    Push(u8),
+    Split(Vec<Plan>),
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    let leaf = (1u8..20).prop_map(Plan::Push);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop::collection::vec(inner, 1..4).prop_map(Plan::Split)
+    })
+}
+
+/// Serial elision: what order must the consumer observe?
+fn serial_order(plan: &Plan, next: &mut u64, out: &mut Vec<u64>) {
+    match plan {
+        Plan::Push(n) => {
+            for _ in 0..*n {
+                out.push(*next);
+                *next += 1;
+            }
+        }
+        Plan::Split(children) => {
+            for c in children {
+                serial_order(c, next, out);
+            }
+        }
+    }
+}
+
+/// Pre-assigns each leaf its serial position range so parallel execution
+/// cannot perturb the *values*, only their arrival order — which the
+/// hyperqueue must then restore.
+fn run_plan_preassigned(s: &Scope<'_>, plan: Plan, mut q: PushToken<u64>, start: u64) {
+    match plan {
+        Plan::Push(n) => {
+            for i in 0..n as u64 {
+                q.push(start + i);
+            }
+        }
+        Plan::Split(children) => {
+            let mut offset = start;
+            for c in children {
+                let size = plan_size(&c);
+                s.spawn((q.pushdep(),), move |s, (q2,)| {
+                    run_plan_preassigned(s, c, q2, offset)
+                });
+                offset += size;
+            }
+        }
+    }
+}
+
+fn plan_size(plan: &Plan) -> u64 {
+    match plan {
+        Plan::Push(n) => *n as u64,
+        Plan::Split(children) => children.iter().map(plan_size).sum(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_producer_trees_preserve_serial_order(
+        plan in plan_strategy(),
+        workers in 1usize..9,
+        seg_cap in prop::sample::select(vec![2usize, 3, 8, 64]),
+        chaos in prop::option::of(0u64..1000),
+    ) {
+        let mut expect = Vec::new();
+        serial_order(&plan, &mut 0, &mut expect);
+
+        let cfg = match chaos {
+            Some(seed) => RuntimeConfig::with_workers(workers).with_chaos(seed, 25),
+            None => RuntimeConfig::with_workers(workers),
+        };
+        let rt = Runtime::new(cfg);
+        let mut got = Vec::new();
+        let got_ref = &mut got;
+        rt.scope(move |s| {
+            let q = Hyperqueue::<u64>::with_segment_capacity(s, seg_cap);
+            let plan2 = plan.clone();
+            s.spawn((q.pushdep(),), move |s, (q2,)| {
+                run_plan_preassigned(s, plan2, q2, 0)
+            });
+            s.spawn((q.popdep(),), move |_, (mut c,)| {
+                while !c.empty() {
+                    got_ref.push(c.pop());
+                }
+            });
+        });
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interleaved_producers_and_consumers_partition_the_stream(
+        chunks in prop::collection::vec(1u32..30, 1..8),
+        workers in 1usize..9,
+    ) {
+        // spawn P(c0); C; P(c1); C; ... — each consumer drains exactly the
+        // values pushed before it (rule 4 hides later pushes).
+        let rt = Runtime::with_workers(workers);
+        let total: u32 = chunks.iter().sum();
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new(); chunks.len()];
+        {
+            let outs: Vec<&mut Vec<u32>> = outputs.iter_mut().collect();
+            let chunks2 = chunks.clone();
+            rt.scope(move |s| {
+                let q = Hyperqueue::<u32>::with_segment_capacity(s, 4);
+                let mut next = 0u32;
+                for (i, (&n, out)) in chunks2.iter().zip(outs).enumerate() {
+                    let lo = next;
+                    next += n;
+                    let hi = next;
+                    s.spawn((q.pushdep(),), move |_, (mut p,)| {
+                        for v in lo..hi {
+                            p.push(v);
+                        }
+                    });
+                    s.spawn((q.popdep(),), move |_, (mut c,)| {
+                        while !c.empty() {
+                            out.push(c.pop());
+                        }
+                        let _ = i;
+                    });
+                }
+            });
+        }
+        // Consumers may split the stream at any boundary (a consumer can
+        // drain values of *later* producers only if they were pushed before
+        // it was spawned — impossible here since each pop task is spawned
+        // right after its producer and hides later pushes). Check: the
+        // concatenation is exactly 0..total, and consumer i never sees a
+        // value from a producer spawned after it.
+        let flat: Vec<u32> = outputs.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, (0..total).collect::<Vec<_>>());
+        let mut bound = 0u32;
+        for (i, out) in outputs.iter().enumerate() {
+            bound += chunks[i];
+            for &v in out {
+                prop_assert!(v < bound, "consumer {i} saw {v} >= bound {bound}");
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Failure-injection tests: panicking tasks, abandoned queues, consumers
+//! that quit early — the runtime must neither hang nor leak nor corrupt
+//! later work.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hyperqueues::hyperqueue::Hyperqueue;
+use hyperqueues::swan::{Runtime, Versioned};
+
+#[test]
+fn panicking_producer_does_not_hang_the_scope() {
+    let rt = Runtime::with_workers(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rt.scope(|s| {
+            let q = Hyperqueue::<u32>::new(s);
+            s.spawn((q.pushdep(),), |_, (mut p,)| {
+                p.push(1);
+                panic!("producer died");
+            });
+            s.spawn((q.popdep(),), |_, (mut c,)| {
+                // May see the value or not; must never hang.
+                while !c.empty() {
+                    let _ = c.pop();
+                }
+            });
+        });
+    }));
+    assert!(result.is_err(), "panic must propagate");
+    // Runtime still healthy afterwards.
+    let ok = AtomicUsize::new(0);
+    rt.scope(|s| {
+        s.spawn((), |_, ()| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    assert_eq!(ok.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn panicking_consumer_propagates_and_leaves_queue_reclaimable() {
+    let rt = Runtime::with_workers(4);
+    let marker = Arc::new(());
+    let m2 = Arc::clone(&marker);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rt.scope(move |s| {
+            let q = Hyperqueue::<Arc<()>>::new(s);
+            for _ in 0..100 {
+                q.push(Arc::clone(&m2));
+            }
+            s.spawn((q.popdep(),), |_, (mut c,)| {
+                let _ = c.pop();
+                panic!("consumer died");
+            });
+        });
+    }));
+    assert!(result.is_err());
+    assert_eq!(
+        Arc::strong_count(&marker),
+        1,
+        "values leaked after consumer panic"
+    );
+}
+
+#[test]
+fn nested_task_panic_reaches_the_root() {
+    let rt = Runtime::with_workers(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rt.scope(|s| {
+            s.spawn((), |s, ()| {
+                s.spawn((), |s, ()| {
+                    s.spawn((), |_, ()| panic!("deep panic"));
+                });
+            });
+        });
+    }));
+    assert!(result.is_err(), "grandchild panic must surface at the scope");
+}
+
+#[test]
+fn versioned_objects_survive_writer_panic() {
+    let rt = Runtime::with_workers(2);
+    let v: Versioned<u64> = Versioned::new(7);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rt.scope(|s| {
+            s.spawn((v.update(),), |_, (mut g,)| {
+                *g = 8;
+                panic!("writer died mid-update");
+            });
+            // The reader is scheduled after the (panicked) writer; it
+            // still runs — determinism of *values* is forfeited on panic,
+            // but scheduling must not deadlock.
+            s.spawn((v.read(),), |_, (g,)| {
+                let _ = *g;
+            });
+        });
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn abandoned_nested_queues_are_reclaimed() {
+    // Fragment-style code that creates local queues per iteration and
+    // abandons them with values still inside (§2.1 allows this).
+    let rt = Runtime::with_workers(4);
+    let marker = Arc::new(());
+    let m = Arc::clone(&marker);
+    rt.scope(move |s| {
+        s.spawn((), move |s, ()| {
+            for _ in 0..50 {
+                let local = Hyperqueue::<Arc<()>>::with_segment_capacity(s, 8);
+                for _ in 0..20 {
+                    local.push(Arc::clone(&m));
+                }
+                // Pop a few, abandon the rest.
+                let _ = local.pop();
+                let _ = local.pop();
+            }
+        });
+    });
+    assert_eq!(Arc::strong_count(&marker), 1, "abandoned values leaked");
+}
+
+#[test]
+fn consumer_quitting_early_leaves_consistent_state() {
+    let rt = Runtime::with_workers(4);
+    for _ in 0..20 {
+        let mut drained = Vec::new();
+        let d = &mut drained;
+        rt.scope(move |s| {
+            let q = Hyperqueue::<u32>::with_segment_capacity(s, 4);
+            s.spawn((q.pushdep(),), |_, (mut p,)| {
+                for i in 0..40 {
+                    p.push(i);
+                }
+            });
+            // First consumer takes an arbitrary prefix and quits.
+            s.spawn((q.popdep(),), |_, (mut c,)| {
+                for _ in 0..7 {
+                    if !c.empty() {
+                        let _ = c.pop();
+                    }
+                }
+            });
+            // Second consumer must see exactly the rest, in order.
+            s.spawn((q.popdep(),), move |_, (mut c,)| {
+                while !c.empty() {
+                    d.push(c.pop());
+                }
+            });
+        });
+        assert_eq!(drained, (7..40).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,84 @@
+//! The worked example of **Figure 4** (paper §4.3), as an executable test.
+//!
+//! Task 0 (the scope root) spawns:
+//!   Task 1 (push), which spawns Task 2 (push: values 0-3) and Task 3
+//!   (push: values 4-7); Task 4 (pop), which spawns Task 5 (pop: drains);
+//!   Task 6 (push: value 8).
+//!
+//! Determinism requires Task 5 to observe exactly 0..=7 in order — never
+//! Task 6's value 8, which is pushed by a task *younger* than the
+//! consumer. Value 8 stays in the queue (observable by the owner after
+//! sync, since the top-level task holds both privileges).
+
+use hyperqueues::hyperqueue::Hyperqueue;
+use hyperqueues::swan::{Runtime, RuntimeConfig};
+
+fn run_figure4(workers: usize, chaos_seed: Option<u64>) -> (Vec<u32>, Vec<u32>) {
+    let cfg = match chaos_seed {
+        Some(seed) => RuntimeConfig::with_workers(workers).with_chaos(seed, 60),
+        None => RuntimeConfig::with_workers(workers),
+    };
+    let rt = Runtime::new(cfg);
+    let mut consumed = Vec::new();
+    let mut leftover = Vec::new();
+    let (c_ref, l_ref) = (&mut consumed, &mut leftover);
+    rt.scope(move |s| {
+        // Segment capacity 4 reproduces the figure's segment granularity:
+        // Task 2 fills the initial segment; Task 3 needs a fresh one.
+        let q = Hyperqueue::<u32>::with_segment_capacity(s, 4);
+        // Task 1: push privileges, delegates to Tasks 2 and 3.
+        s.spawn((q.pushdep(),), |s, (mut p,)| {
+            s.spawn((p.pushdep(),), |_, (mut p2,)| {
+                for v in 0..4 {
+                    p2.push(v);
+                }
+            });
+            s.spawn((p.pushdep(),), |_, (mut p3,)| {
+                for v in 4..8 {
+                    p3.push(v);
+                }
+            });
+        });
+        // Task 4: pop privileges, delegates to Task 5.
+        s.spawn((q.popdep(),), |s, (mut c,)| {
+            s.spawn((c.popdep(),), |_, (mut c5,)| {
+                // Task 5 pops everything *visible to it*: exactly 0..=7.
+                while !c5.empty() {
+                    c_ref.push(c5.pop());
+                }
+            });
+        });
+        // Task 6: pushes 8, which Tasks 4/5 must never observe.
+        s.spawn((q.pushdep(),), |_, (mut p,)| {
+            p.push(8);
+        });
+        s.sync();
+        // The owner (Task 0) now drains the remainder.
+        while !q.empty() {
+            l_ref.push(q.pop());
+        }
+    });
+    (consumed, leftover)
+}
+
+#[test]
+fn figure4_consumer_sees_exactly_0_to_7_in_order() {
+    for workers in [1, 2, 4, 8] {
+        let (consumed, leftover) = run_figure4(workers, None);
+        assert_eq!(
+            consumed,
+            (0..8).collect::<Vec<_>>(),
+            "consumer order broken at {workers} workers"
+        );
+        assert_eq!(leftover, vec![8], "task 6's value must remain queued");
+    }
+}
+
+#[test]
+fn figure4_is_robust_under_chaos_scheduling() {
+    for seed in 0..20 {
+        let (consumed, leftover) = run_figure4(8, Some(seed));
+        assert_eq!(consumed, (0..8).collect::<Vec<_>>(), "seed {seed}");
+        assert_eq!(leftover, vec![8], "seed {seed}");
+    }
+}

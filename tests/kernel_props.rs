@@ -1,0 +1,118 @@
+//! Property tests over the workload kernels: every transform must
+//! round-trip on arbitrary inputs (the paper's substrate must be *real*).
+
+use hyperqueues::workloads::bzip2::block::{compress_block, decompress_block};
+use hyperqueues::workloads::bzip2::bwt::{bwt, ibwt};
+use hyperqueues::workloads::bzip2::mtf::{imtf, mtf, zle_decode, zle_encode};
+use hyperqueues::workloads::bzip2::rle::{rle1_decode, rle1_encode};
+use hyperqueues::workloads::dedup::compress::{compress, decompress};
+use hyperqueues::workloads::dedup::rolling::{chunk_boundaries, ChunkParams};
+use proptest::prelude::*;
+
+/// Byte vectors biased toward runs and repetition (the adversarial cases
+/// for RLE/BWT/LZ), plus plain random data.
+fn byteish() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..4096),
+        // Runny data.
+        prop::collection::vec((any::<u8>(), 1usize..300), 0..24).prop_map(|runs| {
+            runs.into_iter()
+                .flat_map(|(b, n)| std::iter::repeat(b).take(n))
+                .collect()
+        }),
+        // Small-alphabet data (BWT-friendly).
+        prop::collection::vec(0u8..4, 0..4096),
+        // Periodic data.
+        (prop::collection::vec(any::<u8>(), 1..16), 1usize..200)
+            .prop_map(|(pat, n)| pat.repeat(n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lz_roundtrip(data in byteish()) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).expect("decodes"), data);
+    }
+
+    #[test]
+    fn bwt_roundtrip(data in byteish()) {
+        let (last, idx) = bwt(&data);
+        prop_assert_eq!(ibwt(&last, idx), data);
+    }
+
+    #[test]
+    fn mtf_zle_roundtrip(data in byteish()) {
+        let m = mtf(&data);
+        let z = zle_encode(&m);
+        prop_assert_eq!(imtf(&zle_decode(&z)), data);
+    }
+
+    #[test]
+    fn rle1_roundtrip(data in byteish()) {
+        prop_assert_eq!(rle1_decode(&rle1_encode(&data)), data);
+    }
+
+    #[test]
+    fn full_block_roundtrip(data in byteish()) {
+        let c = compress_block(&data);
+        prop_assert_eq!(decompress_block(&c).expect("block decodes"), data);
+    }
+
+    #[test]
+    fn chunker_covers_input(data in byteish()) {
+        let p = ChunkParams::tiny();
+        let ends = chunk_boundaries(&data, &p);
+        if data.is_empty() {
+            prop_assert!(ends.is_empty());
+        } else {
+            prop_assert_eq!(*ends.last().unwrap(), data.len());
+            let mut prev = 0usize;
+            for &e in &ends {
+                prop_assert!(e > prev, "non-monotonic boundary");
+                prop_assert!(e - prev <= p.max_size, "oversized chunk");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn chunker_is_deterministic_and_content_defined(
+        prefix in prop::collection::vec(any::<u8>(), 0..512),
+        body in prop::collection::vec(any::<u8>(), 2048..4096),
+    ) {
+        // Shifting content must re-synchronize: chunk the body alone and
+        // inside prefix+body; interior boundaries (away from the edges)
+        // must coincide modulo the prefix offset.
+        let p = ChunkParams::tiny();
+        let solo: Vec<usize> = chunk_boundaries(&body, &p);
+        let mut joined = prefix.clone();
+        joined.extend_from_slice(&body);
+        let shifted: Vec<usize> = chunk_boundaries(&joined, &p);
+        // Collect boundary positions well inside the body from both runs.
+        let inner_solo: Vec<usize> = solo
+            .iter()
+            .map(|&e| e)
+            .filter(|&e| e > p.max_size && e + p.max_size < body.len())
+            .collect();
+        let shifted_set: std::collections::HashSet<usize> = shifted
+            .iter()
+            .filter_map(|&e| e.checked_sub(prefix.len()))
+            .collect();
+        // After at most one max_size worth of resynchronization, interior
+        // boundaries must be recovered.
+        let recovered = inner_solo
+            .iter()
+            .filter(|&&e| shifted_set.contains(&e))
+            .count();
+        if inner_solo.len() >= 3 {
+            prop_assert!(
+                recovered >= inner_solo.len() - 2,
+                "content-defined chunking failed to resync: {recovered}/{}",
+                inner_solo.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Cross-model agreement for all three evaluation workloads (Figures 7
+//! and 9 describe the shapes; this test pins the *semantics*): every
+//! programming model must produce byte-identical output, and that output
+//! must verify (dedup archives and bzip2 streams decode back to the
+//! original input).
+
+use hyperqueues::swan::Runtime;
+use hyperqueues::workloads::{bzip2, dedup, ferret};
+
+#[test]
+fn ferret_all_models_agree() {
+    let cfg = ferret::FerretConfig::small();
+    let (serial, _) = ferret::run_serial(&cfg);
+    let rt = Runtime::with_workers(6);
+    assert_eq!(
+        ferret::run_pthread(&cfg, &ferret::PthreadTuning::oversubscribed(6)).checksum(),
+        serial.checksum()
+    );
+    assert_eq!(ferret::run_tbb(&cfg, 6, 24).checksum(), serial.checksum());
+    assert_eq!(ferret::run_objects(&cfg, &rt).checksum(), serial.checksum());
+    assert_eq!(ferret::run_hyperqueue(&cfg, &rt).checksum(), serial.checksum());
+}
+
+#[test]
+fn dedup_all_models_agree_and_roundtrip() {
+    let cfg = dedup::DedupConfig::small();
+    let data = dedup::corpus(&cfg);
+    let (serial, _) = dedup::run_serial(&cfg, &data);
+    let rt = Runtime::with_workers(6);
+
+    let archives = [
+        dedup::run_pthread(&cfg, &data, &dedup::DedupTuning::oversubscribed(6)),
+        dedup::run_tbb(&cfg, &data, 6, 12),
+        dedup::run_objects(&cfg, &data, &rt),
+        dedup::run_hyperqueue(&cfg, &data, &rt),
+    ];
+    for (i, a) in archives.iter().enumerate() {
+        assert_eq!(a.checksum(), serial.checksum(), "model {i} diverged");
+    }
+    let restored = dedup::unarchive(&serial.bytes).expect("decodes");
+    assert_eq!(&restored[..], &data[..]);
+}
+
+#[test]
+fn bzip2_all_models_agree_and_roundtrip() {
+    let cfg = bzip2::Bzip2Config::small();
+    let data = bzip2::corpus(&cfg);
+    let (serial, _) = bzip2::run_serial(&cfg, &data);
+    let rt = Runtime::with_workers(6);
+    let reference = hyperqueues::workloads::util::fnv1a(&serial);
+
+    for (name, stream) in [
+        ("objects", bzip2::run_objects(&cfg, &data, &rt)),
+        ("hyperqueue", bzip2::run_hyperqueue(&cfg, &data, &rt)),
+        ("loop-split", bzip2::run_hyperqueue_split(&cfg, &data, &rt, 4)),
+    ] {
+        assert_eq!(
+            hyperqueues::workloads::util::fnv1a(&stream),
+            reference,
+            "{name} diverged"
+        );
+    }
+    let restored = bzip2::decompress_stream(&serial).expect("decodes");
+    assert_eq!(&restored[..], &data[..]);
+}
+
+#[test]
+fn workloads_scale_free_same_binary_many_core_counts() {
+    // The scale-free property: identical outputs from the identical
+    // program text across core counts, for all three workloads at once.
+    let fcfg = ferret::FerretConfig::small();
+    let dcfg = dedup::DedupConfig::small();
+    let bcfg = bzip2::Bzip2Config::small();
+    let ddata = dedup::corpus(&dcfg);
+    let bdata = bzip2::corpus(&bcfg);
+    let (fs, _) = ferret::run_serial(&fcfg);
+    let (ds, _) = dedup::run_serial(&dcfg, &ddata);
+    let (bs, _) = bzip2::run_serial(&bcfg, &bdata);
+    for workers in [1, 3, 8, 16] {
+        let rt = Runtime::with_workers(workers);
+        assert_eq!(
+            ferret::run_hyperqueue(&fcfg, &rt).checksum(),
+            fs.checksum(),
+            "ferret at {workers}"
+        );
+        assert_eq!(
+            dedup::run_hyperqueue(&dcfg, &ddata, &rt).checksum(),
+            ds.checksum(),
+            "dedup at {workers}"
+        );
+        assert_eq!(
+            hyperqueues::workloads::util::fnv1a(&bzip2::run_hyperqueue(&bcfg, &bdata, &rt)),
+            hyperqueues::workloads::util::fnv1a(&bs),
+            "bzip2 at {workers}"
+        );
+    }
+}

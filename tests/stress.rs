@@ -1,0 +1,160 @@
+//! Stress tests: deep nesting, many queues, sustained load, full-machine
+//! worker counts.
+
+use hyperqueues::hyperqueue::{Hyperqueue, PushToken};
+use hyperqueues::swan::{Runtime, Scope};
+
+#[test]
+fn deep_producer_recursion() {
+    // A left-leaning spawn chain ~200 deep, each level pushing one value:
+    // exercises the early-head-attach recursion across many levels.
+    fn descend(s: &Scope<'_>, mut q: PushToken<u64>, depth: u64) {
+        if depth == 0 {
+            return;
+        }
+        q.push(depth);
+        s.spawn((q.pushdep(),), move |s, (q2,)| descend(s, q2, depth - 1));
+    }
+    let rt = Runtime::with_workers(4);
+    let mut got = Vec::new();
+    let g = &mut got;
+    rt.scope(move |s| {
+        let q = Hyperqueue::<u64>::with_segment_capacity(s, 2);
+        s.spawn((q.pushdep(),), |s, (q2,)| descend(s, q2, 200));
+        s.spawn((q.popdep(),), move |_, (mut c,)| {
+            while !c.empty() {
+                g.push(c.pop());
+            }
+        });
+    });
+    let expect: Vec<u64> = (1..=200).rev().collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn many_concurrent_queues() {
+    // 64 independent pipelines sharing one runtime.
+    let rt = Runtime::with_workers(8);
+    let mut sums = vec![0u64; 64];
+    {
+        let refs: Vec<&mut u64> = sums.iter_mut().collect();
+        rt.scope(move |s| {
+            for (k, out) in refs.into_iter().enumerate() {
+                let q = Hyperqueue::<u64>::with_segment_capacity(s, 16);
+                s.spawn((q.pushdep(),), move |_, (mut p,)| {
+                    for i in 0..500u64 {
+                        p.push(i + k as u64);
+                    }
+                });
+                s.spawn((q.popdep(),), move |_, (mut c,)| {
+                    while !c.empty() {
+                        *out += c.pop();
+                    }
+                });
+            }
+        });
+    }
+    for (k, &s) in sums.iter().enumerate() {
+        let expect: u64 = (0..500u64).map(|i| i + k as u64).sum();
+        assert_eq!(s, expect, "queue {k}");
+    }
+}
+
+#[test]
+fn sustained_throughput_full_machine() {
+    // A long pipeline on every core: throughput sanity + no loss.
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let rt = Runtime::with_workers(workers);
+    let total = 2_000_000u64;
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let (count_ref, sum_ref) = (&mut count, &mut sum);
+    rt.scope(move |s| {
+        let q = Hyperqueue::<u64>::with_segment_capacity(s, 1024);
+        s.spawn((q.pushdep(),), move |s, (mut p,)| {
+            // Split the production across a few child tasks.
+            for part in 0..8u64 {
+                let lo = part * total / 8;
+                let hi = (part + 1) * total / 8;
+                s.spawn((p.pushdep(),), move |_, (mut p2,)| {
+                    for i in lo..hi {
+                        p2.push(i);
+                    }
+                });
+            }
+        });
+        s.spawn((q.popdep(),), move |_, (mut c,)| {
+            while !c.empty() {
+                *sum_ref = sum_ref.wrapping_add(c.pop());
+                *count_ref += 1;
+            }
+        });
+    });
+    assert_eq!(count, total);
+    assert_eq!(sum, total * (total - 1) / 2);
+}
+
+#[test]
+fn pipelines_chained_through_five_queues() {
+    // in -> +1 -> *2 -> +3 -> collect, all concurrent.
+    let rt = Runtime::with_workers(8);
+    let mut out = Vec::new();
+    let o = &mut out;
+    rt.scope(move |s| {
+        let q1 = Hyperqueue::<u64>::new(s);
+        let q2 = Hyperqueue::<u64>::new(s);
+        let q3 = Hyperqueue::<u64>::new(s);
+        let q4 = Hyperqueue::<u64>::new(s);
+        s.spawn((q1.pushdep(),), |_, (mut p,)| {
+            for i in 0..10_000 {
+                p.push(i);
+            }
+        });
+        s.spawn((q1.popdep(), q2.pushdep()), |_, (mut c, mut p)| {
+            while !c.empty() {
+                p.push(c.pop() + 1);
+            }
+        });
+        s.spawn((q2.popdep(), q3.pushdep()), |_, (mut c, mut p)| {
+            while !c.empty() {
+                p.push(c.pop() * 2);
+            }
+        });
+        s.spawn((q3.popdep(), q4.pushdep()), |_, (mut c, mut p)| {
+            while !c.empty() {
+                p.push(c.pop() + 3);
+            }
+        });
+        s.spawn((q4.popdep(),), move |_, (mut c,)| {
+            while !c.empty() {
+                o.push(c.pop());
+            }
+        });
+    });
+    let expect: Vec<u64> = (0..10_000u64).map(|i| (i + 1) * 2 + 3).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn repeated_scopes_on_one_runtime() {
+    let rt = Runtime::with_workers(6);
+    for round in 0..50u64 {
+        let mut got = Vec::new();
+        let g = &mut got;
+        rt.scope(move |s| {
+            let q = Hyperqueue::<u64>::with_segment_capacity(s, 8);
+            s.spawn((q.pushdep(),), move |_, (mut p,)| {
+                for i in 0..100 {
+                    p.push(round * 1000 + i);
+                }
+            });
+            s.spawn((q.popdep(),), move |_, (mut c,)| {
+                while !c.empty() {
+                    g.push(c.pop());
+                }
+            });
+        });
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0], round * 1000);
+    }
+}
