@@ -74,10 +74,17 @@ fn bench_slices(c: &mut Criterion) {
     let mut g = c.benchmark_group("slice_api");
     g.throughput(Throughput::Elements(ITEMS));
     g.sample_size(10);
-    g.bench_function("per_element", |b| b.iter(|| run_pair(&rt, 1024, true, false)));
+    g.bench_function("per_element", |b| {
+        b.iter(|| run_pair(&rt, 1024, true, false))
+    });
     g.bench_function("slices", |b| b.iter(|| run_pair(&rt, 1024, true, true)));
     g.finish();
 }
 
-criterion_group!(benches, bench_segment_capacity, bench_recycling, bench_slices);
+criterion_group!(
+    benches,
+    bench_segment_capacity,
+    bench_recycling,
+    bench_slices
+);
 criterion_main!(benches);

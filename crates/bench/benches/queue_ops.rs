@@ -1,6 +1,6 @@
 //! Microbenchmarks of the hyperqueue data path: push/pop throughput of a
 //! concurrent producer/consumer pair, compared against this repo's plain
-//! Lamport SPSC ring and crossbeam's bounded channel (the "how much does
+//! Lamport SPSC ring and std's bounded mpsc channel (the "how much does
 //! determinism cost per element?" question).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -45,8 +45,8 @@ fn spsc_pair(cap: usize) {
     });
 }
 
-fn crossbeam_pair(cap: usize) {
-    let (tx, rx) = crossbeam::channel::bounded::<u64>(cap);
+fn mpsc_pair(cap: usize) {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(cap);
     std::thread::scope(|scope| {
         scope.spawn(move || {
             for i in 0..ITEMS {
@@ -74,8 +74,8 @@ fn bench_queues(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("lamport_spsc", 1024), |b| {
         b.iter(|| spsc_pair(1024))
     });
-    g.bench_function(BenchmarkId::new("crossbeam_bounded", 1024), |b| {
-        b.iter(|| crossbeam_pair(1024))
+    g.bench_function(BenchmarkId::new("mpsc_bounded", 1024), |b| {
+        b.iter(|| mpsc_pair(1024))
     });
     g.finish();
 }

@@ -80,5 +80,10 @@ fn bench_fork_join(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_spawn_overhead, bench_versioned_chain, bench_fork_join);
+criterion_group!(
+    benches,
+    bench_spawn_overhead,
+    bench_versioned_chain,
+    bench_fork_join
+);
 criterion_main!(benches);

@@ -15,7 +15,13 @@ use hyperqueue::Hyperqueue;
 use swan::Runtime;
 use workloads::ferret::{run_hyperqueue, run_pthread, run_serial, FerretConfig, PthreadTuning};
 
-fn pipe_elems(rt: &Runtime, cap: usize, recycle: bool, items: u64, use_slices: bool) -> std::time::Duration {
+fn pipe_elems(
+    rt: &Runtime,
+    cap: usize,
+    recycle: bool,
+    items: u64,
+    use_slices: bool,
+) -> std::time::Duration {
     let (d, _) = bench::time(|| {
         rt.scope(|s| {
             let q = Hyperqueue::<u64>::with_config(s, cap, recycle);
@@ -56,7 +62,11 @@ fn pipe_elems(rt: &Runtime, cap: usize, recycle: bool, items: u64, use_slices: b
 
 fn main() {
     let args = bench::Args::parse();
-    let items: u64 = if args.is_small() { 2_000_000 } else { 20_000_000 };
+    let items: u64 = if args.is_small() {
+        2_000_000
+    } else {
+        20_000_000
+    };
     let rt = Runtime::with_workers(2);
 
     println!("Ablation 1: segment capacity sweep ({items} u64 items, 1 producer + 1 consumer)");
@@ -98,7 +108,10 @@ fn main() {
     let cfg = FerretConfig::bench(if args.is_small() { 150 } else { 600 });
     let (serial_time, _) = bench::time(|| run_serial(&cfg));
     let tunings: Vec<(String, PthreadTuning)> = vec![
-        ("1 thread/stage".into(), PthreadTuning::one_thread_per_stage()),
+        (
+            "1 thread/stage".into(),
+            PthreadTuning::one_thread_per_stage(),
+        ),
         (
             format!("tuned for {} cores", cores / 2),
             PthreadTuning::oversubscribed(cores / 2),

@@ -22,7 +22,9 @@ fn main() {
     let batch = args.get_usize("batch", 0); // 0 = scale with cores
     let cfg = Bzip2Config::bench(mbytes << 20);
 
-    eprintln!("bzip2 (§6.3): {mbytes} MiB, up to {max_cores} cores, split batch {batch} (0 = 2x cores)");
+    eprintln!(
+        "bzip2 (§6.3): {mbytes} MiB, up to {max_cores} cores, split batch {batch} (0 = 2x cores)"
+    );
     let original = workloads::bzip2::corpus(&cfg);
     let (serial_time, (stream, _)) = bench::time(|| run_serial(&cfg, &original));
     let reference = fnv1a(&stream);

@@ -12,8 +12,7 @@
 
 use swan::Runtime;
 use workloads::dedup::{
-    corpus, run_hyperqueue, run_objects, run_pthread, run_serial, run_tbb, DedupConfig,
-    DedupTuning,
+    corpus, run_hyperqueue, run_objects, run_pthread, run_serial, run_tbb, DedupConfig, DedupTuning,
 };
 
 fn main() {

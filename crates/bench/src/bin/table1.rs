@@ -35,7 +35,10 @@ fn main() {
         cfg.total_images, cfg.width, cfg.height, cfg.db_entries
     );
     let (out, clock) = run_serial(&cfg);
-    println!("{}", clock.render("Table 1: Characterization of ferret's pipeline (measured)"));
+    println!(
+        "{}",
+        clock.render("Table 1: Characterization of ferret's pipeline (measured)")
+    );
     println!("output checksum: {:#018x}\n", out.checksum());
 
     println!("Paper reference (PARSEC native, 2x Opteron 6272):");

@@ -28,7 +28,10 @@ fn main() {
     );
     let data = corpus(&cfg);
     let (arch, clock) = run_serial(&cfg, &data);
-    println!("{}", clock.render("Table 2: Characterization of the dedup pipeline (measured)"));
+    println!(
+        "{}",
+        clock.render("Table 2: Characterization of the dedup pipeline (measured)")
+    );
     println!(
         "archive: {} chunks, {} unique ({:.1}% unique), {:.2} MiB -> {:.2} MiB, checksum {:#018x}\n",
         arch.total_chunks,

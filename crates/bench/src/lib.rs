@@ -86,7 +86,8 @@ impl Args {
 
     /// `--scale small` shrinks workloads for quick runs.
     pub fn is_small(&self) -> bool {
-        matches!(self.get("scale"), Some("small")) || std::env::var("BENCH_SCALE").as_deref() == Ok("small")
+        matches!(self.get("scale"), Some("small"))
+            || std::env::var("BENCH_SCALE").as_deref() == Ok("small")
     }
 }
 

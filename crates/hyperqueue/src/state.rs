@@ -455,7 +455,9 @@ impl<T> QueueState<T> {
             if !empty {
                 break;
             }
-            let Some(next) = NonNull::new(next) else { break };
+            let Some(next) = NonNull::new(next) else {
+                break;
+            };
             self.queue_view.head = Ptr::Local(next);
             // `cur` is drained and linked-past: per invariants 4-5 nobody
             // else can reach it — recycle.
@@ -554,8 +556,8 @@ impl<T> QueueState<T> {
         let mut head_refs: Map<*mut Segment<T>, usize> = Map::new();
         let mut tail_refs: Map<*mut Segment<T>, usize> = Map::new();
         let count = |v: &View<T>,
-                         heads: &mut Map<*mut Segment<T>, usize>,
-                         tails: &mut Map<*mut Segment<T>, usize>| {
+                     heads: &mut Map<*mut Segment<T>, usize>,
+                     tails: &mut Map<*mut Segment<T>, usize>| {
             if let Some(p) = v.head.as_local() {
                 *heads.entry(p.as_ptr()).or_insert(0) += 1;
             }

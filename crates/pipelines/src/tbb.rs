@@ -76,7 +76,8 @@ impl TbbPipeline {
 
     /// Appends a serial in-order filter.
     pub fn serial_in_order(mut self, f: impl FnMut(Item) -> Item + Send + 'static) -> Self {
-        self.filters.push(FilterImpl::Serial(Mutex::new(Box::new(f))));
+        self.filters
+            .push(FilterImpl::Serial(Mutex::new(Box::new(f))));
         self
     }
 

@@ -5,6 +5,4 @@ pub mod engine;
 pub mod versioned;
 
 pub use engine::{AcquireCtx, DepArg, DepList};
-pub use versioned::{
-    next_object_id, InDep, InOutDep, OutDep, ReadGuard, Versioned, WriteGuard,
-};
+pub use versioned::{next_object_id, InDep, InOutDep, OutDep, ReadGuard, Versioned, WriteGuard};

@@ -248,7 +248,8 @@ impl RtInner {
 
     fn worker_main(self: Arc<Self>, idx: usize) {
         WORKER_INDEX.with(|w| w.set(Some(idx)));
-        let mut rng = XorShift64::new(0xC0FF_EE00 ^ (idx as u64 + 1).wrapping_mul(0x1234_5678_9ABC));
+        let mut rng =
+            XorShift64::new(0xC0FF_EE00 ^ (idx as u64 + 1).wrapping_mul(0x1234_5678_9ABC));
         loop {
             if let Some(task) = self.find_task(idx, &mut rng) {
                 self.execute(task);
@@ -292,7 +293,9 @@ impl Runtime {
             config,
             registry: Registry::new(),
             injector: Injector::new(),
-            rings: (0..workers).map(|_| Ring::with_capacity(RING_CAPACITY)).collect(),
+            rings: (0..workers)
+                .map(|_| Ring::with_capacity(RING_CAPACITY))
+                .collect(),
             sleeper: Sleeper::new(),
             metrics: Metrics::default(),
             next_id: AtomicU64::new(1),
@@ -434,7 +437,7 @@ mod tests {
     #[test]
     fn scope_allows_borrowing_environment() {
         let rt = Runtime::with_workers(2);
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = AtomicU64::new(0);
         let sum_ref = &sum;
         rt.scope(|s| {

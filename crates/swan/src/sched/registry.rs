@@ -320,9 +320,7 @@ mod tests {
         // mode...
         assert!(reg.claim_filtered(HelpMode::Preceding, &tree1).is_none());
         // ...but tree2's own root can.
-        assert!(reg
-            .claim_filtered(HelpMode::Descendants, &tree2)
-            .is_some());
+        assert!(reg.claim_filtered(HelpMode::Descendants, &tree2).is_some());
     }
 
     #[test]

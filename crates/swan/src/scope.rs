@@ -107,10 +107,9 @@ impl<'scope> Scope<'scope> {
     pub fn sync_label(&self, label: LabelKey) {
         let frame = Arc::clone(&self.frame);
         let f2 = Arc::clone(&self.frame);
-        self.rt
-            .block_until(&frame, HelpMode::Descendants, move || {
-                f2.label_count(label) == 0
-            });
+        self.rt.block_until(&frame, HelpMode::Descendants, move || {
+            f2.label_count(label) == 0
+        });
         if let Some(payload) = self.frame.take_panic() {
             std::panic::resume_unwind(payload);
         }

@@ -13,7 +13,11 @@ impl XorShift64 {
     /// Creates a generator from a nonzero seed; zero seeds are remapped.
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

@@ -19,8 +19,11 @@ const NOBJ: usize = 4;
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..NOBJ as u8, 0..NOBJ as u8, any::<u8>())
-            .prop_map(|(src, dst, k)| Op::AddFrom { src, dst, k }),
+        (0..NOBJ as u8, 0..NOBJ as u8, any::<u8>()).prop_map(|(src, dst, k)| Op::AddFrom {
+            src,
+            dst,
+            k
+        }),
         (0..NOBJ as u8, any::<u8>()).prop_map(|(dst, k)| Op::Set { dst, k }),
         (0..NOBJ as u8, any::<u8>()).prop_map(|(dst, k)| Op::Add { dst, k }),
     ]
@@ -31,9 +34,7 @@ fn serial(ops: &[Op]) -> [u64; NOBJ] {
     let mut v = [0u64; NOBJ];
     for &op in ops {
         match op {
-            Op::AddFrom { src, dst, k } => {
-                v[dst as usize] = v[src as usize].wrapping_add(k as u64)
-            }
+            Op::AddFrom { src, dst, k } => v[dst as usize] = v[src as usize].wrapping_add(k as u64),
             Op::Set { dst, k } => v[dst as usize] = k as u64,
             Op::Add { dst, k } => v[dst as usize] = v[dst as usize].wrapping_add(k as u64),
         }

@@ -3,9 +3,9 @@
 //! of the 3-stage bzip2 pipeline.
 
 use crate::bzip2::bwt::{bwt, ibwt};
-use crate::entropy::{BitReader, BitWriter, HuffmanCode};
 use crate::bzip2::mtf::{imtf, mtf, zle_decode, zle_encode, ALPHABET, EOB};
 use crate::bzip2::rle::{rle1_decode, rle1_encode};
+use crate::entropy::{BitReader, BitWriter, HuffmanCode};
 
 /// Table-driven CRC-32 (IEEE 802.3 polynomial).
 pub fn crc32(data: &[u8]) -> u32 {
@@ -17,7 +17,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             for (i, e) in t.iter_mut().enumerate() {
                 let mut c = i as u32;
                 for _ in 0..8 {
-                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
                 }
                 *e = c;
             }
@@ -88,7 +92,9 @@ pub fn decompress_block(data: &[u8]) -> Result<Vec<u8>, BlockError> {
 
     let code = HuffmanCode::from_lengths(lengths);
     let mut r = BitReader::new(payload);
-    let symbols = code.decode_until(&mut r, EOB).ok_or(BlockError::BadPayload)?;
+    let symbols = code
+        .decode_until(&mut r, EOB)
+        .ok_or(BlockError::BadPayload)?;
     let m = zle_decode(&symbols);
     let last = imtf(&m);
     if last.len() != rle1_len {
@@ -114,7 +120,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     fn roundtrip(data: &[u8]) {

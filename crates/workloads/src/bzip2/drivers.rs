@@ -65,7 +65,9 @@ pub fn corpus(cfg: &Bzip2Config) -> Arc<Vec<u8>> {
     let words: Vec<Vec<u8>> = (0..256)
         .map(|_| {
             let len = 3 + rng.next_below(7) as usize;
-            (0..len).map(|_| b'a' + (rng.next_below(26) as u8)).collect()
+            (0..len)
+                .map(|_| b'a' + (rng.next_below(26) as u8))
+                .collect()
         })
         .collect();
     let mut out = Vec::with_capacity(cfg.total_bytes + 16);
@@ -155,9 +157,8 @@ pub fn decompress_hyperqueue(bytes: &[u8], rt: &Runtime) -> Result<Vec<u8>, Bloc
     {
         let out_ref = &mut out;
         rt.scope(move |s| {
-            let q = hyperqueue::Hyperqueue::<Result<Vec<u8>, BlockError>>::with_segment_capacity(
-                s, 16,
-            );
+            let q =
+                hyperqueue::Hyperqueue::<Result<Vec<u8>, BlockError>>::with_segment_capacity(s, 16);
             // One decode task per block (the owner holds push privileges
             // and delegates one grant per task — order is frame order).
             for (lo, hi) in extents {
@@ -309,7 +310,11 @@ pub fn run_hyperqueue_split(
             in_q.push(b);
             queued += 1;
             if queued.is_multiple_of(batch) || queued == total {
-                let n = if queued.is_multiple_of(batch) { batch } else { queued % batch };
+                let n = if queued.is_multiple_of(batch) {
+                    batch
+                } else {
+                    queued % batch
+                };
                 // Batch dispatcher: pops exactly its batch (values pushed
                 // later are invisible to it anyway — rule 4).
                 s.spawn(

@@ -139,7 +139,7 @@ mod tests {
     fn zle_roundtrip_various_runs() {
         for run_len in [0usize, 1, 2, 3, 4, 7, 8, 100, 1000] {
             let mut codes = vec![5u8, 9];
-            codes.extend(std::iter::repeat(0u8).take(run_len));
+            codes.extend(std::iter::repeat_n(0u8, run_len));
             codes.push(3);
             let enc = zle_encode(&codes);
             assert_eq!(*enc.last().unwrap(), EOB);

@@ -88,7 +88,7 @@ mod tests {
         let mut v = Vec::new();
         for i in 0..200 {
             if i % 3 == 0 {
-                v.extend(std::iter::repeat((i % 251) as u8).take((i * 7) % 40 + 1));
+                v.extend(std::iter::repeat_n((i % 251) as u8, (i * 7) % 40 + 1));
             } else {
                 let mut r = vec![0u8; (i * 13) % 50 + 1];
                 rng.fill(&mut r);

@@ -18,7 +18,9 @@ use crate::timing::StageClock;
 
 fn store_for(cfg: &DedupConfig) -> Arc<DedupStore> {
     // Shard roughly with corpus size to keep lock contention flat.
-    let shards = (cfg.total_bytes / (1 << 20)).next_power_of_two().clamp(8, 256);
+    let shards = (cfg.total_bytes / (1 << 20))
+        .next_power_of_two()
+        .clamp(8, 256);
     DedupStore::new(shards)
 }
 
@@ -107,7 +109,11 @@ impl<T> TwoLevelReorder<T> {
             }
             let key = st.next;
             if let Some((last, v)) = st.parked.remove(&key) {
-                st.next = if last { (key.0 + 1, 0) } else { (key.0, key.1 + 1) };
+                st.next = if last {
+                    (key.0 + 1, 0)
+                } else {
+                    (key.0, key.1 + 1)
+                };
                 return Some(v);
             }
             self.ready.wait(&mut st);
@@ -155,7 +161,8 @@ pub fn run_pthread(cfg: &DedupConfig, data: &Arc<Vec<u8>>, tuning: &DedupTuning)
 
     let (coarse_tx, coarse_rx) = pipelines::channel::<CoarseChunk>(cap);
     let (fine_tx, fine_rx) = pipelines::channel::<FineChunk>(cap);
-    let (comp_tx, comp_rx) = pipelines::channel::<(FineChunk, Arc<crate::dedup::store::ChunkRecord>)>(cap);
+    let (comp_tx, comp_rx) =
+        pipelines::channel::<(FineChunk, Arc<crate::dedup::store::ChunkRecord>)>(cap);
     let reorder = Arc::new(TwoLevelReorder::<ProcessedChunk>::new(total_coarse));
 
     let mut archive = None;
@@ -269,29 +276,27 @@ pub fn run_tbb(cfg: &DedupConfig, data: &Arc<Vec<u8>>, threads: usize, tokens: u
     let store2 = Arc::clone(&store);
     let cfg2 = cfg.clone();
 
-    pipelines::TbbPipeline::input(move || {
-        iter.next().map(|c| Box::new(c) as pipelines::Item)
-    })
-    .parallel(move |item| {
-        let c = *item.downcast::<CoarseChunk>().expect("CoarseChunk");
-        // The whole inner pipeline, gathered into a list.
-        let list: Vec<ProcessedChunk> = refine(&cfg2, &data2, &c)
-            .into_iter()
-            .map(|f| dedup_and_compress(&store2, f))
-            .collect();
-        Box::new(list) as pipelines::Item
-    })
-    .serial_in_order(move |item| {
-        let list = item.downcast_ref::<Vec<ProcessedChunk>>().expect("list");
-        let mut guard = writer2.lock();
-        let w = guard.as_mut().expect("writer still open");
-        for p in list {
-            let comp = p.record.compressed.wait();
-            w.write(&p.record, &comp);
-        }
-        item
-    })
-    .run(threads, tokens);
+    pipelines::TbbPipeline::input(move || iter.next().map(|c| Box::new(c) as pipelines::Item))
+        .parallel(move |item| {
+            let c = *item.downcast::<CoarseChunk>().expect("CoarseChunk");
+            // The whole inner pipeline, gathered into a list.
+            let list: Vec<ProcessedChunk> = refine(&cfg2, &data2, &c)
+                .into_iter()
+                .map(|f| dedup_and_compress(&store2, f))
+                .collect();
+            Box::new(list) as pipelines::Item
+        })
+        .serial_in_order(move |item| {
+            let list = item.downcast_ref::<Vec<ProcessedChunk>>().expect("list");
+            let mut guard = writer2.lock();
+            let w = guard.as_mut().expect("writer still open");
+            for p in list {
+                let comp = p.record.compressed.wait();
+                w.write(&p.record, &comp);
+            }
+            item
+        })
+        .run(threads, tokens);
 
     let w = writer.lock().take().expect("writer present");
     w.finish()

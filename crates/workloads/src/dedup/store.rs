@@ -90,8 +90,7 @@ impl DedupStore {
     }
 
     fn shard(&self, hash: &Digest) -> &Mutex<HashMap<Digest, Arc<ChunkRecord>>> {
-        let idx = u64::from_le_bytes(hash[..8].try_into().expect("8 bytes"))
-            as usize
+        let idx = u64::from_le_bytes(hash[..8].try_into().expect("8 bytes")) as usize
             & (self.shards.len() - 1);
         &self.shards[idx]
     }

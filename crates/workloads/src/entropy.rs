@@ -138,7 +138,9 @@ impl HuffmanCode {
         let mut code = 0u64;
         let mut prev_len = 0u8;
         for &s in &order {
-            code = code.checked_shl((lengths[s] - prev_len) as u32).unwrap_or(0);
+            code = code
+                .checked_shl((lengths[s] - prev_len) as u32)
+                .unwrap_or(0);
             codes[s] = code;
             code += 1;
             prev_len = lengths[s];
@@ -188,7 +190,10 @@ impl HuffmanCode {
             let mut code = 0u64;
             for len in 1..=max_len {
                 code = (code << 1) | r.read_bit()? as u64;
-                if count[len] > 0 && code < first_code[len] + count[len] as u64 && code >= first_code[len] {
+                if count[len] > 0
+                    && code < first_code[len] + count[len] as u64
+                    && code >= first_code[len]
+                {
                     let sym = order[first_idx[len] + (code - first_code[len]) as usize] as u16;
                     out.push(sym);
                     if sym == stop_symbol {
@@ -268,9 +273,7 @@ mod tests {
     fn random_symbol_streams() {
         let mut rng = SplitMix64::new(5);
         for len in [1usize, 10, 1000, 20_000] {
-            let syms: Vec<u16> = (0..len)
-                .map(|_| (rng.next_below(256)) as u16)
-                .collect();
+            let syms: Vec<u16> = (0..len).map(|_| (rng.next_below(256)) as u16).collect();
             roundtrip(syms);
         }
     }

@@ -64,7 +64,11 @@ impl StageClock {
         let total = self.total().as_secs_f64().max(1e-12);
         let mut out = String::new();
         let _ = writeln!(out, "{title}");
-        let _ = writeln!(out, "{:<16} {:>10} {:>12} {:>9}", "Stage", "Iterations", "Time (s)", "Time (%)");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>12} {:>9}",
+            "Stage", "Iterations", "Time (s)", "Time (%)"
+        );
         for e in &self.entries {
             let secs = e.time.as_secs_f64();
             let _ = writeln!(
@@ -76,7 +80,11 @@ impl StageClock {
                 100.0 * secs / total
             );
         }
-        let _ = writeln!(out, "{:<16} {:>10} {:>12.3} {:>8.2}%", "Total", "", total, 100.0);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>12.3} {:>8.2}%",
+            "Total", "", total, 100.0
+        );
         out
     }
 }

@@ -17,14 +17,18 @@ use hyperqueues::workloads::util::fnv1a;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mbytes: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(8);
-    let workers = args
-        .get(2)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let workers = args.get(2).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
     let cfg = Bzip2Config::bench(mbytes << 20);
     let data = corpus(&cfg);
 
-    println!("bzip2: {mbytes} MiB, {workers} workers, {} KiB blocks", cfg.block_size >> 10);
+    println!(
+        "bzip2: {mbytes} MiB, {workers} workers, {} KiB blocks",
+        cfg.block_size >> 10
+    );
     let t0 = std::time::Instant::now();
     let (stream, _clock) = run_serial(&cfg, &data);
     let serial_time = t0.elapsed();

@@ -14,10 +14,11 @@ use hyperqueues::workloads::dedup::{corpus, run_hyperqueue, run_serial, unarchiv
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mbytes: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(16);
-    let workers = args
-        .get(2)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let workers = args.get(2).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
     let cfg = DedupConfig::bench(mbytes << 20);
     let data = corpus(&cfg);
 
@@ -25,7 +26,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let (serial, clock) = run_serial(&cfg, &data);
     let serial_time = t0.elapsed();
-    print!("{}", clock.render("  serial stage breakdown (Table 2 shape)"));
+    print!(
+        "{}",
+        clock.render("  serial stage breakdown (Table 2 shape)")
+    );
 
     let rt = Runtime::with_workers(workers);
     let t0 = std::time::Instant::now();

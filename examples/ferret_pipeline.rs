@@ -14,10 +14,11 @@ use hyperqueues::workloads::ferret::{run_hyperqueue, run_serial, FerretConfig};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let images = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(500);
-    let workers = args
-        .get(2)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let workers = args.get(2).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
     let cfg = FerretConfig::bench(images);
 
     println!("ferret: {images} images, {workers} workers");

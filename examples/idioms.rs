@@ -33,7 +33,10 @@ fn main() {
         }
         assert_eq!(got, 64);
         let stats = q.stats();
-        println!("§5.1 tuned segments: {got} values, {} segment(s) allocated", stats.segments_allocated);
+        println!(
+            "§5.1 tuned segments: {got} values, {} segment(s) allocated",
+            stats.segments_allocated
+        );
     });
 
     // ---- §5.2 queue slices ------------------------------------------------

@@ -20,7 +20,9 @@ fn producer(s: &Scope<'_>, mut queue: PushToken<u64>, start: u64, end: u64) {
         }
     } else {
         let mid = (start + end) / 2;
-        s.spawn((queue.pushdep(),), move |s, (q,)| producer(s, q, start, mid));
+        s.spawn((queue.pushdep(),), move |s, (q,)| {
+            producer(s, q, start, mid)
+        });
         s.spawn((queue.pushdep(),), move |s, (q,)| producer(s, q, mid, end));
         // implicit sync at end of task
     }
@@ -68,5 +70,7 @@ fn main() {
 }
 
 fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }

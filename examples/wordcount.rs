@@ -24,7 +24,12 @@ fn main() {
     let text = corpus(&Bzip2Config::bench(mbytes << 20)); // word-soup corpus
 
     let mut results = Vec::new();
-    for workers in [1, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)] {
+    for workers in [
+        1,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    ] {
         let rt = Runtime::with_workers(workers);
         let t0 = std::time::Instant::now();
         let mut merged: HashMap<String, u64> = HashMap::new();
@@ -82,7 +87,10 @@ fn main() {
         let mut top: Vec<(String, u64)> = merged.into_iter().collect();
         top.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         top.truncate(10);
-        println!("workers={workers:<2} {elapsed:?}  top-3: {:?}", &top[..3.min(top.len())]);
+        println!(
+            "workers={workers:<2} {elapsed:?}  top-3: {:?}",
+            &top[..3.min(top.len())]
+        );
         results.push(top);
     }
     assert!(

@@ -1,0 +1,77 @@
+//! Fast determinism smoke test, always on in CI: the same hyperqueue
+//! program must produce an identical pop sequence at every worker count
+//! (the paper's determinism claim, checked in miniature). The full
+//! property-based attack lives in `determinism_props.rs`; this suite is
+//! the cheap canary that runs on every push.
+
+use hyperqueues::hyperqueue::{Hyperqueue, PushToken};
+use hyperqueues::swan::{Runtime, RuntimeConfig, Scope};
+
+/// A fixed three-level producer tree: parent pushes, children push, one
+/// grandchild pushes — enough nesting to exercise segment hand-off and
+/// head re-attachment without taking real time.
+fn produce(s: &Scope<'_>, mut p: PushToken<u64>, base: u64) {
+    for i in 0..7 {
+        p.push(base + i);
+    }
+    if base < 2_000 {
+        for child in 0..3u64 {
+            let child_base = (base + 1) * 10 + child * 100;
+            s.spawn((p.pushdep(),), move |s, (p2,)| {
+                produce(s, p2, child_base);
+            });
+        }
+        p.push(base + 7);
+    }
+}
+
+/// Runs the program and returns the consumer's observed pop order.
+fn pop_order(workers: usize, seg_cap: usize, chaos: Option<u64>) -> Vec<u64> {
+    let cfg = match chaos {
+        Some(seed) => RuntimeConfig::with_workers(workers).with_chaos(seed, 30),
+        None => RuntimeConfig::with_workers(workers),
+    };
+    let rt = Runtime::new(cfg);
+    let mut got = Vec::new();
+    let g = &mut got;
+    rt.scope(move |s| {
+        let q = Hyperqueue::<u64>::with_segment_capacity(s, seg_cap);
+        s.spawn((q.pushdep(),), |s, (p,)| produce(s, p, 0));
+        s.spawn((q.popdep(),), move |_, (mut c,)| {
+            while !c.empty() {
+                g.push(c.pop());
+            }
+        });
+    });
+    got
+}
+
+#[test]
+fn pop_order_is_identical_across_worker_counts() {
+    let reference = pop_order(1, 8, None);
+    assert!(
+        reference.len() > 100,
+        "program too small to be a meaningful smoke test"
+    );
+    for workers in [2, 8] {
+        assert_eq!(
+            pop_order(workers, 8, None),
+            reference,
+            "{workers} workers diverged from the single-worker order"
+        );
+    }
+}
+
+#[test]
+fn pop_order_survives_segment_capacity_and_chaos() {
+    let reference = pop_order(1, 8, None);
+    // Tiny segments force frequent hand-offs; chaos injects scheduling
+    // perturbation. Neither may change the observed order.
+    for (workers, seg_cap, chaos) in [(4, 2, None), (8, 3, Some(42)), (2, 64, Some(7))] {
+        assert_eq!(
+            pop_order(workers, seg_cap, chaos),
+            reference,
+            "workers={workers} seg_cap={seg_cap} chaos={chaos:?} diverged"
+        );
+    }
+}

@@ -75,7 +75,10 @@ fn nested_task_panic_reaches_the_root() {
             });
         });
     }));
-    assert!(result.is_err(), "grandchild panic must surface at the scope");
+    assert!(
+        result.is_err(),
+        "grandchild panic must surface at the scope"
+    );
 }
 
 #[test]

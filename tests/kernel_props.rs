@@ -17,14 +17,13 @@ fn byteish() -> impl Strategy<Value = Vec<u8>> {
         // Runny data.
         prop::collection::vec((any::<u8>(), 1usize..300), 0..24).prop_map(|runs| {
             runs.into_iter()
-                .flat_map(|(b, n)| std::iter::repeat(b).take(n))
+                .flat_map(|(b, n)| std::iter::repeat_n(b, n))
                 .collect()
         }),
         // Small-alphabet data (BWT-friendly).
         prop::collection::vec(0u8..4, 0..4096),
         // Periodic data.
-        (prop::collection::vec(any::<u8>(), 1..16), 1usize..200)
-            .prop_map(|(pat, n)| pat.repeat(n)),
+        (prop::collection::vec(any::<u8>(), 1..16), 1usize..200).prop_map(|(pat, n)| pat.repeat(n)),
     ]
 }
 
@@ -94,7 +93,7 @@ proptest! {
         // Collect boundary positions well inside the body from both runs.
         let inner_solo: Vec<usize> = solo
             .iter()
-            .map(|&e| e)
+            .copied()
             .filter(|&e| e > p.max_size && e + p.max_size < body.len())
             .collect();
         let shifted_set: std::collections::HashSet<usize> = shifted

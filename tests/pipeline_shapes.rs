@@ -18,7 +18,10 @@ fn ferret_all_models_agree() {
     );
     assert_eq!(ferret::run_tbb(&cfg, 6, 24).checksum(), serial.checksum());
     assert_eq!(ferret::run_objects(&cfg, &rt).checksum(), serial.checksum());
-    assert_eq!(ferret::run_hyperqueue(&cfg, &rt).checksum(), serial.checksum());
+    assert_eq!(
+        ferret::run_hyperqueue(&cfg, &rt).checksum(),
+        serial.checksum()
+    );
 }
 
 #[test]
@@ -52,7 +55,10 @@ fn bzip2_all_models_agree_and_roundtrip() {
     for (name, stream) in [
         ("objects", bzip2::run_objects(&cfg, &data, &rt)),
         ("hyperqueue", bzip2::run_hyperqueue(&cfg, &data, &rt)),
-        ("loop-split", bzip2::run_hyperqueue_split(&cfg, &data, &rt, 4)),
+        (
+            "loop-split",
+            bzip2::run_hyperqueue_split(&cfg, &data, &rt, 4),
+        ),
     ] {
         assert_eq!(
             hyperqueues::workloads::util::fnv1a(&stream),

@@ -61,9 +61,12 @@ fn many_concurrent_queues() {
 }
 
 #[test]
+#[ignore = "long-running (~10s debug); run with `cargo test -- --ignored` (CI runs it in the scheduled stress job)"]
 fn sustained_throughput_full_machine() {
     // A long pipeline on every core: throughput sanity + no loss.
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let rt = Runtime::with_workers(workers);
     let total = 2_000_000u64;
     let mut count = 0u64;

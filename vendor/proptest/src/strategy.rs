@@ -1,0 +1,337 @@
+//! The [`Strategy`] trait and combinators: the generation core of the shim.
+//! No shrinking — a failing case panics with the generated inputs in the
+//! assertion message, which is enough for a deterministic seed to reproduce.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, retrying until `f` accepts one (bounded
+    /// retries; panics if the predicate is essentially unsatisfiable).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps a strategy for subtrees into a strategy for branches. `depth`
+    /// bounds recursion; `desired_size`/`expected_branch_size` are accepted
+    /// for API compatibility but only bias the leaf/branch coin.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            rec: Arc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe generation, used to erase strategies behind
+/// [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    rec: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Self {
+            base: self.base.clone(),
+            rec: self.rec.clone(),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // At full depth prefer branches, tapering to always-leaf at 0, so
+        // generated trees are a mix of shapes.
+        if self.depth == 0 || rng.below(100) < 40 {
+            self.base.generate(rng)
+        } else {
+            let shallower = Recursive {
+                base: self.base.clone(),
+                rec: self.rec.clone(),
+                depth: self.depth - 1,
+            };
+            (self.rec)(shallower.boxed()).generate(rng)
+        }
+    }
+}
+
+/// A fixed value (API-compatible with `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased alternatives (what `prop_oneof!`
+/// expands to).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u64)
+                    .wrapping_sub(*self.start() as u64)
+                    .wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                self.start().wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u8..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (0usize..=4).generate(&mut r);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let mut r = rng();
+        let s = crate::prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            (100u32..110).prop_map(|v| v + 1),
+        ];
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v < 20 || (101..111).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!(*v < 10, "leaf outside its range");
+                    0
+                }
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..50 {
+            // Each Node level consumes one depth budget, so 3 is the max.
+            assert!(depth(&s.generate(&mut r)) <= 3);
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut r = rng();
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+}

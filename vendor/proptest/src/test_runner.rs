@@ -1,0 +1,89 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+/// Configuration for a `proptest!` block (API-compatible subset of
+/// `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Unused by the shim (no shrinking); kept for struct-update syntax
+    /// compatibility.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        Self {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic RNG (splitmix64 over a seed derived from the test name,
+/// overridable with `PROPTEST_SEED`). Determinism keeps CI reproducible;
+/// vary `PROPTEST_SEED` to explore new cases.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name (FNV-1a) xor an optional `PROPTEST_SEED`.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Self {
+            state: h ^ env_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounding: bias is negligible for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::deterministic("bound");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}
