@@ -11,22 +11,39 @@
 //! cargo run --release -p bench --bin ablations [--scale small]
 //! ```
 
-use hyperqueue::Hyperqueue;
+use hyperqueue::{Hyperqueue, QueueStats};
 use swan::Runtime;
 use workloads::ferret::{run_hyperqueue, run_pthread, run_serial, FerretConfig, PthreadTuning};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Io {
+    /// One `push`/`pop` call per element.
+    PerItem,
+    /// Explicit write/read slices (§5.2).
+    Slices,
+    /// The batched convenience API (`push_iter`/`for_each_batch`).
+    Batched,
+}
 
 fn pipe_elems(
     rt: &Runtime,
     cap: usize,
     recycle: bool,
     items: u64,
-    use_slices: bool,
-) -> std::time::Duration {
+    io: Io,
+) -> (std::time::Duration, QueueStats) {
+    let mut stats = QueueStats::default();
+    let stats_ref = &mut stats;
     let (d, _) = bench::time(|| {
-        rt.scope(|s| {
+        rt.scope(move |s| {
             let q = Hyperqueue::<u64>::with_config(s, cap, recycle);
-            s.spawn((q.pushdep(),), move |_, (mut p,)| {
-                if use_slices {
+            s.spawn((q.pushdep(),), move |_, (mut p,)| match io {
+                Io::PerItem => {
+                    for i in 0..items {
+                        p.push(i);
+                    }
+                }
+                Io::Slices => {
                     let mut i = 0u64;
                     while i < items {
                         let mut ws = p.write_slice(256);
@@ -36,28 +53,35 @@ fn pipe_elems(
                             i += 1;
                         }
                     }
-                } else {
-                    for i in 0..items {
-                        p.push(i);
-                    }
+                }
+                Io::Batched => {
+                    p.push_iter(0..items);
                 }
             });
             s.spawn((q.popdep(),), move |_, (mut c,)| {
                 let mut sum = 0u64;
-                if use_slices {
-                    while let Some(rs) = c.read_slice(256) {
-                        sum += rs.as_slice().iter().sum::<u64>();
+                match io {
+                    Io::PerItem => {
+                        while !c.empty() {
+                            sum += c.pop();
+                        }
                     }
-                } else {
-                    while !c.empty() {
-                        sum += c.pop();
+                    Io::Slices => {
+                        while let Some(rs) = c.read_slice(256) {
+                            sum += rs.as_slice().iter().sum::<u64>();
+                        }
+                    }
+                    Io::Batched => {
+                        c.for_each_batch(256, |vals| sum += vals.iter().sum::<u64>());
                     }
                 }
                 assert_eq!(sum, items * (items - 1) / 2);
             });
+            s.sync();
+            *stats_ref = q.stats();
         });
     });
-    d
+    (d, stats)
 }
 
 fn main() {
@@ -72,7 +96,7 @@ fn main() {
     println!("Ablation 1: segment capacity sweep ({items} u64 items, 1 producer + 1 consumer)");
     println!("{:<10} {:>12} {:>14}", "capacity", "time (ms)", "Melems/s");
     for cap in [16usize, 64, 256, 1024, 4096, 16384] {
-        let d = pipe_elems(&rt, cap, true, items, false);
+        let (d, _) = pipe_elems(&rt, cap, true, items, Io::PerItem);
         println!(
             "{:<10} {:>12.1} {:>14.1}",
             cap,
@@ -83,7 +107,7 @@ fn main() {
 
     println!("\nAblation 2: drained-segment recycling (capacity 256)");
     for (label, recycle) in [("recycle on", true), ("recycle off", false)] {
-        let d = pipe_elems(&rt, 256, recycle, items, false);
+        let (d, _) = pipe_elems(&rt, 256, recycle, items, Io::PerItem);
         println!(
             "{:<12} {:>10.1} ms {:>10.1} Melems/s",
             label,
@@ -92,14 +116,25 @@ fn main() {
         );
     }
 
-    println!("\nAblation 3: per-element ops vs slices (§5.2, capacity 1024)");
-    for (label, slices) in [("push/pop", false), ("slices", true)] {
-        let d = pipe_elems(&rt, 1024, true, items, slices);
+    println!("\nAblation 3: per-element ops vs slices vs batched (§5.2, capacity 1024)");
+    println!(
+        "{:<12} {:>10} {:>12}   {:>6} {:>8} {:>10}",
+        "mode", "time(ms)", "Melems/s", "locks", "advances", "suppressed"
+    );
+    for (label, io) in [
+        ("push/pop", Io::PerItem),
+        ("slices", Io::Slices),
+        ("batched", Io::Batched),
+    ] {
+        let (d, st) = pipe_elems(&rt, 1024, true, items, io);
         println!(
-            "{:<12} {:>10.1} ms {:>10.1} Melems/s",
+            "{:<12} {:>10.1} {:>12.1}   {:>6} {:>8} {:>10}",
             label,
             d.as_secs_f64() * 1e3,
-            items as f64 / d.as_secs_f64() / 1e6
+            items as f64 / d.as_secs_f64() / 1e6,
+            st.lock_acquisitions,
+            st.chain_advances,
+            st.notifies_suppressed
         );
     }
 

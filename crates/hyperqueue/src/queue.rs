@@ -14,13 +14,36 @@
 //!   [`PushPopToken`]. Tokens can delegate further, but only a *subset* of
 //!   their privileges (§2.3) — enforced by which methods exist on each
 //!   token type, and re-checked at run time.
-//! * Tokens perform pushes and pops through lock-free SPSC fast paths on a
-//!   cached segment; the queue mutex is only taken on segment boundaries,
-//!   spawns, completions and blocking.
+//!
+//! # Fast paths and slow paths
+//!
+//! Tokens perform pushes and pops through lock-free SPSC fast paths on a
+//! cached segment. The queue mutex is confined to *structural* events:
+//! producer segment transitions, consumer probes that must consult the
+//! view table (blocking or deciding permanent emptiness), spawns and
+//! completions. Two mechanisms keep the steady state entirely off the
+//! mutex:
+//!
+//! * **Consumer chain advance**: when the cached head segment drains but
+//!   already has a published `next` link, the consumer follows the link
+//!   and keeps popping without touching [`QueueState`](crate::state) —
+//!   legal because physical `next` links are created exactly when the
+//!   linked data becomes visible to the consumer (invariant 6 plus the
+//!   reduction discipline of §4.2). Lock-free advances are capped at
+//!   [`MAX_LOCKFREE_ADVANCES`] so drained segments are still handed back
+//!   to the recycling freelist at a bounded lag.
+//! * **Notify suppression**: segment publications only wake the runtime
+//!   when a worker is actually parked (see `swan::sched::Sleeper`);
+//!   suppressed wakeups are counted in [`QueueStats::notifies_suppressed`].
+//!
+//! The batched entry points ([`Hyperqueue::push_iter`],
+//! [`Hyperqueue::pop_batch`], [`Hyperqueue::for_each_batch`]) amortize
+//! even the fast path's per-item atomics over whole slices.
 
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -34,37 +57,142 @@ use crate::state::{EmptyProbe, Mode, Probe, QueueState, QueueStats, POP_LABEL, P
 /// [`Hyperqueue::with_segment_capacity`] sets it per queue.
 pub const DEFAULT_SEGMENT_CAPACITY: usize = 256;
 
+/// Upper bound on consecutive lock-free consumer chain advances before the
+/// slow path is forced once. Advancing lock-free leaves drained segments
+/// unrecycled (only the locked `consumer_advance` may hand them to the
+/// freelist, because only it can prove nobody still points at them), so
+/// this cap bounds the un-recycled backlog to a constant number of
+/// segments while keeping the amortized locking cost at one acquisition
+/// per `MAX_LOCKFREE_ADVANCES` segment transitions.
+const MAX_LOCKFREE_ADVANCES: u32 = 32;
+
+/// Lock-free observability counters (see [`QueueStats`]). These live
+/// outside the mutex precisely because the events they count must not
+/// take it.
+#[derive(Default)]
+pub(crate) struct FastStats {
+    pub(crate) lock_acquisitions: AtomicU64,
+    pub(crate) chain_advances: AtomicU64,
+    pub(crate) notifies_suppressed: AtomicU64,
+}
+
 pub(crate) struct QueueInner<T: Send + 'static> {
     pub(crate) id: u64,
     pub(crate) rt: RuntimeHandle,
     pub(crate) state: Mutex<QueueState<T>>,
+    pub(crate) fast: FastStats,
+    /// Number of tasks currently blocked in this queue's `pop`/`empty`
+    /// slow paths. Data publications skip the runtime wakeup entirely
+    /// while this is zero: a publication can only unblock a waiter of
+    /// *this* queue, and a waiter that races past the check re-polls
+    /// within one bounded park interval anyway (see `swan::sched::Sleeper`).
+    pub(crate) waiters: AtomicUsize,
+}
+
+impl<T: Send + 'static> QueueInner<T> {
+    /// Locks the queue state on behalf of a data-path operation,
+    /// incrementing the observability counter.
+    fn lock_counted(&self) -> parking_lot::MutexGuard<'_, QueueState<T>> {
+        self.fast.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.state.lock()
+    }
+}
+
+/// Wakes the runtime after a publication — unless no consumer of this
+/// queue is blocked, or no worker is parked at all. Suppressed wakeups
+/// are counted.
+#[inline]
+pub(crate) fn notify_counted<T: Send + 'static>(inner: &QueueInner<T>) {
+    if inner.waiters.load(Ordering::SeqCst) == 0 || !inner.rt.notify() {
+        inner
+            .fast
+            .notifies_suppressed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII registration of a blocked consumer (kept through panics — the
+/// pop-on-permanently-empty path unwinds out of `block_until`).
+struct WaiterGuard<'a>(&'a AtomicUsize);
+
+impl<'a> WaiterGuard<'a> {
+    fn register(counter: &'a AtomicUsize) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        WaiterGuard(counter)
+    }
+}
+
+impl Drop for WaiterGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 type SegCache<T> = Option<NonNull<Segment<T>>>;
+
+/// Consumer-side cache: the segment being drained plus the number of
+/// lock-free chain advances taken since the last locked probe.
+pub(crate) struct PopCache<T> {
+    seg: SegCache<T>,
+    advances: u32,
+}
+
+impl<T> Clone for PopCache<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PopCache<T> {}
+
+impl<T> Default for PopCache<T> {
+    fn default() -> Self {
+        PopCache {
+            seg: None,
+            advances: 0,
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Shared op implementations (used by the owner object and all tokens).
 // ---------------------------------------------------------------------------
 
+#[inline]
 fn push_impl<T: Send + 'static>(
     inner: &Arc<QueueInner<T>>,
     frame: &Arc<Frame>,
     cache: &mut SegCache<T>,
     value: T,
 ) {
-    let mut value = value;
     if let Some(seg) = cache {
         // SAFETY: token/view discipline makes us the unique producer of the
         // cached user-view tail segment.
         match unsafe { seg.as_ref().try_push(value) } {
-            Ok(()) => return,
-            Err(v) => value = v, // full → slow path
+            Ok(()) => {}
+            Err(v) => push_slow(inner, frame, cache, v), // full → slow path
         }
+    } else {
+        push_slow(inner, frame, cache, value);
     }
+}
+
+#[cold]
+#[inline(never)]
+fn push_slow<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+    value: T,
+) {
     let seg = {
-        let mut st = inner.state.lock();
-        let seg = st.producer_segment(frame.id.0, 1);
-        // SAFETY: as above; `producer_segment` guarantees one free slot.
+        let mut st = inner.lock_counted();
+        // Over-provision: ask for a whole segment of room rather than one
+        // slot, so the next ~capacity pushes stay on the lock-free fast
+        // path instead of re-entering this slow path for the dregs of a
+        // nearly-full tail.
+        let room = st.segment_capacity();
+        let seg = st.producer_segment(frame.id.0, room);
+        // SAFETY: unique producer; `producer_segment` guarantees the room.
         unsafe {
             seg.as_ref()
                 .try_push(value)
@@ -74,29 +202,78 @@ fn push_impl<T: Send + 'static>(
     };
     *cache = Some(seg);
     // Segment transitions are rare; wake blocked consumers so freshly
-    // linked data is noticed promptly.
-    inner.rt.notify();
+    // linked data is noticed promptly (suppressed when nobody is parked).
+    notify_counted(inner);
 }
 
+/// Commits one lock-free consumer step to `next` (the current segment's
+/// published successor, Acquire-loaded by the caller). Returns `None`
+/// without advancing when the budget is spent and the caller must take
+/// the slow path. The caller must have re-checked the current segment for
+/// data *after* its Acquire load of `next` — see the call sites.
+#[inline]
+fn chain_advance<T: Send + 'static>(
+    inner: &QueueInner<T>,
+    cache: &mut PopCache<T>,
+    next: NonNull<Segment<T>>,
+) -> Option<NonNull<Segment<T>>> {
+    if cache.advances >= MAX_LOCKFREE_ADVANCES {
+        return None;
+    }
+    cache.seg = Some(next);
+    cache.advances += 1;
+    inner.fast.chain_advances.fetch_add(1, Ordering::Relaxed);
+    Some(next)
+}
+
+#[inline]
 fn pop_impl<T: Send + 'static>(
     inner: &Arc<QueueInner<T>>,
     frame: &Arc<Frame>,
-    cache: &mut SegCache<T>,
+    cache: &mut PopCache<T>,
 ) -> T {
-    if let Some(seg) = cache {
-        // SAFETY: delegation gate + rule 3 make us the unique consumer.
-        if let Some(v) = unsafe { seg.as_ref().try_pop() } {
-            return v;
+    if let Some(mut seg) = cache.seg {
+        loop {
+            // SAFETY: delegation gate + rule 3 make us the unique consumer.
+            if let Some(v) = unsafe { seg.as_ref().try_pop() } {
+                return v;
+            }
+            // Drained. If a successor is published, the Acquire load of
+            // `next` also makes every pre-link push visible — so re-check
+            // before advancing past the segment (a value may have been
+            // published between the failed pop above and the link).
+            let Some(next) = NonNull::new(unsafe { seg.as_ref().next() }) else {
+                break;
+            };
+            if let Some(v) = unsafe { seg.as_ref().try_pop() } {
+                return v;
+            }
+            match chain_advance(inner, cache, next) {
+                Some(n) => seg = n,
+                None => break,
+            }
         }
     }
+    pop_slow(inner, frame, cache)
+}
+
+#[cold]
+#[inline(never)]
+fn pop_slow<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut PopCache<T>,
+) -> T {
     let mut result: Option<T> = None;
     let fid = frame.id.0;
+    let _waiting = WaiterGuard::register(&inner.waiters);
     inner.rt.block_until(frame, HelpMode::Preceding, || {
-        let mut st = inner.state.lock();
+        let mut st = inner.lock_counted();
         match st.pop_probe(fid) {
             Probe::Value(v, seg) => {
                 result = Some(v);
-                *cache = Some(seg);
+                cache.seg = Some(seg);
+                cache.advances = 0;
                 true
             }
             Probe::Empty => panic!(
@@ -109,28 +286,62 @@ fn pop_impl<T: Send + 'static>(
     result.expect("block_until returns only once the condition holds")
 }
 
+#[inline]
 fn empty_impl<T: Send + 'static>(
     inner: &Arc<QueueInner<T>>,
     frame: &Arc<Frame>,
-    cache: &mut SegCache<T>,
+    cache: &mut PopCache<T>,
 ) -> bool {
-    if let Some(seg) = cache {
-        // SAFETY: unique consumer.
-        if unsafe { !seg.as_ref().is_empty() } {
-            return false;
+    if let Some(mut seg) = cache.seg {
+        loop {
+            // SAFETY: unique consumer.
+            if unsafe { !seg.as_ref().is_empty() } {
+                return false;
+            }
+            let Some(next) = NonNull::new(unsafe { seg.as_ref().next() }) else {
+                break;
+            };
+            // Re-check after the Acquire load of `next` (see pop_impl).
+            if unsafe { !seg.as_ref().is_empty() } {
+                return false;
+            }
+            match chain_advance(inner, cache, next) {
+                Some(n) => seg = n,
+                None => break,
+            }
         }
     }
+    empty_slow(inner, frame, cache)
+}
+
+#[cold]
+#[inline(never)]
+fn empty_slow<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut PopCache<T>,
+) -> bool {
     let mut result: Option<bool> = None;
     let fid = frame.id.0;
+    let _waiting = WaiterGuard::register(&inner.waiters);
     inner.rt.block_until(frame, HelpMode::Preceding, || {
-        let mut st = inner.state.lock();
+        let mut st = inner.lock_counted();
         match st.empty_probe(fid) {
             EmptyProbe::HasData(seg) => {
-                *cache = Some(seg);
+                cache.seg = Some(seg);
+                cache.advances = 0;
                 result = Some(false);
                 true
             }
             EmptyProbe::Empty => {
+                // The probe's consumer_advance may have recycled the
+                // cached segment (drained and linked-past, e.g. when the
+                // advance cap broke mid-chain before an empty reserved
+                // tail). Drop the cache: the owner may push again after a
+                // true-empty verdict, and a recycled segment must not be
+                // read through a stale pointer.
+                cache.seg = None;
+                cache.advances = 0;
                 result = Some(true);
                 true
             }
@@ -140,6 +351,7 @@ fn empty_impl<T: Send + 'static>(
     result.expect("block_until returns only once the condition holds")
 }
 
+#[inline]
 fn write_slice_impl<'t, T: Send + 'static>(
     inner: &'t Arc<QueueInner<T>>,
     frame: &Arc<Frame>,
@@ -147,40 +359,173 @@ fn write_slice_impl<'t, T: Send + 'static>(
     len: usize,
 ) -> WriteSlice<'t, T> {
     let len = len.max(1);
-    // Fast path: the cached tail segment already has room for the whole
-    // request — no lock needed (the producer owns the tail index).
+    // Fast path: the cached tail segment has *any* room — return a
+    // (possibly shorter) slice over it without locking. This is the
+    // paper's §5.2 contract: "the slice must fit inside a single segment;
+    // if not, a shorter slice will be returned". Slices are additionally
+    // clamped to the ring's contiguous span so staging writes need no
+    // per-value index arithmetic.
     if let Some(seg) = cache {
         // SAFETY: unique producer of the cached segment.
-        let free = unsafe {
-            let s = seg.as_ref();
-            s.capacity() - s.len()
-        };
-        if free >= len {
-            // SAFETY: unique producer; `len` slots are free.
-            return unsafe { WriteSlice::new(inner, *seg, len) };
+        let avail = unsafe { seg.as_ref().contiguous_writable() };
+        if avail >= 1 {
+            // SAFETY: unique producer; `len.min(avail)` contiguous slots
+            // are free.
+            return unsafe { WriteSlice::new(inner, *seg, len.min(avail)) };
         }
     }
-    let mut st = inner.state.lock();
+    write_slice_slow(inner, frame, cache, len)
+}
+
+#[cold]
+#[inline(never)]
+fn write_slice_slow<'t, T: Send + 'static>(
+    inner: &'t Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+    len: usize,
+) -> WriteSlice<'t, T> {
+    let mut st = inner.lock_counted();
     let len = len.min(st.segment_capacity());
     let seg = st.producer_segment(frame.id.0, len);
     drop(st);
     *cache = Some(seg);
-    // SAFETY: unique producer of `seg`; `len` slots are free.
+    // `producer_segment` guarantees `len` free slots, but a reused
+    // segment's tail may sit mid-ring: clamp to the contiguous span
+    // (never zero when free ≥ 1).
+    // SAFETY: unique producer of `seg`.
+    let len = len.min(unsafe { seg.as_ref().contiguous_writable() });
     unsafe { WriteSlice::new(inner, seg, len) }
 }
 
 fn read_slice_impl<'t, T: Send + 'static>(
     inner: &'t Arc<QueueInner<T>>,
     frame: &Arc<Frame>,
-    cache: &mut SegCache<T>,
+    cache: &mut PopCache<T>,
     max_len: usize,
 ) -> Option<ReadSlice<'t, T>> {
     if empty_impl(inner, frame, cache) {
         return None;
     }
-    let seg = cache.expect("empty_impl(false) caches the head segment");
+    let seg = cache
+        .seg
+        .expect("empty_impl(false) caches the head segment");
     // SAFETY: unique consumer of the head segment.
     Some(unsafe { ReadSlice::new(inner, seg, max_len) })
+}
+
+/// Shared implementation of the batched push: drains `iter` through
+/// write slices, publishing once per slice instead of once per value.
+fn push_iter_impl<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+    iter: impl IntoIterator<Item = T>,
+) -> u64 {
+    let mut it = iter.into_iter();
+    let mut pushed = 0u64;
+    loop {
+        let Some(first) = it.next() else {
+            return pushed;
+        };
+        // Reserve generously: unwritten reservation slots are simply never
+        // published, so over-asking costs nothing, while under-asking
+        // costs an extra slice per segment.
+        let want = it.size_hint().0.saturating_add(1).max(32);
+        let mut ws = write_slice_impl(inner, frame, cache, want);
+        ws.push(first);
+        pushed += 1;
+        while ws.remaining() > 0 {
+            match it.next() {
+                Some(v) => {
+                    ws.push(v);
+                    pushed += 1;
+                }
+                None => return pushed,
+            }
+        }
+    }
+}
+
+/// Shared implementation of the copying batched push: memcpys `vals`
+/// through write slices (for `Copy` payloads — the fastest producer path).
+fn push_slice_impl<T: Send + Copy + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut SegCache<T>,
+    mut vals: &[T],
+) -> u64 {
+    let total = vals.len() as u64;
+    while !vals.is_empty() {
+        let mut ws = write_slice_impl(inner, frame, cache, vals.len());
+        let n = ws.extend_from_slice(vals);
+        vals = &vals[n..];
+    }
+    total
+}
+
+/// Shared implementation of the batched pop: bulk-moves up to `max`
+/// currently-visible values, following published chain links lock-free.
+/// Blocks only when nothing is visible yet; returns an empty vector iff
+/// the queue is permanently empty.
+fn pop_batch_impl<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut PopCache<T>,
+    max: usize,
+) -> Vec<T> {
+    let mut out = Vec::new();
+    if max == 0 {
+        return out;
+    }
+    loop {
+        if let Some(mut seg) = cache.seg {
+            loop {
+                // SAFETY: unique consumer.
+                unsafe { seg.as_ref().pop_bulk(max - out.len(), &mut out) };
+                if out.len() == max {
+                    return out;
+                }
+                let Some(next) = NonNull::new(unsafe { seg.as_ref().next() }) else {
+                    break;
+                };
+                // Re-check after the Acquire load of `next` (see pop_impl).
+                unsafe { seg.as_ref().pop_bulk(max - out.len(), &mut out) };
+                if out.len() == max {
+                    return out;
+                }
+                match chain_advance(inner, cache, next) {
+                    Some(n) => seg = n,
+                    None => break,
+                }
+            }
+        }
+        if !out.is_empty() {
+            return out;
+        }
+        // Nothing visible: wait for data or the permanent-empty verdict.
+        if empty_slow(inner, frame, cache) {
+            return out;
+        }
+    }
+}
+
+/// Shared implementation of the batched visitor: feeds `f` contiguous
+/// slices until the queue is permanently empty. Returns the total number
+/// of values consumed.
+fn for_each_batch_impl<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut PopCache<T>,
+    max_batch: usize,
+    mut f: impl FnMut(&[T]),
+) -> u64 {
+    let mut total = 0u64;
+    while let Some(rs) = read_slice_impl(inner, frame, cache, max_batch) {
+        f(rs.as_slice());
+        total += rs.len() as u64;
+    }
+    total
 }
 
 fn spawn_transfer_and_release<T: Send + 'static>(
@@ -218,7 +563,7 @@ fn spawn_transfer_and_release<T: Send + 'static>(
         }
         // Completion may have linked new data into the consumer chain or
         // retired the last preceding producer: wake blocked waiters.
-        inner2.rt.notify();
+        notify_counted(&inner2);
     });
 }
 
@@ -258,7 +603,7 @@ pub struct Hyperqueue<T: Send + 'static> {
     inner: Arc<QueueInner<T>>,
     owner: Arc<Frame>,
     push_cache: Cell<SegCache<T>>,
-    pop_cache: Cell<SegCache<T>>,
+    pop_cache: Cell<PopCache<T>>,
     /// The queue must not leave its owner task.
     _not_send: PhantomData<*mut ()>,
 }
@@ -286,13 +631,15 @@ impl<T: Send + 'static> Hyperqueue<T> {
             id: swan::next_object_id(),
             rt,
             state: Mutex::new(state),
+            fast: FastStats::default(),
+            waiters: AtomicUsize::new(0),
         });
         let push_cache = initial_push_cache(&inner, owner.id.0);
         Hyperqueue {
             inner,
             owner,
             push_cache: Cell::new(push_cache),
-            pop_cache: Cell::new(None),
+            pop_cache: Cell::new(PopCache::default()),
             _not_send: PhantomData,
         }
     }
@@ -315,7 +662,7 @@ impl<T: Send + 'static> Hyperqueue<T> {
     pub fn popdep(&self) -> PopDep<T> {
         // Pop spawns also take the user view (§4.2) and the consumer role.
         self.push_cache.set(None);
-        self.pop_cache.set(None);
+        self.pop_cache.set(PopCache::default());
         PopDep {
             inner: Arc::clone(&self.inner),
         }
@@ -324,7 +671,7 @@ impl<T: Send + 'static> Hyperqueue<T> {
     /// `pushpopdep` access for a spawn: the child may push and pop.
     pub fn pushpopdep(&self) -> PushPopDep<T> {
         self.push_cache.set(None);
-        self.pop_cache.set(None);
+        self.pop_cache.set(PopCache::default());
         PushPopDep {
             inner: Arc::clone(&self.inner),
         }
@@ -337,6 +684,48 @@ impl<T: Send + 'static> Hyperqueue<T> {
         self.push_cache.set(cache);
     }
 
+    /// Pushes every value of `iter`, in order, through write slices —
+    /// one publication per slice rather than per value. Returns the
+    /// number of values pushed.
+    ///
+    /// ```
+    /// use swan::Runtime;
+    /// use hyperqueue::Hyperqueue;
+    ///
+    /// let rt = Runtime::with_workers(2);
+    /// rt.scope(|s| {
+    ///     let q = Hyperqueue::<u32>::new(s);
+    ///     assert_eq!(q.push_iter(0..10), 10);
+    ///     assert_eq!(q.pop_batch(4), vec![0, 1, 2, 3]);
+    ///     assert_eq!(q.pop_batch(100), (4..10).collect::<Vec<_>>());
+    ///     assert!(q.pop_batch(8).is_empty()); // permanently empty
+    /// });
+    /// ```
+    pub fn push_iter(&self, iter: impl IntoIterator<Item = T>) -> u64 {
+        let mut cache = self.push_cache.get();
+        let n = push_iter_impl(&self.inner, &self.owner, &mut cache, iter);
+        self.push_cache.set(cache);
+        n
+    }
+
+    /// Alias of [`Hyperqueue::push_iter`] mirroring `Extend::extend`.
+    pub fn extend(&self, iter: impl IntoIterator<Item = T>) {
+        self.push_iter(iter);
+    }
+
+    /// Copies every value of `vals` into the queue — one memcpy per write
+    /// slice, the fastest producer path for `Copy` payloads. Returns the
+    /// number of values pushed.
+    pub fn push_slice(&self, vals: &[T]) -> u64
+    where
+        T: Copy,
+    {
+        let mut cache = self.push_cache.get();
+        let n = push_slice_impl(&self.inner, &self.owner, &mut cache, vals);
+        self.push_cache.set(cache);
+        n
+    }
+
     /// Pops the next value as the owner task. Blocks while the value is in
     /// flight; **panics** if the queue is permanently empty (guard with
     /// [`Hyperqueue::empty`]).
@@ -345,6 +734,50 @@ impl<T: Send + 'static> Hyperqueue<T> {
         let v = pop_impl(&self.inner, &self.owner, &mut cache);
         self.pop_cache.set(cache);
         v
+    }
+
+    /// Pops up to `max` currently-visible values in one batch (a single
+    /// published head update per segment). Blocks only while *nothing* is
+    /// visible; an empty vector means the queue is permanently empty, so
+    /// this doubles as the loop condition:
+    ///
+    /// ```
+    /// use swan::Runtime;
+    /// use hyperqueue::Hyperqueue;
+    ///
+    /// let rt = Runtime::with_workers(2);
+    /// let mut sum = 0u64;
+    /// rt.scope(|s| {
+    ///     let q = Hyperqueue::<u64>::with_segment_capacity(s, 64);
+    ///     s.spawn((q.pushdep(),), |_, (mut p,)| {
+    ///         p.push_iter(0..1000);
+    ///     });
+    ///     loop {
+    ///         let batch = q.pop_batch(128);
+    ///         if batch.is_empty() {
+    ///             break; // permanently empty
+    ///         }
+    ///         sum += batch.iter().sum::<u64>();
+    ///     }
+    /// });
+    /// assert_eq!(sum, 1000 * 999 / 2);
+    /// ```
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut cache = self.pop_cache.get();
+        let v = pop_batch_impl(&self.inner, &self.owner, &mut cache, max);
+        self.pop_cache.set(cache);
+        v
+    }
+
+    /// Drains the queue through read slices of up to `max_batch` values,
+    /// invoking `f` on each contiguous batch until the queue is
+    /// permanently empty. Values are dropped after `f` observes them.
+    /// Returns the total number of values consumed.
+    pub fn for_each_batch(&self, max_batch: usize, f: impl FnMut(&[T])) -> u64 {
+        let mut cache = self.pop_cache.get();
+        let n = for_each_batch_impl(&self.inner, &self.owner, &mut cache, max_batch, f);
+        self.pop_cache.set(cache);
+        n
     }
 
     /// The paper's `empty()`: `false` iff a value is available to this
@@ -357,7 +790,10 @@ impl<T: Send + 'static> Hyperqueue<T> {
         r
     }
 
-    /// Requests a write slice of up to `len` values (§5.2).
+    /// Requests a write slice of up to `len` values (§5.2). The returned
+    /// slice may be shorter than `len` when the current segment has less
+    /// room ("if not, a shorter slice will be returned") — size loops with
+    /// [`WriteSlice::capacity`], or use [`Hyperqueue::push_iter`].
     pub fn write_slice(&self, len: usize) -> WriteSlice<'_, T> {
         let mut cache = self.push_cache.get();
         let ws = write_slice_impl(&self.inner, &self.owner, &mut cache, len);
@@ -385,9 +821,15 @@ impl<T: Send + 'static> Hyperqueue<T> {
         scope.sync_label((self.inner.id, PUSH_LABEL));
     }
 
-    /// Allocation/recycling counters.
+    /// Allocation/recycling counters plus the fast-path observability
+    /// counters (lock acquisitions, lock-free chain advances, suppressed
+    /// notifies).
     pub fn stats(&self) -> QueueStats {
-        self.inner.state.lock().stats
+        let mut s = self.inner.state.lock().stats;
+        s.lock_acquisitions = self.inner.fast.lock_acquisitions.load(Ordering::Relaxed);
+        s.chain_advances = self.inner.fast.chain_advances.load(Ordering::Relaxed);
+        s.notifies_suppressed = self.inner.fast.notifies_suppressed.load(Ordering::Relaxed);
+        s
     }
 }
 
@@ -432,7 +874,7 @@ impl<T: Send + 'static> DepArg for PopDep<T> {
         PopToken {
             inner: self.inner,
             frame,
-            cache: None,
+            cache: PopCache::default(),
         }
     }
 }
@@ -447,7 +889,7 @@ impl<T: Send + 'static> DepArg for PushPopDep<T> {
             inner: self.inner,
             frame,
             push_cache,
-            pop_cache: None,
+            pop_cache: PopCache::default(),
         }
     }
 }
@@ -472,8 +914,23 @@ unsafe impl<T: Send + 'static> Send for PushToken<T> {}
 impl<T: Send + 'static> PushToken<T> {
     /// Appends `value` to the queue in this task's position of the serial
     /// order.
+    #[inline]
     pub fn push(&mut self, value: T) {
         push_impl(&self.inner, &self.frame, &mut self.cache, value);
+    }
+
+    /// Pushes every value of `iter` through write slices (see
+    /// [`Hyperqueue::push_iter`]). Returns the number of values pushed.
+    pub fn push_iter(&mut self, iter: impl IntoIterator<Item = T>) -> u64 {
+        push_iter_impl(&self.inner, &self.frame, &mut self.cache, iter)
+    }
+
+    /// Copies `vals` into the queue (see [`Hyperqueue::push_slice`]).
+    pub fn push_slice(&mut self, vals: &[T]) -> u64
+    where
+        T: Copy,
+    {
+        push_slice_impl(&self.inner, &self.frame, &mut self.cache, vals)
     }
 
     /// Delegates push privileges to a child spawn (recursive producers,
@@ -485,7 +942,8 @@ impl<T: Send + 'static> PushToken<T> {
         }
     }
 
-    /// Requests a write slice of up to `len` values (§5.2).
+    /// Requests a write slice of up to `len` values (§5.2); may be
+    /// shorter (see [`Hyperqueue::write_slice`]).
     pub fn write_slice(&mut self, len: usize) -> WriteSlice<'_, T> {
         write_slice_impl(&self.inner, &self.frame, &mut self.cache, len)
     }
@@ -501,11 +959,17 @@ impl<T: Send + 'static> PushToken<T> {
     }
 }
 
+impl<T: Send + 'static> Extend<T> for PushToken<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.push_iter(iter);
+    }
+}
+
 /// Pop capability held by a task spawned with [`PopDep`].
 pub struct PopToken<T: Send + 'static> {
     inner: Arc<QueueInner<T>>,
     frame: Arc<Frame>,
-    cache: SegCache<T>,
+    cache: PopCache<T>,
 }
 
 // SAFETY: see PushToken.
@@ -514,18 +978,32 @@ unsafe impl<T: Send + 'static> Send for PopToken<T> {}
 impl<T: Send + 'static> PopToken<T> {
     /// Removes and returns the next value in serial order. Blocks while
     /// the value is in flight; panics if permanently empty.
+    #[inline]
     pub fn pop(&mut self) -> T {
         pop_impl(&self.inner, &self.frame, &mut self.cache)
     }
 
+    /// Pops up to `max` values in one batch (see
+    /// [`Hyperqueue::pop_batch`]); empty iff permanently empty.
+    pub fn pop_batch(&mut self, max: usize) -> Vec<T> {
+        pop_batch_impl(&self.inner, &self.frame, &mut self.cache, max)
+    }
+
+    /// Drains the queue through batches of up to `max_batch` values (see
+    /// [`Hyperqueue::for_each_batch`]). Returns the number consumed.
+    pub fn for_each_batch(&mut self, max_batch: usize, f: impl FnMut(&[T])) -> u64 {
+        for_each_batch_impl(&self.inner, &self.frame, &mut self.cache, max_batch, f)
+    }
+
     /// The paper's `empty()` (see [`Hyperqueue::empty`]).
+    #[inline]
     pub fn empty(&mut self) -> bool {
         empty_impl(&self.inner, &self.frame, &mut self.cache)
     }
 
     /// Delegates pop privileges to a child spawn.
     pub fn popdep(&mut self) -> PopDep<T> {
-        self.cache = None; // the child becomes the consumer
+        self.cache = PopCache::default(); // the child becomes the consumer
         PopDep {
             inner: Arc::clone(&self.inner),
         }
@@ -553,7 +1031,7 @@ pub struct PushPopToken<T: Send + 'static> {
     inner: Arc<QueueInner<T>>,
     frame: Arc<Frame>,
     push_cache: SegCache<T>,
-    pop_cache: SegCache<T>,
+    pop_cache: PopCache<T>,
 }
 
 // SAFETY: see PushToken.
@@ -561,16 +1039,44 @@ unsafe impl<T: Send + 'static> Send for PushPopToken<T> {}
 
 impl<T: Send + 'static> PushPopToken<T> {
     /// Pushes a value (see [`PushToken::push`]).
+    #[inline]
     pub fn push(&mut self, value: T) {
         push_impl(&self.inner, &self.frame, &mut self.push_cache, value);
     }
 
+    /// Pushes every value of `iter` (see [`Hyperqueue::push_iter`]).
+    pub fn push_iter(&mut self, iter: impl IntoIterator<Item = T>) -> u64 {
+        push_iter_impl(&self.inner, &self.frame, &mut self.push_cache, iter)
+    }
+
+    /// Copies `vals` into the queue (see [`Hyperqueue::push_slice`]).
+    pub fn push_slice(&mut self, vals: &[T]) -> u64
+    where
+        T: Copy,
+    {
+        push_slice_impl(&self.inner, &self.frame, &mut self.push_cache, vals)
+    }
+
     /// Pops a value (see [`PopToken::pop`]).
+    #[inline]
     pub fn pop(&mut self) -> T {
         pop_impl(&self.inner, &self.frame, &mut self.pop_cache)
     }
 
+    /// Pops up to `max` values in one batch (see
+    /// [`Hyperqueue::pop_batch`]).
+    pub fn pop_batch(&mut self, max: usize) -> Vec<T> {
+        pop_batch_impl(&self.inner, &self.frame, &mut self.pop_cache, max)
+    }
+
+    /// Drains the queue through batches (see
+    /// [`Hyperqueue::for_each_batch`]).
+    pub fn for_each_batch(&mut self, max_batch: usize, f: impl FnMut(&[T])) -> u64 {
+        for_each_batch_impl(&self.inner, &self.frame, &mut self.pop_cache, max_batch, f)
+    }
+
     /// `empty()` (see [`Hyperqueue::empty`]).
+    #[inline]
     pub fn empty(&mut self) -> bool {
         empty_impl(&self.inner, &self.frame, &mut self.pop_cache)
     }
@@ -586,7 +1092,7 @@ impl<T: Send + 'static> PushPopToken<T> {
     /// Delegates pop privileges only.
     pub fn popdep(&mut self) -> PopDep<T> {
         self.push_cache = None;
-        self.pop_cache = None;
+        self.pop_cache = PopCache::default();
         PopDep {
             inner: Arc::clone(&self.inner),
         }
@@ -595,13 +1101,13 @@ impl<T: Send + 'static> PushPopToken<T> {
     /// Delegates both privileges.
     pub fn pushpopdep(&mut self) -> PushPopDep<T> {
         self.push_cache = None;
-        self.pop_cache = None;
+        self.pop_cache = PopCache::default();
         PushPopDep {
             inner: Arc::clone(&self.inner),
         }
     }
 
-    /// Requests a write slice (§5.2).
+    /// Requests a write slice (§5.2); may be shorter than requested.
     pub fn write_slice(&mut self, len: usize) -> WriteSlice<'_, T> {
         write_slice_impl(&self.inner, &self.frame, &mut self.push_cache, len)
     }
@@ -614,5 +1120,11 @@ impl<T: Send + 'static> PushPopToken<T> {
     /// The queue's object id.
     pub fn object_id(&self) -> u64 {
         self.inner.id
+    }
+}
+
+impl<T: Send + 'static> Extend<T> for PushPopToken<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.push_iter(iter);
     }
 }

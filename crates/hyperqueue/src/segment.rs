@@ -59,12 +59,14 @@ impl<T> Segment<T> {
     }
 
     /// Buffer capacity.
+    #[inline]
     pub(crate) fn capacity(&self) -> usize {
         self.cap
     }
 
     /// Number of values currently stored (racy but monotonic-consistent:
     /// producer sees an underestimate of pops, consumer of pushes).
+    #[inline]
     pub(crate) fn len(&self) -> usize {
         let tail = self.tail.load(Ordering::Acquire);
         let head = self.head.load(Ordering::Acquire);
@@ -72,6 +74,7 @@ impl<T> Segment<T> {
     }
 
     /// True if the consumer would find nothing.
+    #[inline]
     pub(crate) fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -80,6 +83,7 @@ impl<T> Segment<T> {
     ///
     /// # Safety
     /// Caller must be the unique producer of this segment.
+    #[inline]
     pub(crate) unsafe fn try_push(&self, value: T) -> Result<(), T> {
         let tail = self.tail.load(Ordering::Relaxed); // we own tail
         let head = self.head.load(Ordering::Acquire);
@@ -98,6 +102,7 @@ impl<T> Segment<T> {
     ///
     /// # Safety
     /// Caller must be the unique consumer of this segment.
+    #[inline]
     pub(crate) unsafe fn try_pop(&self) -> Option<T> {
         let head = self.head.load(Ordering::Relaxed); // we own head
         let tail = self.tail.load(Ordering::Acquire);
@@ -129,8 +134,49 @@ impl<T> Segment<T> {
     }
 
     /// The link to the next segment (null = list tail).
+    #[inline]
     pub(crate) fn next(&self) -> *mut Segment<T> {
         self.next.load(Ordering::Acquire)
+    }
+
+    /// Consumer-side bulk pop: moves up to `max` values into `out` with a
+    /// single published head update (one Release store for the whole
+    /// batch, vs one per value with [`Segment::try_pop`]) and at most two
+    /// contiguous copies (the span may wrap the ring once).
+    /// Returns the number of values moved.
+    ///
+    /// # Safety
+    /// Caller must be the unique consumer of this segment.
+    pub(crate) unsafe fn pop_bulk(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let head = self.head.load(Ordering::Relaxed); // we own head
+        let tail = self.tail.load(Ordering::Acquire);
+        let n = (tail - head).min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        // SAFETY: slots [head, head+n) were initialized by producer writes
+        // that happen-before our Acquire load of `tail`; we are the only
+        // consumer, so each slot is moved out exactly once. The two copies
+        // cover the spans before and after the ring wrap point.
+        unsafe {
+            let dst = out.as_mut_ptr().add(out.len());
+            let first = n.min(self.cap - head % self.cap);
+            ptr::copy_nonoverlapping(self.slot_ptr(head) as *const T, dst, first);
+            if n > first {
+                ptr::copy_nonoverlapping(self.slot_ptr(0) as *const T, dst.add(first), n - first);
+            }
+            out.set_len(out.len() + n);
+        }
+        self.head.store(head + n, Ordering::Release);
+        n
+    }
+
+    /// Raw pointer to the slot at absolute index `idx`. Dereferencing is
+    /// governed by the SPSC protocol (see the methods that use it).
+    #[inline]
+    pub(crate) fn slot_ptr(&self, idx: usize) -> *mut T {
+        self.buf[idx % self.cap].get() as *mut T
     }
 
     /// Links `next` after this segment.
@@ -162,9 +208,12 @@ impl<T> Segment<T> {
     }
 
     /// Writes `value` at absolute index `idx` without publishing.
+    /// (The write-slice hot path uses contiguous pointer writes instead;
+    /// this remains the wrap-safe primitive, exercised by the tests.)
     ///
     /// # Safety
     /// Caller is the unique producer; `idx` lies in `[tail, head+cap)`.
+    #[allow(dead_code)]
     pub(crate) unsafe fn write_at(&self, idx: usize, value: T) {
         unsafe { (*self.buf[idx % self.cap].get()).write(value) };
     }
@@ -194,9 +243,13 @@ impl<T> Segment<T> {
     /// Caller is the unique consumer; `n <= len()`.
     pub(crate) unsafe fn consume_front(&self, n: usize) {
         let head = self.head.load(Ordering::Relaxed);
-        for i in 0..n {
-            // SAFETY: slots [head, head+n) are published and unread.
-            unsafe { (*self.buf[(head + i) % self.cap].get()).assume_init_drop() };
+        // Without drop glue the loop below is pure index arithmetic —
+        // skip it so consuming a slice is a single head update.
+        if std::mem::needs_drop::<T>() {
+            for i in 0..n {
+                // SAFETY: slots [head, head+n) are published and unread.
+                unsafe { (*self.buf[(head + i) % self.cap].get()).assume_init_drop() };
+            }
         }
         self.head.store(head + n, Ordering::Release);
     }
@@ -209,6 +262,15 @@ impl<T> Segment<T> {
         let avail = tail - head;
         let to_wrap = self.cap - (head % self.cap);
         avail.min(to_wrap)
+    }
+
+    /// Number of slots the producer can fill contiguously (up to the ring
+    /// wrap point). Zero iff the segment is full.
+    pub(crate) fn contiguous_writable(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed); // we own tail
+        let head = self.head.load(Ordering::Acquire);
+        let free = self.cap - (tail - head);
+        free.min(self.cap - (tail % self.cap))
     }
 
     /// A contiguous array view over `[idx, idx+len)`.
@@ -371,6 +433,27 @@ mod tests {
             }
             s.consume_front(5);
         }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pop_bulk_moves_batches_across_the_wrap() {
+        let s = Segment::<u32>::new(4);
+        let mut out = Vec::new();
+        unsafe {
+            // Stagger head so the bulk read wraps the ring.
+            s.try_push(0).unwrap();
+            s.try_push(1).unwrap();
+            assert_eq!(s.try_pop(), Some(0));
+            assert_eq!(s.try_pop(), Some(1));
+            for v in 2..6 {
+                s.try_push(v).unwrap();
+            }
+            assert_eq!(s.pop_bulk(3, &mut out), 3);
+            assert_eq!(s.pop_bulk(8, &mut out), 1);
+            assert_eq!(s.pop_bulk(8, &mut out), 0);
+        }
+        assert_eq!(out, vec![2, 3, 4, 5]);
         assert!(s.is_empty());
     }
 

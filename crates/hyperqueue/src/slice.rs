@@ -10,9 +10,7 @@ use std::marker::PhantomData;
 use std::ptr::NonNull;
 use std::sync::Arc;
 
-use swan::RuntimeHandle;
-
-use crate::queue::QueueInner;
+use crate::queue::{notify_counted, QueueInner};
 use crate::segment::Segment;
 
 /// A reserved span of producer slots. Values added with
@@ -20,10 +18,14 @@ use crate::segment::Segment;
 /// dropped* (single publication).
 pub struct WriteSlice<'a, T: Send + 'static> {
     seg: NonNull<Segment<T>>,
+    /// Pointer to the reserved span's first slot; the whole reservation is
+    /// contiguous (it never crosses the ring wrap point), so staging a
+    /// value is a raw pointer write — no index arithmetic per value.
+    base: *mut T,
     start: usize,
     cap: usize,
     written: usize,
-    rt: RuntimeHandle,
+    inner: &'a QueueInner<T>,
     /// Borrows the issuing token mutably: no other queue operation may run
     /// while the slice is live.
     _marker: PhantomData<&'a mut ()>,
@@ -32,20 +34,26 @@ pub struct WriteSlice<'a, T: Send + 'static> {
 impl<'a, T: Send + 'static> WriteSlice<'a, T> {
     /// # Safety
     /// `seg` must be the caller's user-view tail segment with at least
-    /// `cap` free slots, and the caller must be its unique producer.
+    /// `cap` free slots *contiguous in the ring* (no wrap within the
+    /// span), and the caller must be its unique producer.
     pub(crate) unsafe fn new(
         inner: &'a Arc<QueueInner<T>>,
         seg: NonNull<Segment<T>>,
         cap: usize,
     ) -> Self {
         // SAFETY: unique producer per caller contract.
-        let start = unsafe { seg.as_ref().raw_tail() };
+        let (start, base) = unsafe {
+            let s = seg.as_ref();
+            let start = s.raw_tail();
+            (start, s.slot_ptr(start))
+        };
         WriteSlice {
             seg,
+            base,
             start,
             cap,
             written: 0,
-            rt: inner.rt.clone(),
+            inner: inner.as_ref(),
             _marker: PhantomData,
         }
     }
@@ -78,9 +86,25 @@ impl<'a, T: Send + 'static> WriteSlice<'a, T> {
             "write slice overflow: capacity {}",
             self.cap
         );
-        // SAFETY: unique producer; the slot lies in the reserved span.
-        unsafe { self.seg.as_ref().write_at(self.start + self.written, value) };
+        // SAFETY: unique producer; the slot lies in the reserved span,
+        // which is contiguous per the `new` contract.
+        unsafe { self.base.add(self.written).write(value) };
         self.written += 1;
+    }
+
+    /// Stages as many leading values of `vals` as the reservation still
+    /// holds, in one contiguous copy, returning how many were staged —
+    /// the bulk analogue of [`WriteSlice::push`].
+    pub fn extend_from_slice(&mut self, vals: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let n = vals.len().min(self.remaining());
+        // SAFETY: unique producer; the destination span is reserved,
+        // contiguous, and vacant (written values only grow forward).
+        unsafe { std::ptr::copy_nonoverlapping(vals.as_ptr(), self.base.add(self.written), n) };
+        self.written += n;
+        n
     }
 }
 
@@ -89,7 +113,9 @@ impl<T: Send + 'static> Drop for WriteSlice<'_, T> {
         if self.written > 0 {
             // SAFETY: slots [start, start+written) were initialized above.
             unsafe { self.seg.as_ref().publish_tail(self.start + self.written) };
-            self.rt.notify();
+            // One wakeup per published batch — and none at all while no
+            // worker is parked (the suppressed case is counted).
+            notify_counted(self.inner);
         }
     }
 }

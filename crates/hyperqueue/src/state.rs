@@ -72,6 +72,11 @@ pub(crate) struct FrameEntry<T> {
 }
 
 /// Counters reported by [`crate::Hyperqueue::stats`].
+///
+/// The first four are maintained under the queue mutex; the last three are
+/// fast-path observability counters kept in atomics outside the lock (so
+/// the fast paths they describe stay lock-free) and merged in by
+/// [`crate::Hyperqueue::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Segments allocated from the heap.
@@ -82,6 +87,15 @@ pub struct QueueStats {
     pub freelist_hits: u64,
     /// Early head attachments (§4.1 "double reduction" first step).
     pub head_attaches: u64,
+    /// Data-path acquisitions of the queue mutex (push/pop/empty/slice
+    /// slow paths). Zero while a producer/consumer pair streams through
+    /// already-published segments — the paper's steady-state claim.
+    pub lock_acquisitions: u64,
+    /// Consumer segment transitions taken lock-free by following a
+    /// published `next` link instead of probing the queue state.
+    pub chain_advances: u64,
+    /// Runtime wakeups skipped because no worker was parked.
+    pub notifies_suppressed: u64,
 }
 
 /// Result of a consumer-side probe.

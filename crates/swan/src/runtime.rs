@@ -392,9 +392,11 @@ impl RuntimeHandle {
     }
 
     /// Wakes parked workers; called e.g. after a hyperqueue push so blocked
-    /// consumers re-check their condition.
-    pub fn notify(&self) {
-        self.inner.sleeper.notify_all();
+    /// consumers re-check their condition. Returns `false` when the wake
+    /// was suppressed because no worker was parked (the common steady-state
+    /// case) — callers may count suppressions for observability.
+    pub fn notify(&self) -> bool {
+        self.inner.sleeper.notify_all()
     }
 
     /// Number of worker threads in the runtime.

@@ -5,13 +5,40 @@
 //! hyperqueue push) calls [`Sleeper::notify_all`]. Because every wait uses a
 //! timeout, a missed notification costs at most one park interval rather
 //! than a hang, which keeps the protocol simple and verifiably live.
+//!
+//! # Fast path
+//!
+//! `notify_all` is called from the runtime's hottest paths (every enqueue,
+//! every task completion, every hyperqueue segment publication). When no
+//! thread is parked — the common case for a pipeline in its steady state —
+//! it must cost a couple of uncontended atomics, not a mutex round-trip.
+//! The protocol:
+//!
+//! * `notify_all` bumps the atomic `epoch`, then loads `parked`. If zero,
+//!   it returns without touching the mutex or condvar (a *suppressed*
+//!   notify).
+//! * `park` increments `parked`, takes the lock, and re-checks `epoch`
+//!   against the value it sampled before incrementing; a bump in between
+//!   means an event raced the park, so it returns immediately.
+//!
+//! Both sides use `SeqCst` so the classic store/load interleaving is
+//! total-ordered: either the notifier sees `parked > 0` (and takes the
+//! slow path through the lock, which cannot complete until the parker is
+//! inside `wait_for`), or the parker sees the bumped `epoch` and skips the
+//! wait. A wake can therefore only be missed in the window before the
+//! parker increments `parked`, where the timeout bounds the cost.
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Park/unpark rendezvous for idle or blocked workers.
 pub struct Sleeper {
-    lock: Mutex<u64>,
+    /// Event counter; bumped by every notification (lock-free).
+    epoch: AtomicU64,
+    /// Number of threads inside (or committed to entering) `wait_for`.
+    parked: AtomicUsize,
+    lock: Mutex<()>,
     cv: Condvar,
 }
 
@@ -19,30 +46,43 @@ impl Sleeper {
     /// Creates a sleeper.
     pub fn new() -> Self {
         Self {
-            lock: Mutex::new(0),
+            epoch: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            lock: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 
     /// Parks the calling thread until a notification or `timeout` elapses.
     pub fn park(&self, timeout: Duration) {
-        let epoch = {
-            let guard = self.lock.lock();
-            *guard
-        };
-        let mut guard = self.lock.lock();
-        if *guard != epoch {
-            return; // something happened between the two locks
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut guard = self.lock.lock();
+            // An epoch bump between the sample above and here means a
+            // notification raced our park: return without waiting.
+            if self.epoch.load(Ordering::SeqCst) == epoch {
+                self.cv.wait_for(&mut guard, timeout);
+            }
         }
-        self.cv.wait_for(&mut guard, timeout);
+        self.parked.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Wakes every parked thread.
-    pub fn notify_all(&self) {
-        let mut guard = self.lock.lock();
-        *guard = guard.wrapping_add(1);
-        drop(guard);
+    /// Publishes an event and wakes every parked thread. Returns `false`
+    /// when the wake was suppressed because nobody was parked (the event is
+    /// still published via the epoch, so a thread racing into `park` will
+    /// notice it).
+    pub fn notify_all(&self) -> bool {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        // Taking the lock serializes with parkers between their epoch
+        // re-check and `wait_for`'s atomic release-and-wait, so the
+        // notification below cannot fall into that gap.
+        drop(self.lock.lock());
         self.cv.notify_all();
+        true
     }
 }
 
@@ -78,9 +118,48 @@ mod tests {
             s2.park(Duration::from_secs(10));
             woke2.store(true, Ordering::SeqCst);
         });
-        std::thread::sleep(Duration::from_millis(50));
-        s.notify_all();
+        // Keep notifying until the parker is visibly committed (a `true`
+        // return means a parked thread was actually woken).
+        while !s.notify_all() {
+            std::thread::yield_now();
+        }
         h.join().unwrap();
         assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn notify_with_no_sleepers_is_suppressed() {
+        let s = Sleeper::new();
+        assert!(!s.notify_all(), "nobody parked: wake must be suppressed");
+    }
+
+    #[test]
+    fn suppressed_notify_still_publishes_event() {
+        // A notify that lands between a parker's epoch sample and its wait
+        // must still cut the park short via the epoch re-check. We can't
+        // force that interleaving deterministically, but we can assert the
+        // observable contract: park after a suppressed notify does not see
+        // the stale epoch (i.e. it still times out normally rather than
+        // hanging), and a concurrent notify storm never loses liveness.
+        let s = Arc::new(Sleeper::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let notifier = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    s.notify_all();
+                }
+            })
+        };
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            s.park(Duration::from_millis(5));
+        }
+        // With a notifier hammering the epoch, parks return immediately:
+        // far faster than 100 full timeouts.
+        assert!(t0.elapsed() < Duration::from_millis(400));
+        stop.store(true, Ordering::SeqCst);
+        notifier.join().unwrap();
     }
 }

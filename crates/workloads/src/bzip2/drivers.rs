@@ -166,15 +166,22 @@ pub fn decompress_hyperqueue(bytes: &[u8], rt: &Runtime) -> Result<Vec<u8>, Bloc
                     p.push(decompress_block(&bytes[lo..hi]));
                 });
             }
-            // Serial writer, in order, failing fast on the first error.
+            // Serial writer, in order, failing fast on the first error;
+            // blocks arrive in batches to amortize queue traffic.
             s.spawn((q.popdep(),), move |_, (mut c,)| {
                 let mut acc = Vec::with_capacity(expect.min(1 << 28));
                 let mut failed = None;
-                while !c.empty() {
-                    match c.pop() {
-                        Ok(block) if failed.is_none() => acc.extend_from_slice(&block),
-                        Ok(_) => {}
-                        Err(e) => failed = failed.or(Some(e)),
+                loop {
+                    let batch = c.pop_batch(16);
+                    if batch.is_empty() {
+                        break; // permanently empty
+                    }
+                    for r in batch {
+                        match r {
+                            Ok(block) if failed.is_none() => acc.extend_from_slice(&block),
+                            Ok(_) => {}
+                            Err(e) => failed = failed.or(Some(e)),
+                        }
                     }
                 }
                 *out_ref = match failed {
@@ -254,16 +261,19 @@ pub fn run_hyperqueue(cfg: &Bzip2Config, data: &Arc<Vec<u8>>, rt: &Runtime) -> V
             let data = Arc::clone(&data);
             let cfg = cfg.clone();
             s.spawn((in_q.pushdep(),), move |_, (mut push,)| {
-                for b in data.chunks(cfg.block_size) {
-                    push.push(b.to_vec());
-                }
+                // Batched reader: one publication per write slice instead
+                // of one per block.
+                push.push_iter(data.chunks(cfg.block_size).map(|b| b.to_vec()));
             });
         }
         s.spawn(
             (in_q.popdep(), out_q.pushdep()),
-            move |s, (mut pop, mut push)| {
-                while !pop.empty() {
-                    let block = pop.pop();
+            move |s, (mut pop, mut push)| loop {
+                let blocks = pop.pop_batch(8);
+                if blocks.is_empty() {
+                    break; // permanently empty
+                }
+                for block in blocks {
                     s.spawn((push.pushdep(),), move |_, (mut p,)| {
                         p.push(compress_block(&block));
                     });
@@ -272,10 +282,11 @@ pub fn run_hyperqueue(cfg: &Bzip2Config, data: &Arc<Vec<u8>>, rt: &Runtime) -> V
         );
         s.spawn((out_q.popdep(),), move |_, (mut pop,)| {
             let mut stream = header;
-            while !pop.empty() {
-                let c = pop.pop();
-                append_block(&mut stream, &c);
-            }
+            pop.for_each_batch(16, |blocks| {
+                for c in blocks {
+                    append_block(&mut stream, c);
+                }
+            });
             *out_ref = Some(stream);
         });
     });
@@ -320,20 +331,31 @@ pub fn run_hyperqueue_split(
                 s.spawn(
                     (in_q.popdep(), out_q.pushdep()),
                     move |s, (mut pop, mut push)| {
-                        for _ in 0..n {
-                            let block = pop.pop();
-                            s.spawn((push.pushdep(),), move |_, (mut p,)| {
-                                p.push(compress_block(&block));
-                            });
+                        let mut left = n;
+                        while left > 0 {
+                            let blocks = pop.pop_batch(left);
+                            assert!(!blocks.is_empty(), "batch underflow");
+                            left -= blocks.len();
+                            for block in blocks {
+                                s.spawn((push.pushdep(),), move |_, (mut p,)| {
+                                    p.push(compress_block(&block));
+                                });
+                            }
                         }
                     },
                 );
                 // Batch writer: rule 3 chains these in order.
                 let stream = Arc::clone(&stream);
                 s.spawn((out_q.popdep(),), move |_, (mut pop,)| {
-                    for _ in 0..n {
-                        let c = pop.pop();
-                        append_block(&mut stream.lock(), &c);
+                    let mut left = n;
+                    while left > 0 {
+                        let done = pop.pop_batch(left);
+                        assert!(!done.is_empty(), "batch underflow");
+                        left -= done.len();
+                        let mut guard = stream.lock();
+                        for c in &done {
+                            append_block(&mut guard, c);
+                        }
                     }
                 });
             }

@@ -370,19 +370,23 @@ pub fn run_hyperqueue(cfg: &DedupConfig, data: &Arc<Vec<u8>>, rt: &Runtime) -> A
                     {
                         let data = Arc::clone(&data);
                         s.spawn((local.pushdep(),), move |_, (mut push,)| {
-                            for f in refine(cfg, &data, &c) {
-                                push.push(f);
-                            }
+                            // One write-slice publication per run of fine
+                            // chunks instead of one per chunk.
+                            push.push_iter(refine(cfg, &data, &c));
                         });
                     }
                     {
                         let store = Arc::clone(&store);
                         s.spawn(
                             (local.popdep(), wq.pushdep()),
-                            move |_, (mut pop, mut push)| {
-                                while !pop.empty() {
-                                    push.push(dedup_and_compress(&store, pop.pop()));
+                            move |_, (mut pop, mut push)| loop {
+                                let fines = pop.pop_batch(32);
+                                if fines.is_empty() {
+                                    break; // permanently empty
                                 }
+                                push.push_iter(
+                                    fines.into_iter().map(|f| dedup_and_compress(&store, f)),
+                                );
                             },
                         );
                     }
@@ -391,14 +395,17 @@ pub fn run_hyperqueue(cfg: &DedupConfig, data: &Arc<Vec<u8>>, rt: &Runtime) -> A
                 }
             });
         }
-        // Output: a single serial consumer of the global write queue.
+        // Output: a single serial consumer of the global write queue,
+        // draining batch-wise (records are written by reference, so the
+        // read-slice path avoids moving them at all).
         s.spawn((write_q.popdep(),), move |_, (mut pop,)| {
             let mut w = ArchiveWriter::new(len);
-            while !pop.empty() {
-                let p = pop.pop();
-                let comp = p.record.compressed.wait();
-                w.write(&p.record, &comp);
-            }
+            pop.for_each_batch(64, |chunks| {
+                for p in chunks {
+                    let comp = p.record.compressed.wait();
+                    w.write(&p.record, &comp);
+                }
+            });
             *arch_ref = Some(w.finish());
         });
     });

@@ -299,23 +299,35 @@ pub fn run_hyperqueue(cfg: &FerretConfig, rt: &Runtime) -> FerretOutput {
     rt.scope(move |s| {
         let in_q = hyperqueue::Hyperqueue::<LoadedImage>::with_segment_capacity(s, 64);
         let out_q = hyperqueue::Hyperqueue::<RankResult>::with_segment_capacity(s, 64);
-        // Stage 1: input — the *unchanged* recursive traversal (§6.1).
+        // Stage 1: input — the *unchanged* recursive traversal (§6.1),
+        // buffered into small runs so loads publish one write slice at a
+        // time instead of one index update per image.
         {
             let tree = Arc::clone(&tree);
             s.spawn((in_q.pushdep(),), move |_, (mut push,)| {
-                traverse(&tree, &mut |r| push.push(load(cfg, r)));
+                let mut buf = Vec::with_capacity(16);
+                traverse(&tree, &mut |r| {
+                    buf.push(load(cfg, r));
+                    if buf.len() == 16 {
+                        push.push_iter(buf.drain(..));
+                    }
+                });
+                push.push_iter(buf);
             });
         }
-        // Stages 2-5: a dispatcher pops images and spawns one task per
-        // image; each task holds a push grant on the output queue, so the
-        // hyperqueue reduction restores serial order automatically.
+        // Stages 2-5: a dispatcher pops image batches and spawns one task
+        // per image; each task holds a push grant on the output queue, so
+        // the hyperqueue reduction restores serial order automatically.
         {
             let db = Arc::clone(&db);
             s.spawn(
                 (in_q.popdep(), out_q.pushdep()),
-                move |s, (mut pop, mut push)| {
-                    while !pop.empty() {
-                        let img = pop.pop();
+                move |s, (mut pop, mut push)| loop {
+                    let images = pop.pop_batch(8);
+                    if images.is_empty() {
+                        break; // permanently empty
+                    }
+                    for img in images {
                         let db = Arc::clone(&db);
                         s.spawn((push.pushdep(),), move |_, (mut p,)| {
                             p.push(process_image(cfg, &db, img));
@@ -326,11 +338,13 @@ pub fn run_hyperqueue(cfg: &FerretConfig, rt: &Runtime) -> FerretOutput {
         }
         // Stage 6: output — one coarse task iterating the queue (§6.1:
         // "a single large task is spawned for this stage which iterates
-        // over all elements in the queue").
+        // over all elements in the queue"), draining batch-wise.
         s.spawn((out_q.popdep(),), move |_, (mut pop,)| {
-            while !pop.empty() {
-                lines_ref.push(output_line(&pop.pop()));
-            }
+            pop.for_each_batch(32, |results| {
+                for r in results {
+                    lines_ref.push(output_line(r));
+                }
+            });
         });
     });
     FerretOutput { lines }

@@ -43,16 +43,21 @@ fn main() {
     rt.scope(|s| {
         let q = Hyperqueue::<u64>::with_segment_capacity(s, 128);
         s.spawn((q.pushdep(),), |_, (mut p,)| {
+            // Reserve write slices: pushes at array speed, one publication
+            // when the slice drops. A slice never spans segments, so it
+            // may come back *shorter* than requested — size the inner loop
+            // with `capacity()`.
             let mut n = 0u64;
-            for _ in 0..8 {
-                // Reserve a write slice: pushes at array speed, one
-                // publication when the slice drops.
+            while n < 128 {
                 let mut ws = p.write_slice(32);
-                for _ in 0..32 {
+                for _ in 0..ws.capacity().min((128 - n) as usize) {
                     ws.push(n);
                     n += 1;
                 }
             }
+            // Or let the queue do the slicing: push_iter drains any
+            // iterator through write slices.
+            p.push_iter(128..256);
         });
         s.spawn((q.popdep(),), |_, (mut c,)| {
             let mut expect = 0u64;

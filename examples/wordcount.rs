@@ -38,46 +38,46 @@ fn main() {
         rt.scope(move |s| {
             let lines_q = Hyperqueue::<String>::with_segment_capacity(s, 256);
             let counts_q = Hyperqueue::<Vec<(String, u64)>>::with_segment_capacity(s, 32);
-            // Stage 1: serial reader.
+            // Stage 1: serial reader — one write-slice publication per
+            // run of lines instead of one per line.
             s.spawn((lines_q.pushdep(),), move |_, (mut push,)| {
-                for line in text_ref.split(|&b| b == b'\n') {
-                    push.push(String::from_utf8_lossy(line).into_owned());
-                }
+                push.push_iter(
+                    text_ref
+                        .split(|&b| b == b'\n')
+                        .map(|line| String::from_utf8_lossy(line).into_owned()),
+                );
             });
-            // Stage 2: dispatcher pops line batches, spawns counting tasks.
+            // Stage 2: dispatcher pops line batches, spawns counting tasks
+            // (pop_batch returns empty exactly when the queue is
+            // permanently empty, so it doubles as the loop condition).
             s.spawn(
                 (lines_q.popdep(), counts_q.pushdep()),
-                move |s, (mut pop, mut push)| {
-                    let mut batch = Vec::with_capacity(64);
-                    loop {
-                        let done = pop.empty();
-                        if !done {
-                            batch.push(pop.pop());
-                        }
-                        if batch.len() == 64 || (done && !batch.is_empty()) {
-                            let work: Vec<String> = std::mem::take(&mut batch);
-                            s.spawn((push.pushdep(),), move |_, (mut p,)| {
-                                let mut local: HashMap<String, u64> = HashMap::new();
-                                for line in &work {
-                                    for w in line.split_whitespace() {
-                                        *local.entry(w.to_string()).or_insert(0) += 1;
-                                    }
-                                }
-                                let mut v: Vec<(String, u64)> = local.into_iter().collect();
-                                v.sort_unstable(); // deterministic partials
-                                p.push(v);
-                            });
-                        }
-                        if done {
-                            break;
-                        }
+                move |s, (mut pop, mut push)| loop {
+                    let work = pop.pop_batch(64);
+                    if work.is_empty() {
+                        break;
                     }
+                    s.spawn((push.pushdep(),), move |_, (mut p,)| {
+                        let mut local: HashMap<String, u64> = HashMap::new();
+                        for line in &work {
+                            for w in line.split_whitespace() {
+                                *local.entry(w.to_string()).or_insert(0) += 1;
+                            }
+                        }
+                        let mut v: Vec<(String, u64)> = local.into_iter().collect();
+                        v.sort_unstable(); // deterministic partials
+                        p.push(v);
+                    });
                 },
             );
             // Stage 3: serial merge, in batch order.
-            s.spawn((counts_q.popdep(),), move |_, (mut pop,)| {
-                while !pop.empty() {
-                    for (w, n) in pop.pop() {
+            s.spawn((counts_q.popdep(),), move |_, (mut pop,)| loop {
+                let partials = pop.pop_batch(16);
+                if partials.is_empty() {
+                    break;
+                }
+                for partial in partials {
+                    for (w, n) in partial {
                         *merged_ref.entry(w).or_insert(0) += n;
                     }
                 }
