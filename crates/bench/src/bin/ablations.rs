@@ -5,7 +5,10 @@
 //! 2. drained-segment recycling on/off (§3.2's zero-allocation claim);
 //! 3. slice API vs per-element push/pop (§5.2);
 //! 4. pthreads thread-count tuning sensitivity (the scale-free argument:
-//!    mis-tuned pthreads loses performance, hyperqueues have no knob).
+//!    mis-tuned pthreads loses performance, hyperqueues have no knob);
+//! 5. graph fan-out degree sweep on the logstream DAG workload (how much
+//!    the `pipelines::graph` split/merge machinery buys over the linear
+//!    chain, and where the distributor/merge overhead bites).
 //!
 //! ```text
 //! cargo run --release -p bench --bin ablations [--scale small]
@@ -14,6 +17,7 @@
 use hyperqueue::{Hyperqueue, QueueStats};
 use swan::Runtime;
 use workloads::ferret::{run_hyperqueue, run_pthread, run_serial, FerretConfig, PthreadTuning};
+use workloads::logstream;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Io {
@@ -175,4 +179,31 @@ fn main() {
         "  hyperqueue (no knob)          speedup {:>5.2}",
         serial_time.as_secs_f64() / d.as_secs_f64()
     );
+
+    println!("\nAblation 5: graph fan-out degree (logstream DAG workload, {cores} workers)");
+    let lcfg = logstream::LogConfig::bench(if args.is_small() { 30_000 } else { 150_000 });
+    let lines = logstream::corpus(&lcfg);
+    let (lserial, _) = bench::time(|| logstream::run_serial(&lcfg, &lines));
+    let (dlin, linear_out) = bench::time(|| logstream::run_linear(&lcfg, &lines, &rt));
+    println!(
+        "  {:<18} {:>9.1} ms  speedup vs serial {:>5.2}",
+        "linear chain",
+        dlin.as_secs_f64() * 1e3,
+        lserial.as_secs_f64() / dlin.as_secs_f64()
+    );
+    for degree in [1usize, 2, 4, 8] {
+        let (d, out) = bench::time(|| logstream::run_graph(&lcfg, &lines, &rt, degree));
+        assert_eq!(
+            out.checksum(),
+            linear_out.checksum(),
+            "fan-out degree {degree} diverged"
+        );
+        println!(
+            "  {:<18} {:>9.1} ms  speedup vs serial {:>5.2}   vs linear {:>5.2}",
+            format!("fan-out degree {degree}"),
+            d.as_secs_f64() * 1e3,
+            lserial.as_secs_f64() / d.as_secs_f64(),
+            dlin.as_secs_f64() / d.as_secs_f64()
+        );
+    }
 }

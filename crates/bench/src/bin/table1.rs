@@ -3,13 +3,19 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin table1 [--images N] [--scale small]
+//! cargo run --release -p bench --bin table1 -- --workload logstream [--records N]
 //! ```
 //!
 //! The paper's percentages (on PARSEC `native`, 3500 images) are printed
 //! alongside for comparison; our calibration targets the *shape* (ranking
 //! dominant, vectorizing second), not the absolute seconds.
+//!
+//! `--workload logstream` prints the same characterization for the
+//! graph-shaped logstream workload instead (the profile that motivates
+//! sharding its parse+aggregate stage).
 
 use workloads::ferret::{run_serial, FerretConfig};
+use workloads::logstream;
 
 /// Paper reference: (stage, iterations, seconds, percent).
 const PAPER: &[(&str, u64, f64, f64)] = &[
@@ -23,6 +29,9 @@ const PAPER: &[(&str, u64, f64, f64)] = &[
 
 fn main() {
     let args = bench::Args::parse();
+    if args.get("workload") == Some("logstream") {
+        return logstream_profile(&args);
+    }
     let mut cfg = if args.is_small() {
         FerretConfig::bench(args.get_usize("images", 350))
     } else {
@@ -62,4 +71,25 @@ fn main() {
             .unwrap_or(0.0);
         println!("{name:<16} measured {measured:>6.2}%   paper {paper_pct:>6.2}%");
     }
+}
+
+/// The logstream characterization: the serial stage profile that shows
+/// parse+aggregate dominating — the case for the keyed fan-out in the
+/// graph driver (`pipelines::graph`).
+fn logstream_profile(args: &bench::Args) {
+    let records = args.get_usize("records", if args.is_small() { 40_000 } else { 400_000 });
+    let mut cfg = logstream::LogConfig::bench(records);
+    cfg.seed = args.get_usize("seed", cfg.seed as usize) as u64;
+    eprintln!(
+        "running serial logstream on {} records ({} services, {}-tick windows)...",
+        cfg.records, cfg.services, cfg.window_ticks
+    );
+    let lines = logstream::corpus(&cfg);
+    let (out, clock) = logstream::run_serial(&cfg, &lines);
+    println!(
+        "{}",
+        clock.render("Table 1 (logstream): Characterization of the log-analytics pipeline")
+    );
+    println!("summaries: {}", out.summaries.len());
+    println!("output checksum: {:#018x}", out.checksum());
 }

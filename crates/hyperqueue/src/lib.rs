@@ -54,6 +54,7 @@ mod queue;
 mod segment;
 mod slice;
 mod state;
+mod tag;
 mod view;
 
 pub use queue::{
@@ -62,6 +63,7 @@ pub use queue::{
 };
 pub use slice::{ReadSlice, WriteSlice};
 pub use state::{Mode, QueueStats, POP_LABEL, PUSH_LABEL};
+pub use tag::{AutoTag, Pusher, Tagged};
 
 #[cfg(test)]
 mod tests {
@@ -156,6 +158,25 @@ mod tests {
             let expect: Vec<u64> = (0..200).collect();
             assert_eq!(out, expect, "chaos seed {seed} broke determinism");
         }
+    }
+
+    #[test]
+    fn pop_batch_into_edge_cases() {
+        let rt = Runtime::with_workers(1);
+        rt.scope(|s| {
+            let q = Hyperqueue::<u32>::with_segment_capacity(s, 4);
+            q.push_iter(0..10);
+            // "Take everything visible" must not overflow the target
+            // arithmetic even with a non-empty destination buffer.
+            let mut buf = vec![99u32];
+            assert_eq!(q.pop_batch_into(usize::MAX, &mut buf), 10);
+            assert_eq!(buf[0], 99, "existing contents untouched");
+            assert_eq!(&buf[1..], (0..10).collect::<Vec<_>>());
+            // max == 0 is a no-op, NOT a permanent-empty verdict.
+            q.push(42);
+            assert_eq!(q.pop_batch_into(0, &mut buf), 0);
+            assert_eq!(q.pop(), 42, "value still queued after max==0 call");
+        });
     }
 
     #[test]
@@ -447,10 +468,20 @@ mod tests {
         // fraction of segment transitions. The exact zero-allocation
         // steady state is asserted deterministically in
         // `state::tests::drained_segments_are_recycled`.
-        assert!(
-            stats.segments_allocated < 500,
-            "recycling should beat the no-reuse bound of 625: {stats:?}"
-        );
+        //
+        // The run-ahead bound needs the pair to actually interleave: on a
+        // single-core machine (release builds especially) the producer can
+        // finish before the consumer's first pop, legitimately allocating
+        // all 625 segments, so that assertion is gated on parallelism.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores >= 2 {
+            assert!(
+                stats.segments_allocated < 500,
+                "recycling should beat the no-reuse bound of 625: {stats:?}"
+            );
+        }
         assert!(
             stats.segments_recycled > 100,
             "recycling inactive: {stats:?}"

@@ -69,11 +69,43 @@ const MAX_LOCKFREE_ADVANCES: u32 = 32;
 /// Lock-free observability counters (see [`QueueStats`]). These live
 /// outside the mutex precisely because the events they count must not
 /// take it.
+///
+/// # Memory-ordering contract
+///
+/// Every increment and every read uses `Ordering::Relaxed` — deliberately
+/// and uniformly. The counters are *statistics*, not synchronization: no
+/// control flow depends on them, so they need no happens-before edges, and
+/// anything stronger would put fence traffic on the paths whose
+/// lock-freedom they exist to demonstrate. The consequence, documented on
+/// [`QueueStats`]: each counter is individually monotonic and exact over
+/// its own event stream, but a snapshot taken while producers/consumers
+/// are running may lag concurrent fast-path events and may be mutually
+/// inconsistent across counters. Quiesce first (`sync` on the
+/// producing/consuming tasks) for exact totals.
 #[derive(Default)]
 pub(crate) struct FastStats {
     pub(crate) lock_acquisitions: AtomicU64,
     pub(crate) chain_advances: AtomicU64,
     pub(crate) notifies_suppressed: AtomicU64,
+}
+
+impl FastStats {
+    /// One increment path for all three counters, so the ordering contract
+    /// above is enforced in exactly one place.
+    #[inline]
+    pub(crate) fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the three fast-path counters with the same (Relaxed) ordering
+    /// the increments use; see the struct docs for what that means.
+    pub(crate) fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.lock_acquisitions.load(Ordering::Relaxed),
+            self.chain_advances.load(Ordering::Relaxed),
+            self.notifies_suppressed.load(Ordering::Relaxed),
+        )
+    }
 }
 
 pub(crate) struct QueueInner<T: Send + 'static> {
@@ -93,7 +125,7 @@ impl<T: Send + 'static> QueueInner<T> {
     /// Locks the queue state on behalf of a data-path operation,
     /// incrementing the observability counter.
     fn lock_counted(&self) -> parking_lot::MutexGuard<'_, QueueState<T>> {
-        self.fast.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        FastStats::incr(&self.fast.lock_acquisitions);
         self.state.lock()
     }
 }
@@ -104,10 +136,7 @@ impl<T: Send + 'static> QueueInner<T> {
 #[inline]
 pub(crate) fn notify_counted<T: Send + 'static>(inner: &QueueInner<T>) {
     if inner.waiters.load(Ordering::SeqCst) == 0 || !inner.rt.notify() {
-        inner
-            .fast
-            .notifies_suppressed
-            .fetch_add(1, Ordering::Relaxed);
+        FastStats::incr(&inner.fast.notifies_suppressed);
     }
 }
 
@@ -222,7 +251,7 @@ fn chain_advance<T: Send + 'static>(
     }
     cache.seg = Some(next);
     cache.advances += 1;
-    inner.fast.chain_advances.fetch_add(1, Ordering::Relaxed);
+    FastStats::incr(&inner.fast.chain_advances);
     Some(next)
 }
 
@@ -465,34 +494,41 @@ fn push_slice_impl<T: Send + Copy + 'static>(
 }
 
 /// Shared implementation of the batched pop: bulk-moves up to `max`
-/// currently-visible values, following published chain links lock-free.
-/// Blocks only when nothing is visible yet; returns an empty vector iff
-/// the queue is permanently empty.
-fn pop_batch_impl<T: Send + 'static>(
+/// currently-visible values into `out` (appending), following published
+/// chain links lock-free. Blocks only when nothing is visible yet;
+/// returns the number appended — `0` iff the queue is permanently empty,
+/// except that `max == 0` short-circuits to `0` without inspecting the
+/// queue. Taking the destination by reference lets steady-state consumers
+/// reuse one buffer instead of allocating a vector per round.
+fn pop_batch_into_impl<T: Send + 'static>(
     inner: &Arc<QueueInner<T>>,
     frame: &Arc<Frame>,
     cache: &mut PopCache<T>,
     max: usize,
-) -> Vec<T> {
-    let mut out = Vec::new();
+    out: &mut Vec<T>,
+) -> usize {
     if max == 0 {
-        return out;
+        return 0;
     }
+    let base = out.len();
+    // Saturate: `usize::MAX` is a legitimate "take everything visible"
+    // request, and the buffer may already hold values.
+    let target = base.saturating_add(max);
     loop {
         if let Some(mut seg) = cache.seg {
             loop {
                 // SAFETY: unique consumer.
-                unsafe { seg.as_ref().pop_bulk(max - out.len(), &mut out) };
-                if out.len() == max {
-                    return out;
+                unsafe { seg.as_ref().pop_bulk(target - out.len(), out) };
+                if out.len() == target {
+                    return out.len() - base;
                 }
                 let Some(next) = NonNull::new(unsafe { seg.as_ref().next() }) else {
                     break;
                 };
                 // Re-check after the Acquire load of `next` (see pop_impl).
-                unsafe { seg.as_ref().pop_bulk(max - out.len(), &mut out) };
-                if out.len() == max {
-                    return out;
+                unsafe { seg.as_ref().pop_bulk(target - out.len(), out) };
+                if out.len() == target {
+                    return out.len() - base;
                 }
                 match chain_advance(inner, cache, next) {
                     Some(n) => seg = n,
@@ -500,14 +536,27 @@ fn pop_batch_impl<T: Send + 'static>(
                 }
             }
         }
-        if !out.is_empty() {
-            return out;
+        if out.len() > base {
+            return out.len() - base;
         }
         // Nothing visible: wait for data or the permanent-empty verdict.
         if empty_slow(inner, frame, cache) {
-            return out;
+            return 0;
         }
     }
+}
+
+/// Owning wrapper over [`pop_batch_into_impl`]: empty vector iff the
+/// queue is permanently empty.
+fn pop_batch_impl<T: Send + 'static>(
+    inner: &Arc<QueueInner<T>>,
+    frame: &Arc<Frame>,
+    cache: &mut PopCache<T>,
+    max: usize,
+) -> Vec<T> {
+    let mut out = Vec::new();
+    pop_batch_into_impl(inner, frame, cache, max, &mut out);
+    out
 }
 
 /// Shared implementation of the batched visitor: feeds `f` contiguous
@@ -769,6 +818,37 @@ impl<T: Send + 'static> Hyperqueue<T> {
         v
     }
 
+    /// Like [`Hyperqueue::pop_batch`] but appends into a caller-owned
+    /// buffer, returning how many values were appended — the
+    /// allocation-free loop shape for steady-state consumers. With
+    /// `max ≥ 1` the return is `0` iff the queue is permanently empty;
+    /// `max == 0` appends nothing and returns `0` without inspecting the
+    /// queue, so pass a positive `max` when the result doubles as the
+    /// loop condition:
+    ///
+    /// ```
+    /// use swan::Runtime;
+    /// use hyperqueue::Hyperqueue;
+    ///
+    /// let rt = Runtime::with_workers(2);
+    /// rt.scope(|s| {
+    ///     let q = Hyperqueue::<u32>::new(s);
+    ///     q.push_iter(0..100);
+    ///     let mut buf = Vec::with_capacity(32);
+    ///     let mut total = 0;
+    ///     while q.pop_batch_into(32, &mut buf) > 0 {
+    ///         total += buf.drain(..).count();
+    ///     }
+    ///     assert_eq!(total, 100);
+    /// });
+    /// ```
+    pub fn pop_batch_into(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let mut cache = self.pop_cache.get();
+        let n = pop_batch_into_impl(&self.inner, &self.owner, &mut cache, max, out);
+        self.pop_cache.set(cache);
+        n
+    }
+
     /// Drains the queue through read slices of up to `max_batch` values,
     /// invoking `f` on each contiguous batch until the queue is
     /// permanently empty. Values are dropped after `f` observes them.
@@ -823,12 +903,16 @@ impl<T: Send + 'static> Hyperqueue<T> {
 
     /// Allocation/recycling counters plus the fast-path observability
     /// counters (lock acquisitions, lock-free chain advances, suppressed
-    /// notifies).
+    /// notifies). The first group is read under the queue mutex and is
+    /// exact; the fast-path group is read with the same `Relaxed` ordering
+    /// its increments use and is approximate while tasks are still
+    /// running — see [`QueueStats`] for the precise contract.
     pub fn stats(&self) -> QueueStats {
         let mut s = self.inner.state.lock().stats;
-        s.lock_acquisitions = self.inner.fast.lock_acquisitions.load(Ordering::Relaxed);
-        s.chain_advances = self.inner.fast.chain_advances.load(Ordering::Relaxed);
-        s.notifies_suppressed = self.inner.fast.notifies_suppressed.load(Ordering::Relaxed);
+        let (locks, advances, suppressed) = self.inner.fast.snapshot();
+        s.lock_acquisitions = locks;
+        s.chain_advances = advances;
+        s.notifies_suppressed = suppressed;
         s
     }
 }
@@ -989,6 +1073,12 @@ impl<T: Send + 'static> PopToken<T> {
         pop_batch_impl(&self.inner, &self.frame, &mut self.cache, max)
     }
 
+    /// Appends up to `max` values into `out` (see
+    /// [`Hyperqueue::pop_batch_into`]); `0` iff permanently empty.
+    pub fn pop_batch_into(&mut self, max: usize, out: &mut Vec<T>) -> usize {
+        pop_batch_into_impl(&self.inner, &self.frame, &mut self.cache, max, out)
+    }
+
     /// Drains the queue through batches of up to `max_batch` values (see
     /// [`Hyperqueue::for_each_batch`]). Returns the number consumed.
     pub fn for_each_batch(&mut self, max_batch: usize, f: impl FnMut(&[T])) -> u64 {
@@ -1067,6 +1157,12 @@ impl<T: Send + 'static> PushPopToken<T> {
     /// [`Hyperqueue::pop_batch`]).
     pub fn pop_batch(&mut self, max: usize) -> Vec<T> {
         pop_batch_impl(&self.inner, &self.frame, &mut self.pop_cache, max)
+    }
+
+    /// Appends up to `max` values into `out` (see
+    /// [`Hyperqueue::pop_batch_into`]); `0` iff permanently empty.
+    pub fn pop_batch_into(&mut self, max: usize, out: &mut Vec<T>) -> usize {
+        pop_batch_into_impl(&self.inner, &self.frame, &mut self.pop_cache, max, out)
     }
 
     /// Drains the queue through batches (see

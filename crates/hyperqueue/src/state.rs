@@ -73,28 +73,48 @@ pub(crate) struct FrameEntry<T> {
 
 /// Counters reported by [`crate::Hyperqueue::stats`].
 ///
-/// The first four are maintained under the queue mutex; the last three are
-/// fast-path observability counters kept in atomics outside the lock (so
-/// the fast paths they describe stay lock-free) and merged in by
-/// [`crate::Hyperqueue::stats`].
+/// # Exact vs approximate counters
+///
+/// The first four (`segments_allocated`, `segments_recycled`,
+/// `freelist_hits`, `head_attaches`) are maintained under the queue mutex:
+/// a snapshot is exact at the instant the lock was held.
+///
+/// The last three (`lock_acquisitions`, `chain_advances`,
+/// `notifies_suppressed`) are fast-path observability counters kept in
+/// atomics outside the lock, incremented *and* read with
+/// `Ordering::Relaxed` (uniformly — see `FastStats` in `queue.rs`). Each
+/// is monotonic and eventually exact, but while producer/consumer tasks
+/// are still running a snapshot is **approximate**: it may lag in-flight
+/// fast-path events, and the three values need not be mutually consistent
+/// (e.g. a `chain_advances` increment may be visible while a
+/// `lock_acquisitions` increment that happened earlier on another thread
+/// is not). Read after quiescing (e.g. after `Scope::sync`) — as the
+/// fast-path assertions in `tests/fastpath.rs` do — when exact totals
+/// matter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Segments allocated from the heap.
+    /// Segments allocated from the heap. Exact (mutex-guarded).
     pub segments_allocated: u64,
-    /// Segments returned to the freelist after being drained.
+    /// Segments returned to the freelist after being drained. Exact
+    /// (mutex-guarded).
     pub segments_recycled: u64,
-    /// Freelist hits (allocations served without heap traffic).
+    /// Freelist hits (allocations served without heap traffic). Exact
+    /// (mutex-guarded).
     pub freelist_hits: u64,
-    /// Early head attachments (§4.1 "double reduction" first step).
+    /// Early head attachments (§4.1 "double reduction" first step). Exact
+    /// (mutex-guarded).
     pub head_attaches: u64,
     /// Data-path acquisitions of the queue mutex (push/pop/empty/slice
     /// slow paths). Zero while a producer/consumer pair streams through
     /// already-published segments — the paper's steady-state claim.
+    /// Approximate under concurrency (Relaxed; see struct docs).
     pub lock_acquisitions: u64,
     /// Consumer segment transitions taken lock-free by following a
     /// published `next` link instead of probing the queue state.
+    /// Approximate under concurrency (Relaxed; see struct docs).
     pub chain_advances: u64,
-    /// Runtime wakeups skipped because no worker was parked.
+    /// Runtime wakeups skipped because no worker was parked. Approximate
+    /// under concurrency (Relaxed; see struct docs).
     pub notifies_suppressed: u64,
 }
 

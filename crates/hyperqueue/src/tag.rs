@@ -1,0 +1,219 @@
+//! Sequence tags: the fan-out/fan-in extension of the hyperqueue algebra.
+//!
+//! A hyperqueue by itself guarantees serial-elision order along one edge.
+//! Graph-shaped pipelines (`pipelines::graph`) split one edge into several
+//! replica edges and later merge them back; the merge can reconstruct the
+//! serial order only if every value carries its position in that order.
+//! [`Tagged`] is that position, [`Pusher`] abstracts over everything that
+//! can push (so tagging adapters compose with owner handles and tokens
+//! alike), and [`AutoTag`] turns any pusher of `Tagged<T>` into a pusher of
+//! `T` that assigns consecutive sequence numbers — the producer side of a
+//! deterministic fan-out.
+//!
+//! The tags are plain data: determinism still comes from the hyperqueue's
+//! ordering guarantee (each replica edge is itself a hyperqueue, so each
+//! replica observes a seq-ascending stream), the tags only make the
+//! interleaving *recoverable* after the streams diverge.
+
+use crate::queue::{Hyperqueue, PushPopToken, PushToken};
+
+/// A value paired with its position in the serial-elision order of the
+/// pipeline edge it was split off from. Sequence numbers are assigned by
+/// the splitting stage (usually via [`AutoTag`]) and are consecutive from
+/// its starting point: a fan-out of a gapless stream partitions `start..`
+/// across its replica edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tagged<T> {
+    /// Position in the pre-split serial order.
+    pub seq: u64,
+    /// The payload.
+    pub value: T,
+}
+
+impl<T> Tagged<T> {
+    /// Pairs `value` with its serial position.
+    pub fn new(seq: u64, value: T) -> Self {
+        Tagged { seq, value }
+    }
+
+    /// Maps the payload, keeping the tag — the shape of a 1:1 replica
+    /// stage inside a fan-out (the stage transforms values, the merge
+    /// still needs the original positions).
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Tagged<U> {
+        Tagged {
+            seq: self.seq,
+            value: f(self.value),
+        }
+    }
+}
+
+/// Anything that can append values to a hyperqueue in its task's position
+/// of the serial order: the owner handle and both push-capable tokens.
+///
+/// The trait exists so adapters like [`AutoTag`] need not be written three
+/// times; it deliberately exposes only the appending subset (no slices, no
+/// delegation) — adapters that need more take the concrete token.
+pub trait Pusher<T: Send + 'static> {
+    /// Appends one value (see [`Hyperqueue::push`]).
+    fn push(&mut self, value: T);
+
+    /// Appends every value of `iter` through write slices (see
+    /// [`Hyperqueue::push_iter`]); returns the number pushed.
+    fn push_iter(&mut self, iter: impl IntoIterator<Item = T>) -> u64;
+}
+
+impl<T: Send + 'static> Pusher<T> for Hyperqueue<T> {
+    fn push(&mut self, value: T) {
+        Hyperqueue::push(self, value);
+    }
+    fn push_iter(&mut self, iter: impl IntoIterator<Item = T>) -> u64 {
+        Hyperqueue::push_iter(self, iter)
+    }
+}
+
+impl<T: Send + 'static> Pusher<T> for PushToken<T> {
+    fn push(&mut self, value: T) {
+        PushToken::push(self, value);
+    }
+    fn push_iter(&mut self, iter: impl IntoIterator<Item = T>) -> u64 {
+        PushToken::push_iter(self, iter)
+    }
+}
+
+impl<T: Send + 'static> Pusher<T> for PushPopToken<T> {
+    fn push(&mut self, value: T) {
+        PushPopToken::push(self, value);
+    }
+    fn push_iter(&mut self, iter: impl IntoIterator<Item = T>) -> u64 {
+        PushPopToken::push_iter(self, iter)
+    }
+}
+
+/// Sequence-tagging adapter: wraps a pusher of [`Tagged<T>`] and assigns
+/// consecutive sequence numbers to plain `T` values. The counter lives in
+/// the adapter (task-local state), so tagging costs nothing on the queue's
+/// fast path.
+///
+/// ```
+/// use hyperqueue::{AutoTag, Hyperqueue, Tagged};
+/// use swan::Runtime;
+///
+/// let rt = Runtime::with_workers(2);
+/// rt.scope(|s| {
+///     let q = Hyperqueue::<Tagged<&'static str>>::new(s);
+///     s.spawn((q.pushdep(),), |_, (p,)| {
+///         let mut tagger = AutoTag::new(p);
+///         tagger.push("a");
+///         tagger.push_iter(["b", "c"]);
+///         assert_eq!(tagger.next_seq(), 3);
+///     });
+///     assert_eq!(q.pop(), Tagged::new(0, "a"));
+///     assert_eq!(q.pop(), Tagged::new(1, "b"));
+///     assert_eq!(q.pop(), Tagged::new(2, "c"));
+/// });
+/// ```
+pub struct AutoTag<T: Send + 'static, P: Pusher<Tagged<T>>> {
+    inner: P,
+    next: u64,
+    _payload: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Send + 'static, P: Pusher<Tagged<T>>> AutoTag<T, P> {
+    /// Starts tagging at sequence number 0.
+    pub fn new(inner: P) -> Self {
+        Self::with_start(inner, 0)
+    }
+
+    /// Starts tagging at `start` (resuming a partially tagged stream).
+    pub fn with_start(inner: P, start: u64) -> Self {
+        AutoTag {
+            inner,
+            next: start,
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// The sequence number the next pushed value will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// Pushes `value` tagged with the next sequence number; returns the
+    /// tag it received.
+    pub fn push(&mut self, value: T) -> u64 {
+        let seq = self.next;
+        self.next += 1;
+        self.inner.push(Tagged { seq, value });
+        seq
+    }
+
+    /// Pushes every value of `iter` with consecutive tags (batched through
+    /// the inner pusher's write slices); returns the number pushed.
+    pub fn push_iter(&mut self, iter: impl IntoIterator<Item = T>) -> u64 {
+        let start = self.next;
+        // Tag lazily so the inner batched path sees one pass; the counter
+        // is reconciled from the count the pusher reports.
+        let mut assigned = start;
+        let n = self.inner.push_iter(iter.into_iter().map(|value| {
+            let seq = assigned;
+            assigned += 1;
+            Tagged { seq, value }
+        }));
+        debug_assert_eq!(n, assigned - start, "pusher must consume the iterator");
+        self.next = assigned;
+        n
+    }
+
+    /// Unwraps the adapter, returning the inner pusher.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan::Runtime;
+
+    #[test]
+    fn auto_tag_assigns_consecutive_seqs_across_batches() {
+        let rt = Runtime::with_workers(2);
+        let mut got = Vec::new();
+        let got_ref = &mut got;
+        rt.scope(move |s| {
+            let q = Hyperqueue::<Tagged<u32>>::with_segment_capacity(s, 4);
+            s.spawn((q.pushdep(),), |_, (p,)| {
+                let mut t = AutoTag::new(p);
+                t.push(10);
+                assert_eq!(t.push_iter(11..15), 4);
+                t.push(15);
+                assert_eq!(t.next_seq(), 6);
+            });
+            s.spawn((q.popdep(),), move |_, (mut c,)| {
+                while !c.empty() {
+                    got_ref.push(c.pop());
+                }
+            });
+        });
+        let expect: Vec<Tagged<u32>> = (0..6).map(|i| Tagged::new(i, 10 + i as u32)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tagged_map_preserves_seq() {
+        let t = Tagged::new(7, "x").map(|s| s.len());
+        assert_eq!(t, Tagged::new(7, 1));
+    }
+
+    #[test]
+    fn owner_handle_is_a_pusher_too() {
+        let rt = Runtime::with_workers(1);
+        rt.scope(|s| {
+            let q = Hyperqueue::<Tagged<u8>>::new(s);
+            let mut t = AutoTag::with_start(q, 100);
+            t.push(1);
+            let q = t.into_inner();
+            assert_eq!(q.pop(), Tagged::new(100, 1));
+        });
+    }
+}

@@ -1,8 +1,9 @@
-//! # pipelines — baseline pipeline-parallel programming models
+//! # pipelines — pipeline programming models, from baselines to DAGs
 //!
-//! The comparison baselines of the hyperqueues paper (§6), rebuilt in
-//! Rust so every programming model runs the same workload kernels on the
-//! same allocator:
+//! Two halves live here:
+//!
+//! **The paper's comparison baselines** (§6), rebuilt in Rust so every
+//! programming model runs the same workload kernels on the same allocator:
 //!
 //! * **pthreads-style** building blocks: blocking bounded MPMC channels
 //!   ([`bounded`]), a Lamport SPSC ring ([`spsc::SpscRing`]), and reorder buffers
@@ -11,19 +12,29 @@
 //!   the per-machine thread-count tuning the paper criticizes.
 //! * **TBB-style** [`tbb::TbbPipeline`]: a clone of Intel TBB's
 //!   `parallel_pipeline` with serial-in-order and parallel filters and
-//!   token-based throttling.
+//!   token-based throttling. Neither baseline is deterministic or
+//!   scale-free; that contrast with the `hyperqueue` crate is the point of
+//!   the evaluation.
 //!
-//! Neither model is deterministic or scale-free; that contrast with the
-//! `hyperqueue` crate is the point of the evaluation.
+//! **The DAG composition layer** ([`graph`]): a typed builder that goes
+//! *beyond* the paper's linear chains — deterministic fan-out
+//! ([`graph::Node::split`]), sequence-tagged fan-in ([`graph::Fanout::merge`],
+//! reusing the [`reorder`] machinery), sharded stateful stages with ordered
+//! k-way merges, and multicast ([`graph::Node::tee`]) — all running on the
+//! `swan` runtime over hyperqueue edges with batched slice I/O, and all
+//! preserving the serial-elision determinism guarantee. See the [`graph`]
+//! module docs for the contract and a worked example.
 
 #![warn(missing_docs)]
 
 pub mod bounded;
+pub mod graph;
 pub mod reorder;
 pub mod spsc;
 pub mod tbb;
 
 pub use bounded::{channel, Receiver, Sender};
+pub use graph::{Fanout, GraphBuilder, Node, Partition, Shards};
 pub use reorder::{ReorderBuffer, ReorderQueue};
 pub use spsc::{spsc, SpscReceiver, SpscRing, SpscSender};
 pub use tbb::{Item, TbbPipeline};

@@ -91,6 +91,33 @@ pub trait DepArg {
     fn acquire(self, ctx: &mut AcquireCtx<'_>) -> Self::Guard;
 }
 
+/// A dynamic, homogeneous dependency list: every element is acquired in
+/// vector (= program) order and the task body receives one guard per
+/// element. This is what graph-shaped pipelines need — a fan-in or fan-out
+/// stage's edge count is data, not program text, so it cannot be spelled as
+/// a tuple.
+///
+/// ```
+/// use swan::{Runtime, Versioned};
+///
+/// let rt = Runtime::with_workers(2);
+/// let cells: Vec<Versioned<u32>> = (0..4).map(Versioned::new).collect();
+/// let sum = Versioned::new(0u32);
+/// rt.scope(|s| {
+///     let reads: Vec<_> = cells.iter().map(|c| c.read()).collect();
+///     s.spawn((reads, sum.write()), |_, (guards, mut out)| {
+///         *out = guards.iter().map(|g| **g).sum();
+///     });
+/// });
+/// assert_eq!(sum.read_latest(), 0 + 1 + 2 + 3);
+/// ```
+impl<D: DepArg> DepArg for Vec<D> {
+    type Guard = Vec<D::Guard>;
+    fn acquire(self, ctx: &mut AcquireCtx<'_>) -> Self::Guard {
+        self.into_iter().map(|d| d.acquire(ctx)).collect()
+    }
+}
+
 /// A (possibly empty) tuple of [`DepArg`]s.
 pub trait DepList {
     /// Tuple of guards, one per argument.

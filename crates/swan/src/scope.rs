@@ -86,6 +86,25 @@ impl<'scope> Scope<'scope> {
         }
     }
 
+    /// Spawns one task per element of `deps`, sharing a single body closure
+    /// across the replicas — the spawn surface of fan-out pipeline stages
+    /// (one replica per dependency bundle, e.g. one per shard queue). The
+    /// body receives the replica index alongside the guards; replicas are
+    /// spawned in `deps` order, so dependence edges derive from program
+    /// order exactly as with individual [`Scope::spawn`] calls.
+    pub fn spawn_replicas<D, F>(&self, deps: impl IntoIterator<Item = D>, body: F)
+    where
+        D: DepList,
+        D::Guards: 'scope,
+        F: Fn(&Scope<'scope>, usize, D::Guards) + Send + Sync + 'scope,
+    {
+        let body = Arc::new(body);
+        for (idx, d) in deps.into_iter().enumerate() {
+            let b = Arc::clone(&body);
+            self.spawn(d, move |s, guards| b(s, idx, guards));
+        }
+    }
+
     /// Waits until all children spawned by this scope have completed,
     /// executing descendant tasks meanwhile. Panics from the subtree
     /// resurface here. This is the paper's `sync` statement.
@@ -193,6 +212,44 @@ mod tests {
         let v = order.into_inner();
         assert_eq!(v.len(), 5);
         assert_eq!(*v.last().unwrap(), 99, "sync must come after children");
+    }
+
+    #[test]
+    fn spawn_replicas_runs_one_task_per_dep_bundle() {
+        use crate::Versioned;
+        let rt = Runtime::with_workers(4);
+        let cells: Vec<Versioned<usize>> = (0..6).map(|_| Versioned::new(0)).collect();
+        rt.scope(|s| {
+            let deps: Vec<_> = cells.iter().map(|c| (c.write(),)).collect();
+            s.spawn_replicas(deps, |_, idx, (mut w,)| {
+                *w = idx + 1;
+            });
+        });
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.read_latest(), i + 1, "replica {i} did not run");
+        }
+    }
+
+    #[test]
+    fn vec_deps_gate_on_every_element() {
+        use crate::Versioned;
+        let rt = Runtime::with_workers(4);
+        let cells: Vec<Versioned<u32>> = (0..5).map(|_| Versioned::new(0)).collect();
+        let total = Versioned::new(0u32);
+        rt.scope(|s| {
+            for (i, c) in cells.iter().enumerate() {
+                s.spawn((c.write(),), move |_, (mut w,)| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    *w = i as u32 + 1;
+                });
+            }
+            // One task reading through a Vec dep: must wait for all writers.
+            let reads: Vec<_> = cells.iter().map(|c| c.read()).collect();
+            s.spawn((reads, total.write()), |_, (gs, mut out)| {
+                *out = gs.iter().map(|g| **g).sum();
+            });
+        });
+        assert_eq!(total.read_latest(), 1 + 2 + 3 + 4 + 5);
     }
 
     #[test]

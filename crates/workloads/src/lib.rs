@@ -7,6 +7,10 @@
 //! * [`ferret`] — 6-stage image-similarity search (Table 1, Figure 8)
 //! * [`dedup`] — 5-stage deduplicating compressor (Table 2, Figure 11)
 //! * [`bzip2`] — 3-stage block compressor (§6.3)
+//! * [`logstream`] — streaming log analytics over a **graph-shaped**
+//!   pipeline (tee + keyed/round-robin fan-out + ordered fan-in), the
+//!   workload that exercises `pipelines::graph` beyond the paper's
+//!   straight chains
 //!
 //! Every workload is *algorithmically real* (the dedup output really
 //! round-trips; bzip2 really compresses via BWT+MTF+Huffman) but runs on
@@ -18,6 +22,7 @@ pub mod bzip2;
 pub mod dedup;
 pub mod entropy;
 pub mod ferret;
+pub mod logstream;
 pub mod timing;
 pub mod util;
 

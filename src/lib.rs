@@ -8,9 +8,12 @@
 //!   versioned objects with `indep`/`outdep`/`inoutdep`);
 //! * [`hyperqueue`] — the paper's contribution: deterministic queues with
 //!   `pushdep`/`popdep`/`pushpopdep` access modes;
-//! * [`pipelines`] — the pthreads-style and TBB-style comparison baselines;
+//! * [`pipelines`] — the pthreads-style and TBB-style comparison baselines,
+//!   plus `pipelines::graph`, the deterministic DAG composition layer
+//!   (fan-out/fan-in/tee over hyperqueue edges);
 //! * [`workloads`] — ferret, dedup and bzip2, each with drivers for every
-//!   programming model of the paper's evaluation.
+//!   programming model of the paper's evaluation, plus the graph-shaped
+//!   logstream workload.
 //!
 //! See `examples/quickstart.rs` for a two-minute tour, and the `bench`
 //! crate's binaries (`table1`, `table2`, `fig8`, `fig11`, `bzip2_results`,

@@ -1,11 +1,24 @@
-//! Cross-model agreement for all three evaluation workloads (Figures 7
-//! and 9 describe the shapes; this test pins the *semantics*): every
-//! programming model must produce byte-identical output, and that output
-//! must verify (dedup archives and bzip2 streams decode back to the
-//! original input).
+//! Pipeline-shape semantics, from the paper's chains to arbitrary DAGs.
+//!
+//! Part 1 — cross-model agreement for the three evaluation workloads
+//! (Figures 7 and 9 describe the shapes; the tests pin the *semantics*):
+//! every programming model must produce byte-identical output, and that
+//! output must verify (dedup archives and bzip2 streams decode back to
+//! the original input).
+//!
+//! Part 2 — the DAG determinism sweep: randomly generated graph shapes
+//! (fan-out degree 1–4, merge windows 1–64, segment capacities 2–8,
+//! round-robin and keyed routing, optional tee) built on
+//! `pipelines::graph` must produce byte-identical output on 1/2/8
+//! workers, equal to the serial elision computed by plain iterator code.
+//!
+//! Part 3 — the graph-shaped logstream workload agrees across serial,
+//! linear-chain and fan-out drivers at every worker count.
 
+use hyperqueues::pipelines::graph::{GraphBuilder, Partition};
 use hyperqueues::swan::Runtime;
-use hyperqueues::workloads::{bzip2, dedup, ferret};
+use hyperqueues::workloads::{bzip2, dedup, ferret, logstream};
+use proptest::prelude::*;
 
 #[test]
 fn ferret_all_models_agree() {
@@ -68,6 +81,172 @@ fn bzip2_all_models_agree_and_roundtrip() {
     }
     let restored = bzip2::decompress_stream(&serial).expect("decodes");
     assert_eq!(&restored[..], &data[..]);
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: the DAG determinism sweep (pipelines::graph).
+// ---------------------------------------------------------------------------
+
+/// One randomly drawn layer of a DAG shape.
+#[derive(Clone, Debug)]
+enum ShapeOp {
+    /// A linear map stage.
+    Map { mul: u64, add: u64 },
+    /// `split(degree) → replica map → merge(window)`, round-robin or keyed.
+    FanOut {
+        degree: usize,
+        window: usize,
+        keyed: bool,
+        mul: u64,
+    },
+    /// Multicast: the side branch folds an order-sensitive checksum.
+    Tee,
+}
+
+fn mix(x: u64, mul: u64, add: u64) -> u64 {
+    x.wrapping_mul(mul | 1).wrapping_add(add)
+}
+
+fn fold_step(acc: u64, v: u64) -> u64 {
+    acc.rotate_left(7) ^ v
+}
+
+/// The serial elision of a shape: plain iterator code — no tasks, no
+/// queues. This is the oracle every parallel run must reproduce exactly.
+fn serial_elision(total: u64, ops: &[ShapeOp]) -> (Vec<u64>, Vec<u64>) {
+    let mut vals: Vec<u64> = (0..total).collect();
+    let mut tees = Vec::new();
+    for op in ops {
+        match op {
+            ShapeOp::Map { mul, add } => {
+                vals.iter_mut().for_each(|v| *v = mix(*v, *mul, *add));
+            }
+            // A fan-out/merge pair is observationally a map.
+            ShapeOp::FanOut { mul, .. } => {
+                vals.iter_mut().for_each(|v| *v = mix(*v, *mul, 1));
+            }
+            ShapeOp::Tee => tees.push(vals.iter().copied().fold(0, fold_step)),
+        }
+    }
+    (vals, tees)
+}
+
+/// Builds and runs the same shape on the graph layer.
+fn graph_run(total: u64, ops: &[ShapeOp], seg_cap: usize, workers: usize) -> (Vec<u64>, Vec<u64>) {
+    let rt = Runtime::with_workers(workers);
+    let mut out = Vec::new();
+    let tee_count = ops.iter().filter(|o| matches!(o, ShapeOp::Tee)).count();
+    let mut tee_sums = vec![0u64; tee_count];
+    {
+        let out_ref = &mut out;
+        let ops = ops.to_vec();
+        let mut tee_slots: std::collections::VecDeque<&mut u64> = tee_sums.iter_mut().collect();
+        rt.scope(move |s| {
+            let gb = GraphBuilder::on(s)
+                .segment_capacity(seg_cap)
+                .io_batch(seg_cap);
+            let mut node = gb.source_iter(0..total);
+            for op in ops {
+                node = match op {
+                    ShapeOp::Map { mul, add } => node.map(move |x| mix(x, mul, add)),
+                    ShapeOp::FanOut {
+                        degree,
+                        window,
+                        keyed,
+                        mul,
+                    } => {
+                        let part = if keyed {
+                            Partition::keyed(|v: &u64| v % 7)
+                        } else {
+                            Partition::RoundRobin
+                        };
+                        node.split(degree, part)
+                            .map(move |x| mix(x, mul, 1))
+                            .merge(window)
+                    }
+                    ShapeOp::Tee => {
+                        let (a, b) = node.tee();
+                        let slot = tee_slots.pop_front().expect("one slot per tee");
+                        b.for_each(move |v| *slot = fold_step(*slot, v));
+                        a
+                    }
+                };
+            }
+            node.collect_into(out_ref);
+        });
+    }
+    (out, tee_sums)
+}
+
+fn op_strategy() -> impl Strategy<Value = ShapeOp> {
+    prop_oneof![
+        (1u64..1000, 0u64..1000).prop_map(|(mul, add)| ShapeOp::Map { mul, add }),
+        (1usize..=4, 1usize..=64, any::<bool>(), 1u64..1000).prop_map(
+            |(degree, window, keyed, mul)| ShapeOp::FanOut {
+                degree,
+                window,
+                keyed,
+                mul,
+            }
+        ),
+        Just(ShapeOp::Tee),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    /// ≥ 20 random DAG shapes (fan-out degree 1–4, merge windows 1–64,
+    /// segment capacities 2–8, RR/keyed routing, tees), each run on 1, 2
+    /// and 8 workers: the merged output and every tee-branch fold must be
+    /// byte-identical to the serial elision.
+    #[test]
+    fn random_dag_shapes_match_serial_elision_at_all_worker_counts(
+        total in 1u64..400,
+        seg_cap in 2usize..=8,
+        ops in prop::collection::vec(op_strategy(), 1..5),
+    ) {
+        let (expect, expect_tees) = serial_elision(total, &ops);
+        for workers in [1usize, 2, 8] {
+            let (got, tees) = graph_run(total, &ops, seg_cap, workers);
+            prop_assert_eq!(
+                &got, &expect,
+                "main output diverged: {workers} workers, cap {seg_cap}, ops {ops:?}"
+            );
+            prop_assert_eq!(
+                &tees, &expect_tees,
+                "tee branch diverged: {workers} workers, cap {seg_cap}, ops {ops:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: the graph-shaped logstream workload.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn logstream_all_drivers_agree_across_worker_counts() {
+    let cfg = logstream::LogConfig::small();
+    let lines = logstream::corpus(&cfg);
+    let (serial, _) = logstream::run_serial(&cfg, &lines);
+    for workers in [1, 2, 8] {
+        let rt = Runtime::with_workers(workers);
+        assert_eq!(
+            logstream::run_linear(&cfg, &lines, &rt),
+            serial,
+            "linear at {workers} workers"
+        );
+        for degree in [1, 3, cfg.shards] {
+            assert_eq!(
+                logstream::run_graph(&cfg, &lines, &rt, degree),
+                serial,
+                "graph degree {degree} at {workers} workers"
+            );
+        }
+    }
 }
 
 #[test]
