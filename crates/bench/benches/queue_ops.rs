@@ -259,9 +259,12 @@ fn emit_json() {
     let spsc_item = median_ns_per_op(reps, ITEMS, || hyperqueue_pair(&rt, SEG_CAP));
     let spsc_batch = median_ns_per_op(reps, ITEMS, || hyperqueue_pair_batched(&rt, SEG_CAP));
 
+    // machine_cores lets the bench-check gate refuse to compare this
+    // record against a baseline from a different runner class.
     let json = format!(
         "{{\n  \"bench\": \"queue_ops\",\n  \"segment_capacity\": {SEG_CAP},\n  \
-         \"items\": {ITEMS},\n  \"reps\": {reps},\n  \"median_ns_per_op\": {{\n    \
+         \"items\": {ITEMS},\n  \"reps\": {reps},\n  \
+         \"machine_cores\": {},\n  \"median_ns_per_op\": {{\n    \
          \"steady_state_per_item\": {steady_item:.2},\n    \
          \"steady_state_batched\": {steady_batch:.2},\n    \
          \"cross_segment_per_item\": {cross_item:.2},\n    \
@@ -270,6 +273,7 @@ fn emit_json() {
          \"batched_speedup_vs_per_item\": {:.2},\n  \
          \"batched_cross_segment_speedup\": {:.2},\n  \
          \"batched_spsc_speedup\": {:.2}\n}}\n",
+        bench::machine_cores(),
         steady_item / steady_batch,
         cross_item / cross_batch,
         spsc_item / spsc_batch

@@ -1,0 +1,276 @@
+//! A dependency-free JSON reader for the `BENCH_*.json` perf records.
+//!
+//! The bench harnesses emit JSON by hand (no serde in the offline
+//! workspace), and the `bench_check` CI gate needs to read it back. This
+//! module parses a useful JSON subset — objects, arrays, numbers,
+//! strings, booleans, null — and flattens it to `("a.b.c", value)` pairs,
+//! which is all the gate needs to diff medians against a baseline.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON scalar or container, flattened away by
+/// [`flatten_numbers`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string literal (escapes decoded).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; key order is not preserved (sorted).
+    Object(BTreeMap<String, Value>),
+}
+
+/// Parses a JSON document. Returns a human-readable error on malformed
+/// input (offset + what was expected).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Flattens every numeric leaf of `value` into `path -> number` pairs,
+/// joining object keys with `.` and array indices as `[i]`.
+pub fn flatten_numbers(value: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &Value, path: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Number(n) => {
+            out.insert(path, *n);
+        }
+        Value::Object(map) => {
+            for (k, v) in map {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(v, p, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, ":")?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unknown escape `\\{}`", esc as char)),
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the raw continuation bytes.
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let end = start + len;
+                let chunk = b
+                    .get(start..end)
+                    .ok_or_else(|| "truncated UTF-8".to_string())?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_bench_record() {
+        let json = r#"{
+            "bench": "queue_ops",
+            "items": 1000000,
+            "median_ns_per_op": { "steady_state_per_item": 4.03, "batched": 0.5 },
+            "speedup": 8.06,
+            "flags": [true, null, "x"]
+        }"#;
+        let v = parse(json).expect("valid json");
+        let flat = flatten_numbers(&v);
+        assert_eq!(flat["items"], 1_000_000.0);
+        assert_eq!(flat["median_ns_per_op.steady_state_per_item"], 4.03);
+        assert_eq!(flat["median_ns_per_op.batched"], 0.5);
+        assert_eq!(flat["speedup"], 8.06);
+        assert!(!flat.contains_key("bench"));
+    }
+
+    #[test]
+    fn parses_nested_arrays_and_escapes() {
+        let v = parse(r#"{"a": [1, {"b": 2e1}], "s": "x\nyA"}"#).expect("valid");
+        let flat = flatten_numbers(&v);
+        assert_eq!(flat["a[0]"], 1.0);
+        assert_eq!(flat["a[1].b"], 20.0);
+        match &v {
+            Value::Object(m) => assert_eq!(m["s"], Value::String("x\nyA".to_string())),
+            _ => panic!("object expected"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let v = parse(r#"{"a": -3.5, "b": 1.2e-3}"#).expect("valid");
+        let flat = flatten_numbers(&v);
+        assert_eq!(flat["a"], -3.5);
+        assert!((flat["b"] - 0.0012).abs() < 1e-12);
+    }
+}

@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+mod pool;
 mod queue;
 mod segment;
 mod slice;
@@ -57,6 +58,7 @@ mod state;
 mod tag;
 mod view;
 
+pub use pool::{PoolStats, SegmentPool};
 pub use queue::{
     Hyperqueue, PopDep, PopToken, PushDep, PushPopDep, PushPopToken, PushToken,
     DEFAULT_SEGMENT_CAPACITY,

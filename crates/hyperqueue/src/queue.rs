@@ -49,6 +49,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use swan::{AcquireCtx, DepArg, Frame, HelpMode, RuntimeHandle, Scope};
 
+use crate::pool::SegmentPool;
 use crate::segment::Segment;
 use crate::slice::{ReadSlice, WriteSlice};
 use crate::state::{EmptyProbe, Mode, Probe, QueueState, QueueStats, POP_LABEL, PUSH_LABEL};
@@ -670,12 +671,31 @@ impl<T: Send + 'static> Hyperqueue<T> {
         Self::with_config(scope, capacity, true)
     }
 
+    /// Creates a hyperqueue whose segments come from (and return to) a
+    /// shared [`SegmentPool`] — the service-layer constructor: successive
+    /// queue instantiations over one pool reuse each other's storage, so a
+    /// warm pipeline pays **zero segment allocations per job** (see the
+    /// pool docs and [`QueueStats::pool_draws`]). The segment capacity is
+    /// the pool's.
+    pub fn with_pool(scope: &Scope<'_>, pool: &Arc<SegmentPool<T>>) -> Self {
+        Self::build(scope, pool.segment_capacity(), true, Some(Arc::clone(pool)))
+    }
+
     /// Full-control constructor; `recycle` toggles the drained-segment
     /// freelist (kept switchable for the ablation benchmarks).
     pub fn with_config(scope: &Scope<'_>, capacity: usize, recycle: bool) -> Self {
+        Self::build(scope, capacity, recycle, None)
+    }
+
+    fn build(
+        scope: &Scope<'_>,
+        capacity: usize,
+        recycle: bool,
+        pool: Option<Arc<SegmentPool<T>>>,
+    ) -> Self {
         let owner = Arc::clone(scope.frame());
         let rt = scope.runtime();
-        let state = QueueState::new(&owner, capacity.max(2), recycle);
+        let state = QueueState::new(&owner, capacity.max(2), recycle, pool);
         let inner = Arc::new(QueueInner {
             id: swan::next_object_id(),
             rt,

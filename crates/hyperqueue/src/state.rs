@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use swan::frame::{program_order, Frame, FrameId, ProgramOrder};
 
+use crate::pool::SegmentPool;
 use crate::segment::Segment;
 use crate::view::{Ptr, View};
 
@@ -104,6 +105,11 @@ pub struct QueueStats {
     /// Early head attachments (§4.1 "double reduction" first step). Exact
     /// (mutex-guarded).
     pub head_attaches: u64,
+    /// Segments drawn from a shared [`SegmentPool`] instead of the heap
+    /// (queues created with [`crate::Hyperqueue::with_pool`]). A warm
+    /// service-layer queue has `segments_allocated == 0` and all its
+    /// storage accounted here. Exact (mutex-guarded).
+    pub pool_draws: u64,
     /// Data-path acquisitions of the queue mutex (push/pop/empty/slice
     /// slow paths). Zero while a producer/consumer pair streams through
     /// already-published segments — the paper's steady-state claim.
@@ -148,7 +154,12 @@ pub(crate) struct QueueState<T> {
     next_nonlocal: u64,
     seg_cap: usize,
     recycle_enabled: bool,
-    /// Every segment ever allocated; owned by this state, freed on drop.
+    /// Shared segment pool, if this queue participates in service-layer
+    /// storage reuse: allocations draw from it first, and drop returns
+    /// every owned segment to it instead of freeing.
+    pool: Option<Arc<SegmentPool<T>>>,
+    /// Every segment this queue owns (heap-allocated or drawn from the
+    /// pool); released on drop — freed, or handed back to the pool.
     arena: Vec<NonNull<Segment<T>>>,
     freelist: Vec<NonNull<Segment<T>>>,
     pub(crate) stats: QueueStats,
@@ -162,7 +173,12 @@ unsafe impl<T: Send> Send for QueueState<T> {}
 impl<T> QueueState<T> {
     /// Builds the initial state: one segment, queue view and the owner's
     /// user view split over it (§4.1 `(queue, user) ← split((snew, snew))`).
-    pub(crate) fn new(owner: &Arc<Frame>, seg_cap: usize, recycle: bool) -> Self {
+    pub(crate) fn new(
+        owner: &Arc<Frame>,
+        seg_cap: usize,
+        recycle: bool,
+        pool: Option<Arc<SegmentPool<T>>>,
+    ) -> Self {
         let mut st = QueueState {
             frames: HashMap::new(),
             queue_view: View::EMPTY,
@@ -170,6 +186,7 @@ impl<T> QueueState<T> {
             next_nonlocal: 0,
             seg_cap,
             recycle_enabled: recycle,
+            pool,
             arena: Vec::new(),
             freelist: Vec::new(),
             stats: QueueStats::default(),
@@ -207,6 +224,11 @@ impl<T> QueueState<T> {
     fn alloc_segment(&mut self) -> NonNull<Segment<T>> {
         if let Some(seg) = self.freelist.pop() {
             self.stats.freelist_hits += 1;
+            return seg;
+        }
+        if let Some(seg) = self.pool.as_ref().and_then(|p| p.take()) {
+            self.arena.push(seg);
+            self.stats.pool_draws += 1;
             return seg;
         }
         let seg = NonNull::new(Box::into_raw(Segment::new(self.seg_cap))).expect("Box is nonnull");
@@ -676,12 +698,30 @@ impl<T> QueueState<T> {
 impl<T> Drop for QueueState<T> {
     fn drop(&mut self) {
         // A hyperqueue may be destroyed with values still inside (§2.1):
-        // drop every unconsumed value, then free all segments.
+        // drop every unconsumed value, then release all segments — back to
+        // the shared pool when this queue participates in service-layer
+        // reuse, to the heap otherwise.
+        if let Some(pool) = self.pool.take() {
+            for &seg in &self.arena {
+                // SAFETY: no tasks are live at destruction time (tokens
+                // hold an Arc on the inner, so the state only drops after
+                // every token is gone); after drop_remaining the segment is
+                // empty, so reset() leaves it pristine for the next queue.
+                unsafe {
+                    seg.as_ref().drop_remaining();
+                    seg.as_ref().reset();
+                }
+            }
+            // This end-of-life recycling is observable through the pool's
+            // `returned` counter (the queue's own stats die with it here).
+            // SAFETY: every arena segment is now drained, unlinked and —
+            // all tasks having completed — unreachable.
+            unsafe { pool.put_all(self.arena.drain(..)) };
+            return;
+        }
         for &seg in &self.arena {
-            // SAFETY: no tasks are live at destruction time (tokens hold an
-            // Arc on the inner, so the state only drops after every token
-            // is gone); freelist segments are empty so drop_remaining is a
-            // no-op for them.
+            // SAFETY: as above; freelist segments are empty so
+            // drop_remaining is a no-op for them.
             unsafe {
                 seg.as_ref().drop_remaining();
                 drop(Box::from_raw(seg.as_ptr()));
@@ -697,7 +737,7 @@ mod tests {
 
     fn state_with_owner(cap: usize) -> (QueueState<u32>, Arc<Frame>) {
         let owner = Frame::new_root(FrameId(100));
-        let st = QueueState::new(&owner, cap, true);
+        let st = QueueState::new(&owner, cap, true, None);
         (st, owner)
     }
 
@@ -914,6 +954,34 @@ mod tests {
         st.complete(101);
         for v in [20, 30, 40] {
             pop_expect(&mut st, 100, v);
+        }
+    }
+
+    #[test]
+    fn pooled_state_draws_and_returns_segments() {
+        let pool = Arc::new(SegmentPool::<u32>::new(2));
+        {
+            let owner = Frame::new_root(FrameId(100));
+            let mut st = QueueState::new(&owner, 2, true, Some(Arc::clone(&pool)));
+            push_all(&mut st, 100, &[1, 2, 3, 4, 5]);
+            // Cold pool: every segment was a miss (heap allocation).
+            assert!(st.stats.segments_allocated >= 2);
+            assert_eq!(st.stats.pool_draws, 0);
+            drop(st); // values dropped, segments handed to the pool
+        }
+        let s = pool.stats();
+        assert!(s.returned >= 2, "drop must hand segments back: {s:?}");
+        assert_eq!(s.available, s.returned);
+        {
+            // Warm pool: the next state allocates nothing from the heap.
+            let owner = Frame::new_root(FrameId(200));
+            let mut st = QueueState::new(&owner, 2, true, Some(Arc::clone(&pool)));
+            push_all(&mut st, 200, &[7, 8, 9]);
+            for v in [7, 8, 9] {
+                pop_expect(&mut st, 200, v);
+            }
+            assert_eq!(st.stats.segments_allocated, 0, "warm pool must serve");
+            assert!(st.stats.pool_draws >= 1);
         }
     }
 

@@ -69,6 +69,9 @@ use hyperqueue::{AutoTag, Hyperqueue, PopDep, PushToken, Tagged};
 use swan::Scope;
 
 use crate::reorder::ReorderBuffer;
+use crate::service::PoolCursor;
+
+pub use crate::service::{CompiledGraph, GraphSpec, JobError, JobHandle, ServiceConfig};
 
 /// Default segment capacity for graph edges — small enough that short
 /// property-test streams cross segment boundaries, large enough to batch.
@@ -118,6 +121,10 @@ pub struct GraphBuilder<'g, 'scope> {
     scope: &'g Scope<'scope>,
     seg_cap: usize,
     io_batch: usize,
+    /// Service-layer hook: when set, edges draw their segments from the
+    /// per-edge [`hyperqueue::SegmentPool`]s of a persistent
+    /// [`CompiledGraph`] instead of allocating (see [`GraphBuilder::pooled`]).
+    pools: Option<&'g PoolCursor<'g>>,
 }
 
 impl<'g, 'scope> GraphBuilder<'g, 'scope> {
@@ -127,6 +134,7 @@ impl<'g, 'scope> GraphBuilder<'g, 'scope> {
             scope,
             seg_cap: DEFAULT_EDGE_CAPACITY,
             io_batch: DEFAULT_IO_BATCH,
+            pools: None,
         }
     }
 
@@ -142,8 +150,21 @@ impl<'g, 'scope> GraphBuilder<'g, 'scope> {
         self
     }
 
+    /// Draws every edge's segments from the per-edge pools behind
+    /// `cursor` (a persistent [`CompiledGraph`]'s storage). Edges are
+    /// matched to pools by creation order, so the same graph construction
+    /// sequence must run on every job — which is exactly what a compiled
+    /// graph's plan guarantees.
+    pub fn pooled(mut self, cursor: &'g PoolCursor<'g>) -> Self {
+        self.pools = Some(cursor);
+        self
+    }
+
     fn edge<T: Send + 'static>(&self) -> Hyperqueue<T> {
-        Hyperqueue::with_segment_capacity(self.scope, self.seg_cap)
+        match self.pools {
+            Some(cursor) => Hyperqueue::with_pool(self.scope, &cursor.next_pool::<T>(self.seg_cap)),
+            None => Hyperqueue::with_segment_capacity(self.scope, self.seg_cap),
+        }
     }
 
     /// A source node fed by an iterator (pushed through write slices in
@@ -248,6 +269,29 @@ impl<'g, 'scope, T: Send + 'static> Node<'g, 'scope, T> {
                 let mut vals = Vec::with_capacity(batch);
                 while c.pop_batch_into(batch, &mut vals) > 0 {
                     p.push_iter(vals.drain(..).filter_map(&mut f));
+                }
+            },
+        );
+        Node { gb, q: out }
+    }
+
+    /// A 1:N transform stage: every value expands to zero or more outputs
+    /// (in order), the streaming analogue of `Iterator::flat_map`.
+    pub fn flat_map<U, V, F>(self, mut f: F) -> Node<'g, 'scope, U>
+    where
+        U: Send + 'static,
+        V: IntoIterator<Item = U>,
+        F: FnMut(T) -> V + Send + 'scope,
+    {
+        let gb = self.gb;
+        let out = gb.edge::<U>();
+        let batch = gb.io_batch;
+        gb.scope.spawn(
+            (self.q.popdep(), out.pushdep()),
+            move |_, (mut c, mut p)| {
+                let mut vals = Vec::with_capacity(batch);
+                while c.pop_batch_into(batch, &mut vals) > 0 {
+                    p.push_iter(vals.drain(..).flat_map(&mut f));
                 }
             },
         );

@@ -30,11 +30,15 @@
 pub mod bounded;
 pub mod graph;
 pub mod reorder;
+pub mod service;
 pub mod spsc;
 pub mod tbb;
 
 pub use bounded::{channel, Receiver, Sender};
 pub use graph::{Fanout, GraphBuilder, Node, Partition, Shards};
 pub use reorder::{ReorderBuffer, ReorderQueue};
+pub use service::{
+    CompiledGraph, GraphSpec, JobError, JobHandle, ServiceConfig, ServiceStorageStats,
+};
 pub use spsc::{spsc, SpscReceiver, SpscRing, SpscSender};
 pub use tbb::{Item, TbbPipeline};

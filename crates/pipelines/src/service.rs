@@ -1,0 +1,774 @@
+//! The service layer: persistent, multi-tenant pipeline graphs.
+//!
+//! Everything in [`crate::graph`] is one-shot: build a graph inside a
+//! scope, drain one input, tear the world down. This module makes the
+//! same graphs **long-lived**: a [`GraphSpec`] captures the stage
+//! topology once (closures behind `Arc`s, no borrows), and
+//! [`GraphSpec::compile`] turns it into a [`CompiledGraph`] that serves
+//! many independent jobs:
+//!
+//! * [`CompiledGraph::run_job`] submits one job (a finite input stream)
+//!   and returns a [`JobHandle`] immediately; jobs run concurrently up to
+//!   the admission bound and each job's output is bitwise-identical to
+//!   its serial elision, regardless of how jobs interleave;
+//! * admission is FIFO-fair and bounded by a [`swan::JobTable`]
+//!   (`max_in_flight` in [`ServiceConfig`]);
+//! * every graph edge owns a [`SegmentPool`]: job N's queues hand their
+//!   segments back on teardown and job N+1's queues draw them out again,
+//!   so a warm graph sustains jobs with **zero segment allocations**
+//!   (asserted by `tests/service.rs`; observable via
+//!   [`CompiledGraph::storage_stats`]).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pipelines::graph::{GraphSpec, ServiceConfig};
+//! use swan::Runtime;
+//!
+//! let rt = Arc::new(Runtime::with_workers(2));
+//! let graph = GraphSpec::<u64, u64>::new()
+//!     .fanout_map(4, 32, |x| x * x)
+//!     .compile(Arc::clone(&rt), ServiceConfig::default());
+//! let jobs: Vec<_> = (0..4)
+//!     .map(|j| graph.run_job((j * 100..j * 100 + 100).collect()))
+//!     .collect();
+//! for (j, job) in jobs.into_iter().enumerate() {
+//!     let expect: Vec<u64> = (j as u64 * 100..j as u64 * 100 + 100)
+//!         .map(|x| x * x)
+//!         .collect();
+//!     assert_eq!(job.join(), expect);
+//! }
+//! ```
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use hyperqueue::{PoolStats, SegmentPool, Tagged};
+use parking_lot::Mutex;
+use swan::{JobTable, JobTableStats, JobTicket, Runtime};
+
+use crate::graph::{GraphBuilder, Node, Partition, DEFAULT_EDGE_CAPACITY, DEFAULT_IO_BATCH};
+
+// ---------------------------------------------------------------------------
+// Per-edge segment pools.
+// ---------------------------------------------------------------------------
+
+/// Type-erased registry of one [`SegmentPool`] per graph edge, shared by
+/// every job a [`CompiledGraph`] runs. Edges are identified by creation
+/// order, which the compiled plan makes identical across jobs.
+struct EdgeSlot {
+    pool: Arc<dyn Any + Send + Sync>,
+    stats: Box<dyn Fn() -> PoolStats + Send + Sync>,
+    /// Tops the pool up to the given parked-segment depth.
+    prewarm: Box<dyn Fn(usize) + Send + Sync>,
+}
+
+pub(crate) struct EdgePools {
+    slots: Mutex<Vec<EdgeSlot>>,
+}
+
+impl EdgePools {
+    fn new() -> Self {
+        EdgePools {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens a per-job cursor over the pools (edge 0, 1, 2, … in graph
+    /// construction order).
+    pub(crate) fn cursor(&self) -> PoolCursor<'_> {
+        PoolCursor {
+            pools: self,
+            next: Cell::new(0),
+        }
+    }
+
+    fn get_or_create<T: Send + 'static>(&self, idx: usize, seg_cap: usize) -> Arc<SegmentPool<T>> {
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.get(idx) {
+            return Arc::downcast::<SegmentPool<T>>(Arc::clone(&slot.pool)).expect(
+                "compiled graph instantiation must be type-stable: edge k carried a \
+                 different payload type on an earlier job",
+            );
+        }
+        debug_assert_eq!(idx, slots.len(), "edges register in creation order");
+        let pool = Arc::new(SegmentPool::<T>::new(seg_cap));
+        let stats_pool = Arc::clone(&pool);
+        let warm_pool = Arc::clone(&pool);
+        slots.push(EdgeSlot {
+            pool: pool.clone(),
+            stats: Box::new(move || stats_pool.stats()),
+            prewarm: Box::new(move |depth| {
+                let have = warm_pool.stats().available as usize;
+                warm_pool.preallocate(depth.saturating_sub(have));
+            }),
+        });
+        pool
+    }
+
+    fn stats(&self) -> Vec<PoolStats> {
+        self.slots.lock().iter().map(|s| (s.stats)()).collect()
+    }
+
+    fn prewarm(&self, depth: usize) {
+        for slot in self.slots.lock().iter() {
+            (slot.prewarm)(depth);
+        }
+    }
+}
+
+/// A per-job walk over a [`CompiledGraph`]'s per-edge segment pools; see
+/// [`GraphBuilder::pooled`](crate::graph::GraphBuilder::pooled).
+pub struct PoolCursor<'a> {
+    pools: &'a EdgePools,
+    next: Cell<usize>,
+}
+
+impl PoolCursor<'_> {
+    pub(crate) fn next_pool<T: Send + 'static>(&self, seg_cap: usize) -> Arc<SegmentPool<T>> {
+        let idx = self.next.get();
+        self.next.set(idx + 1);
+        self.pools.get_or_create::<T>(idx, seg_cap)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage plans: the reusable (per-job re-instantiable) graph description.
+// ---------------------------------------------------------------------------
+
+/// One reusable graph segment: instantiates its stages into a live
+/// [`Node`] chain for a single job. All captured state sits behind `Arc`s,
+/// so a plan can be rebuilt for every job without borrowing anything
+/// job-local.
+trait StagePlan<I: Send + 'static, O: Send + 'static>: Send + Sync + 'static {
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, I>) -> Node<'g, 'scope, O>;
+}
+
+struct IdentityPlan;
+
+impl<I: Send + 'static> StagePlan<I, I> for IdentityPlan {
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, I>) -> Node<'g, 'scope, I> {
+        node
+    }
+}
+
+struct ChainPlan<I: Send + 'static, M: Send + 'static, O: Send + 'static> {
+    a: Arc<dyn StagePlan<I, M>>,
+    b: Arc<dyn StagePlan<M, O>>,
+}
+
+impl<I: Send + 'static, M: Send + 'static, O: Send + 'static> StagePlan<I, O>
+    for ChainPlan<I, M, O>
+{
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, I>) -> Node<'g, 'scope, O> {
+        self.b.build(self.a.build(node))
+    }
+}
+
+struct MapPlan<T, U> {
+    f: Arc<dyn Fn(T) -> U + Send + Sync>,
+}
+
+impl<T: Send + 'static, U: Send + 'static> StagePlan<T, U> for MapPlan<T, U> {
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, T>) -> Node<'g, 'scope, U> {
+        let f = Arc::clone(&self.f);
+        node.map(move |x| f(x))
+    }
+}
+
+struct FilterMapPlan<T, U> {
+    f: Arc<dyn Fn(T) -> Option<U> + Send + Sync>,
+}
+
+impl<T: Send + 'static, U: Send + 'static> StagePlan<T, U> for FilterMapPlan<T, U> {
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, T>) -> Node<'g, 'scope, U> {
+        let f = Arc::clone(&self.f);
+        node.filter_map(move |x| f(x))
+    }
+}
+
+struct FlatMapPlan<T, U> {
+    f: Arc<dyn Fn(T) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Send + 'static, U: Send + 'static> StagePlan<T, U> for FlatMapPlan<T, U> {
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, T>) -> Node<'g, 'scope, U> {
+        let f = Arc::clone(&self.f);
+        node.flat_map(move |x| f(x))
+    }
+}
+
+struct FanoutMapPlan<T, U> {
+    degree: usize,
+    window: usize,
+    f: Arc<dyn Fn(T) -> U + Send + Sync>,
+}
+
+impl<T: Send + 'static, U: Send + 'static> StagePlan<T, U> for FanoutMapPlan<T, U> {
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, T>) -> Node<'g, 'scope, U> {
+        let f = Arc::clone(&self.f);
+        node.split(self.degree, Partition::RoundRobin)
+            .map(move |x| f(x))
+            .merge(self.window)
+    }
+}
+
+#[allow(clippy::type_complexity)]
+struct ShardedPlan<T, S, U, K> {
+    degree: usize,
+    window: usize,
+    route: Arc<dyn Fn(&T) -> u64 + Send + Sync>,
+    init: Arc<dyn Fn(usize) -> S + Send + Sync>,
+    step: Arc<dyn Fn(&mut S, T, &mut Vec<U>) + Send + Sync>,
+    finish: Arc<dyn Fn(S, &mut Vec<U>) + Send + Sync>,
+    key: Arc<dyn Fn(&U) -> K + Send + Sync>,
+}
+
+impl<T, S, U, K> StagePlan<T, U> for ShardedPlan<T, S, U, K>
+where
+    T: Send + 'static,
+    S: 'static,
+    U: Send + 'static,
+    K: Ord + 'static,
+{
+    fn build<'g, 'scope>(&self, node: Node<'g, 'scope, T>) -> Node<'g, 'scope, U> {
+        let route = Arc::clone(&self.route);
+        let (init, step, finish) = (
+            Arc::clone(&self.init),
+            Arc::clone(&self.step),
+            Arc::clone(&self.finish),
+        );
+        let key = Arc::clone(&self.key);
+        node.split(self.degree, Partition::keyed(move |v: &T| route(v)))
+            .shard(
+                move |idx| init(idx),
+                move |state: &mut S, t: Tagged<T>, emit: &mut Vec<U>| step(state, t.value, emit),
+                move |state, emit| finish(state, emit),
+            )
+            .merge_by_key(self.window, move |v| key(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GraphSpec: the builder.
+// ---------------------------------------------------------------------------
+
+/// A reusable, borrow-free description of a pipeline graph from input
+/// values `I` to output values `O` — the "program text" a
+/// [`CompiledGraph`] re-instantiates for every job. Build one with the
+/// combinators below, then [`compile`](GraphSpec::compile) it onto a
+/// runtime.
+pub struct GraphSpec<I: Send + 'static, O: Send + 'static> {
+    plan: Arc<dyn StagePlan<I, O>>,
+}
+
+impl<I: Send + 'static> GraphSpec<I, I> {
+    /// The identity spec: jobs flow straight from source to sink. Chain
+    /// combinators to add stages.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        GraphSpec {
+            plan: Arc::new(IdentityPlan),
+        }
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> GraphSpec<I, O> {
+    fn then<U: Send + 'static>(self, plan: impl StagePlan<O, U>) -> GraphSpec<I, U> {
+        GraphSpec {
+            plan: Arc::new(ChainPlan {
+                a: self.plan,
+                b: Arc::new(plan),
+            }),
+        }
+    }
+
+    /// A linear 1:1 transform stage (see [`Node::map`]).
+    pub fn map<U: Send + 'static>(
+        self,
+        f: impl Fn(O) -> U + Send + Sync + 'static,
+    ) -> GraphSpec<I, U> {
+        self.then(MapPlan { f: Arc::new(f) })
+    }
+
+    /// A linear filter/transform stage (see [`Node::filter_map`]).
+    pub fn filter_map<U: Send + 'static>(
+        self,
+        f: impl Fn(O) -> Option<U> + Send + Sync + 'static,
+    ) -> GraphSpec<I, U> {
+        self.then(FilterMapPlan { f: Arc::new(f) })
+    }
+
+    /// A linear 1:N expansion stage (see [`Node::flat_map`]).
+    pub fn flat_map<U: Send + 'static>(
+        self,
+        f: impl Fn(O) -> Vec<U> + Send + Sync + 'static,
+    ) -> GraphSpec<I, U> {
+        self.then(FlatMapPlan { f: Arc::new(f) })
+    }
+
+    /// Deterministic round-robin fan-out across `degree` replicas of a
+    /// 1:1 stage, rejoined in serial order through a reorder window (see
+    /// [`Node::split`] / [`crate::graph::Fanout::merge`]).
+    pub fn fanout_map<U: Send + 'static>(
+        self,
+        degree: usize,
+        window: usize,
+        f: impl Fn(O) -> U + Send + Sync + 'static,
+    ) -> GraphSpec<I, U> {
+        self.then(FanoutMapPlan {
+            degree: degree.max(1),
+            window: window.max(1),
+            f: Arc::new(f),
+        })
+    }
+
+    /// Keyed fan-out over `degree` stateful shards with an ordered k-way
+    /// fan-in — the sharded-aggregation shape (see
+    /// [`crate::graph::Fanout::shard`] /
+    /// [`crate::graph::Shards::merge_by_key`]). Values route by
+    /// `route(v) % degree`; each shard folds its values through
+    /// `init`/`step`/`finish`, and must emit ascending by `key`.
+    pub fn sharded<S, U, K>(
+        self,
+        degree: usize,
+        window: usize,
+        route: impl Fn(&O) -> u64 + Send + Sync + 'static,
+        init: impl Fn(usize) -> S + Send + Sync + 'static,
+        step: impl Fn(&mut S, O, &mut Vec<U>) + Send + Sync + 'static,
+        finish: impl Fn(S, &mut Vec<U>) + Send + Sync + 'static,
+        key: impl Fn(&U) -> K + Send + Sync + 'static,
+    ) -> GraphSpec<I, U>
+    where
+        S: 'static,
+        U: Send + 'static,
+        K: Ord + 'static,
+    {
+        self.then(ShardedPlan {
+            degree: degree.max(1),
+            window: window.max(1),
+            route: Arc::new(route),
+            init: Arc::new(init),
+            step: Arc::new(step),
+            finish: Arc::new(finish),
+            key: Arc::new(key),
+        })
+    }
+
+    /// Compiles the spec into a persistent, job-serving graph on `rt`.
+    pub fn compile(self, rt: Arc<Runtime>, cfg: ServiceConfig) -> CompiledGraph<I, O> {
+        CompiledGraph::start(rt, self.plan, cfg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The persistent service graph.
+// ---------------------------------------------------------------------------
+
+/// Knobs of a [`CompiledGraph`] (see the README's "Service layer"
+/// section for how they interact).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Admission bound: at most this many jobs execute concurrently;
+    /// excess jobs queue FIFO (see [`swan::JobTable`]). Default 4.
+    pub max_in_flight: usize,
+    /// Dispatcher threads driving job scopes. `0` (the default) means
+    /// `max_in_flight` — enough to saturate the admission bound.
+    /// Dispatchers mostly sleep inside their job's scope, so they are
+    /// cheap; the compute always comes from the runtime's workers.
+    pub dispatchers: usize,
+    /// Segment capacity of every graph edge. Default
+    /// [`DEFAULT_EDGE_CAPACITY`].
+    pub segment_capacity: usize,
+    /// Per-round stage batch size. Default [`DEFAULT_IO_BATCH`].
+    pub io_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_in_flight: 4,
+            dispatchers: 0,
+            segment_capacity: DEFAULT_EDGE_CAPACITY,
+            io_batch: DEFAULT_IO_BATCH,
+        }
+    }
+}
+
+/// Aggregate segment-storage counters of a [`CompiledGraph`] (summed over
+/// its per-edge pools; see [`CompiledGraph::pool_stats`] for the
+/// per-edge breakdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStorageStats {
+    /// Graph edges instantiated so far (pools created).
+    pub edges: usize,
+    /// Heap segment allocations across all edges — pool misses. Flat
+    /// across jobs once the graph is warm: the zero-allocation steady
+    /// state.
+    pub segments_allocated: u64,
+    /// Allocation requests served by the pools without heap traffic.
+    pub pool_hits: u64,
+    /// Segments currently parked in the pools.
+    pub segments_pooled: u64,
+    /// Segments handed back by completed jobs' queues.
+    pub segments_returned: u64,
+}
+
+struct JobRequest<I, O> {
+    ticket: JobTicket,
+    input: Vec<I>,
+    reply: mpsc::Sender<Result<Vec<O>, JobError>>,
+}
+
+struct ServiceCore<I: Send + 'static, O: Send + 'static> {
+    rt: Arc<Runtime>,
+    plan: Arc<dyn StagePlan<I, O>>,
+    pools: EdgePools,
+    jobs: JobTable,
+    seg_cap: usize,
+    io_batch: usize,
+}
+
+impl<I: Send + 'static, O: Send + 'static> ServiceCore<I, O> {
+    /// Runs one job to completion on the calling thread: instantiate the
+    /// plan over pooled edges inside a fresh scope, drain the sink.
+    fn run_one(&self, input: Vec<I>) -> Vec<O> {
+        let cursor = self.pools.cursor();
+        let mut out = Vec::new();
+        let out_ref = &mut out;
+        let plan = Arc::clone(&self.plan);
+        self.rt.scope(move |s| {
+            let gb = GraphBuilder::on(s)
+                .segment_capacity(self.seg_cap)
+                .io_batch(self.io_batch)
+                .pooled(&cursor);
+            plan.build(gb.source_iter(input)).collect_into(out_ref);
+        });
+        out
+    }
+}
+
+fn dispatcher_loop<I: Send + 'static, O: Send + 'static>(
+    core: Arc<ServiceCore<I, O>>,
+    rx: Arc<Mutex<mpsc::Receiver<JobRequest<I, O>>>>,
+) {
+    loop {
+        // Holding the lock across `recv` is deliberate: it hands messages
+        // to dispatchers one at a time in channel (submission) order. The
+        // guard drops before admission, so a dispatcher waiting at the
+        // admission gate never blocks the pickup of earlier tickets.
+        let req = { rx.lock().recv() };
+        let Ok(req) = req else {
+            return; // channel closed: service shutting down
+        };
+        let admitted = core.jobs.admit(&req.ticket);
+        let result = catch_unwind(AssertUnwindSafe(|| core.run_one(req.input)));
+        drop(admitted);
+        // The client may have dropped its handle; that's fine.
+        let _ = req.reply.send(result.map_err(JobError::from_panic));
+    }
+}
+
+/// A persistent pipeline graph serving many independent jobs (see module
+/// docs). Create with [`GraphSpec::compile`]; share across client threads
+/// by reference (`run_job` takes `&self`). Dropping the graph drains the
+/// dispatchers and releases all pooled storage.
+pub struct CompiledGraph<I: Send + 'static, O: Send + 'static> {
+    core: Arc<ServiceCore<I, O>>,
+    /// `None` only during shutdown (Drop). Submission holds this lock
+    /// while registering the ticket *and* sending the request, so the
+    /// admission FIFO matches the channel order.
+    submit: Mutex<Option<mpsc::Sender<JobRequest<I, O>>>>,
+    dispatchers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
+    fn start(rt: Arc<Runtime>, plan: Arc<dyn StagePlan<I, O>>, cfg: ServiceConfig) -> Self {
+        let max_in_flight = cfg.max_in_flight.max(1);
+        let dispatchers = if cfg.dispatchers == 0 {
+            max_in_flight
+        } else {
+            cfg.dispatchers
+        };
+        let core = Arc::new(ServiceCore {
+            rt,
+            plan,
+            pools: EdgePools::new(),
+            jobs: JobTable::new(max_in_flight),
+            seg_cap: cfg.segment_capacity.max(2),
+            io_batch: cfg.io_batch.max(1),
+        });
+        let (tx, rx) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = (0..dispatchers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("hq-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(core, rx))
+                    .expect("failed to spawn dispatcher thread")
+            })
+            .collect();
+        CompiledGraph {
+            core,
+            submit: Mutex::new(Some(tx)),
+            dispatchers: Mutex::new(threads),
+        }
+    }
+
+    /// Submits one job — a finite stream of inputs — and returns
+    /// immediately. The job runs when the admission gate (FIFO, bounded
+    /// in-flight) lets it through; its output is the serial elision of
+    /// the graph applied to `input`, independent of worker count and of
+    /// whatever other jobs are in flight.
+    pub fn run_job(&self, input: Vec<I>) -> JobHandle<O> {
+        let (reply, rx) = mpsc::channel();
+        let submit = self.submit.lock();
+        let tx = submit
+            .as_ref()
+            .expect("run_job on a CompiledGraph that is shutting down");
+        // Ticket registration and channel send under one lock: the
+        // admission FIFO must match dispatch order, or a lone dispatcher
+        // could pick up a later ticket and deadlock the gate.
+        let ticket = self.core.jobs.register();
+        let id = ticket.seq();
+        tx.send(JobRequest {
+            ticket,
+            input,
+            reply,
+        })
+        .expect("dispatchers outlive the submit sender");
+        JobHandle { id, rx }
+    }
+
+    /// The runtime this graph serves jobs on.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.core.rt
+    }
+
+    /// Admission/job counters (see [`swan::JobTableStats`]).
+    pub fn job_stats(&self) -> JobTableStats {
+        self.core.jobs.stats()
+    }
+
+    /// Per-edge segment-pool counters, in edge creation order.
+    pub fn pool_stats(&self) -> Vec<PoolStats> {
+        self.core.pools.stats()
+    }
+
+    /// Tops every edge pool up to `segments_per_edge` parked segments, so
+    /// subsequent jobs provably never touch the heap. How many segments a
+    /// job can demand per edge is timing-dependent (an unthrottled
+    /// producer may chain segments as far ahead of its consumer as the
+    /// job's item count allows), so the *deterministic* zero-allocation
+    /// recipe is: run one job to instantiate the edges, then prewarm with
+    /// `ceil(job_items / segment_capacity) + 2` — the worst case any
+    /// schedule can reach. Call while idle: segments checked out by
+    /// running jobs are not counted as parked.
+    pub fn prewarm(&self, segments_per_edge: usize) {
+        self.core.pools.prewarm(segments_per_edge);
+    }
+
+    /// Aggregate storage counters across all edges; the
+    /// `segments_allocated` curve going flat across jobs is the
+    /// zero-allocation steady state.
+    pub fn storage_stats(&self) -> ServiceStorageStats {
+        let per_edge = self.core.pools.stats();
+        let mut agg = ServiceStorageStats {
+            edges: per_edge.len(),
+            ..Default::default()
+        };
+        for p in per_edge {
+            agg.segments_allocated += p.misses;
+            agg.pool_hits += p.hits;
+            agg.segments_pooled += p.available;
+            agg.segments_returned += p.returned;
+        }
+        agg
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> Drop for CompiledGraph<I, O> {
+    fn drop(&mut self) {
+        // Close the channel; dispatchers finish queued jobs, then exit.
+        drop(self.submit.lock().take());
+        for t in self.dispatchers.get_mut().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job handles.
+// ---------------------------------------------------------------------------
+
+/// Why a job failed (a stage or the job scope panicked).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError {
+    message: String,
+}
+
+impl JobError {
+    fn from_panic(payload: Box<dyn Any + Send>) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "job panicked".to_string());
+        JobError { message }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Handle to one submitted job. Await the output with
+/// [`join`](JobHandle::join) / [`wait`](JobHandle::wait); dropping the
+/// handle abandons the result but not the job.
+pub struct JobHandle<O> {
+    id: u64,
+    rx: mpsc::Receiver<Result<Vec<O>, JobError>>,
+}
+
+impl<O> JobHandle<O> {
+    /// The job's position in the global admission order (0-based,
+    /// monotonic per graph).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job completes; `Err` if a stage panicked or the
+    /// service shut down first.
+    pub fn wait(self) -> Result<Vec<O>, JobError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(JobError {
+                message: "service shut down before the job completed".to_string(),
+            })
+        })
+    }
+
+    /// Blocks until the job completes and returns its output; panics on
+    /// job failure (the ergonomic path for tests and drivers).
+    pub fn join(self) -> Vec<O> {
+        match self.wait() {
+            Ok(out) => out,
+            Err(e) => panic!("job failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_graph(
+        workers: usize,
+        max_in_flight: usize,
+    ) -> (Arc<Runtime>, CompiledGraph<u64, u64>) {
+        let rt = Arc::new(Runtime::with_workers(workers));
+        let graph = GraphSpec::<u64, u64>::new()
+            .fanout_map(3, 16, |x| x * x)
+            .compile(
+                Arc::clone(&rt),
+                ServiceConfig {
+                    max_in_flight,
+                    segment_capacity: 8,
+                    ..ServiceConfig::default()
+                },
+            );
+        (rt, graph)
+    }
+
+    #[test]
+    fn single_job_equals_serial_elision() {
+        let (_rt, graph) = square_graph(2, 2);
+        let out = graph.run_job((0..200).collect()).join();
+        assert_eq!(out, (0..200).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn many_concurrent_jobs_stay_isolated() {
+        let (_rt, graph) = square_graph(4, 3);
+        let handles: Vec<_> = (0..20)
+            .map(|j| graph.run_job((j * 37..j * 37 + 64).collect()))
+            .collect();
+        for (j, h) in handles.into_iter().enumerate() {
+            let j = j as u64;
+            assert_eq!(
+                h.join(),
+                (j * 37..j * 37 + 64).map(|x| x * x).collect::<Vec<u64>>(),
+                "job {j} output polluted by a concurrent job"
+            );
+        }
+        let js = graph.job_stats();
+        assert_eq!(js.completed, 20);
+        assert!(js.high_water_in_flight <= 3, "admission bound violated");
+    }
+
+    #[test]
+    fn warm_graph_reuses_segments() {
+        let (_rt, graph) = square_graph(2, 1);
+        graph.run_job((0..500).collect()).join();
+        // 500 items, capacity-8 segments: no schedule can chain more than
+        // ceil(500/8) + 2 segments on any edge.
+        graph.prewarm(500 / 8 + 3);
+        let warm = graph.storage_stats();
+        for _ in 0..10 {
+            graph.run_job((0..500).collect()).join();
+        }
+        let after = graph.storage_stats();
+        assert_eq!(
+            after.segments_allocated, warm.segments_allocated,
+            "a warm graph must serve jobs without heap segment allocations: {after:?}"
+        );
+        assert!(after.pool_hits > warm.pool_hits);
+        assert!(after.segments_returned > warm.segments_returned);
+    }
+
+    #[test]
+    fn sharded_spec_aggregates_per_key() {
+        let rt = Arc::new(Runtime::with_workers(4));
+        let graph = GraphSpec::<u64, u64>::new()
+            .sharded(
+                3,
+                8,
+                // Route by the aggregation key so each key lives on
+                // exactly one shard.
+                |v: &u64| *v % 13,
+                |_idx| std::collections::BTreeMap::<u64, u64>::new(),
+                |counts, v, _emit| *counts.entry(v % 13).or_insert(0) += 1,
+                |counts, emit| emit.extend(counts),
+                |&(k, _)| k,
+            )
+            .compile(rt, ServiceConfig::default());
+        let out = graph.run_job((0..300).collect()).join();
+        let mut expect = std::collections::BTreeMap::<u64, u64>::new();
+        for v in 0..300u64 {
+            *expect.entry(v % 13).or_insert(0) += 1;
+        }
+        assert_eq!(out, expect.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_reports_error_and_service_survives() {
+        let rt = Arc::new(Runtime::with_workers(2));
+        let graph = GraphSpec::<u64, u64>::new()
+            .map(|x| {
+                assert!(x != 13, "unlucky");
+                x + 1
+            })
+            .compile(rt, ServiceConfig::default());
+        let bad = graph.run_job(vec![12, 13, 14]).wait();
+        assert!(bad.is_err(), "panicking stage must surface as JobError");
+        let ok = graph.run_job(vec![1, 2, 3]).join();
+        assert_eq!(ok, vec![2, 3, 4]);
+    }
+}

@@ -12,6 +12,13 @@ use std::time::Duration;
 pub struct RuntimeConfig {
     /// Number of worker threads. Defaults to `std::thread::available_parallelism()`.
     pub workers: usize,
+    /// Upper bound for [`crate::Runtime::resize_workers`]: the runtime
+    /// pre-allocates this many worker slots (rings) and can grow/shrink
+    /// the live thread count anywhere in `1..=max_workers` without
+    /// changing observable program output (the scale-free guarantee).
+    /// Clamped up to `workers`; defaults to `workers` (no elasticity
+    /// headroom).
+    pub max_workers: usize,
     /// Maximum depth of nested "help" execution a blocked worker will stack
     /// before falling back to passive waiting. Bounds stack growth of the
     /// help-first scheduling discipline (see DESIGN.md §3.1).
@@ -39,6 +46,19 @@ impl RuntimeConfig {
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            max_workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Elastic configuration: starts with `workers` threads and reserves
+    /// capacity to grow up to `max_workers` (see
+    /// [`crate::Runtime::resize_workers`]).
+    pub fn with_worker_range(workers: usize, max_workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            workers,
+            max_workers: max_workers.max(workers),
             ..Self::default()
         }
     }
@@ -52,10 +72,12 @@ impl RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Self {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            workers,
+            max_workers: workers,
             max_help_depth: 64,
             park_timeout: Duration::from_micros(200),
             chaos: None,
@@ -76,6 +98,15 @@ mod tests {
     fn with_workers_clamps_zero_to_one() {
         assert_eq!(RuntimeConfig::with_workers(0).workers, 1);
         assert_eq!(RuntimeConfig::with_workers(8).workers, 8);
+    }
+
+    #[test]
+    fn worker_range_clamps_max_to_at_least_init() {
+        let c = RuntimeConfig::with_worker_range(4, 2);
+        assert_eq!((c.workers, c.max_workers), (4, 4));
+        let c = RuntimeConfig::with_worker_range(1, 8);
+        assert_eq!((c.workers, c.max_workers), (1, 8));
+        assert_eq!(RuntimeConfig::with_workers(3).max_workers, 3);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 mod config;
 pub mod dataflow;
 pub mod frame;
+pub mod jobs;
 mod metrics;
 mod runtime;
 mod sched;
@@ -53,6 +54,7 @@ pub use dataflow::{
     WriteGuard,
 };
 pub use frame::{Frame, FrameId, HelpMode};
+pub use jobs::{AdmitGuard, JobTable, JobTableStats, JobTicket};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use runtime::{Runtime, RuntimeHandle};
 pub use scope::Scope;

@@ -25,9 +25,11 @@
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
 
 use crate::config::RuntimeConfig;
 use crate::frame::{Frame, FrameId, HelpMode};
@@ -52,6 +54,10 @@ pub(crate) struct RtInner {
     pub(crate) rings: Vec<Ring>,
     pub(crate) sleeper: Sleeper,
     pub(crate) metrics: Metrics,
+    /// Elastic worker target: the worker on ring `idx` retires as soon as
+    /// it observes `idx >= target_workers` (see `worker_main`). Always in
+    /// `1..=rings.len()`.
+    target_workers: AtomicUsize,
     next_id: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -251,18 +257,34 @@ impl RtInner {
         let mut rng =
             XorShift64::new(0xC0FF_EE00 ^ (idx as u64 + 1).wrapping_mul(0x1234_5678_9ABC));
         loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // Elastic shrink: retire promptly (before claiming more work)
+            // so a later grow can re-staff this slot without waiting out a
+            // backlog. Anything left in this worker's ring stays stealable
+            // by the survivors; ring 0 never retires (target >= 1).
+            if idx >= self.target_workers.load(Ordering::Acquire) {
+                break;
+            }
             if let Some(task) = self.find_task(idx, &mut rng) {
                 self.execute(task);
                 continue;
-            }
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
             }
             Metrics::incr(&self.metrics.parks);
             self.sleeper.park(self.config.park_timeout);
         }
         WORKER_INDEX.with(|w| w.set(None));
     }
+}
+
+/// Spawns the worker thread for ring slot `idx`.
+fn spawn_worker(inner: &Arc<RtInner>, idx: usize) -> JoinHandle<()> {
+    let rt = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("swan-worker-{idx}"))
+        .spawn(move || rt.worker_main(idx))
+        .expect("failed to spawn worker thread")
 }
 
 /// A work-stealing task-dataflow runtime, in the mold of Swan.
@@ -282,35 +304,36 @@ impl RtInner {
 /// ```
 pub struct Runtime {
     inner: Arc<RtInner>,
-    threads: Vec<JoinHandle<()>>,
+    /// One slot per ring; `None` for slots whose worker is not currently
+    /// staffed (never started, or retired by an elastic shrink).
+    threads: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 impl Runtime {
     /// Builds a runtime from a configuration.
     pub fn new(config: RuntimeConfig) -> Self {
-        let workers = config.workers;
+        let workers = config.workers.max(1);
+        let max_workers = config.max_workers.max(workers);
         let inner = Arc::new(RtInner {
             config,
             registry: Registry::new(),
             injector: Injector::new(),
-            rings: (0..workers)
+            rings: (0..max_workers)
                 .map(|_| Ring::with_capacity(RING_CAPACITY))
                 .collect(),
             sleeper: Sleeper::new(),
             metrics: Metrics::default(),
+            target_workers: AtomicUsize::new(workers),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
         });
-        let threads = (0..workers)
-            .map(|idx| {
-                let rt = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("swan-worker-{idx}"))
-                    .spawn(move || rt.worker_main(idx))
-                    .expect("failed to spawn worker thread")
-            })
+        let threads = (0..max_workers)
+            .map(|idx| (idx < workers).then(|| spawn_worker(&inner, idx)))
             .collect();
-        Self { inner, threads }
+        Self {
+            inner,
+            threads: Mutex::new(threads),
+        }
     }
 
     /// Runtime with `workers` threads and default settings.
@@ -318,9 +341,69 @@ impl Runtime {
         Self::new(RuntimeConfig::with_workers(workers))
     }
 
-    /// Number of worker threads.
+    /// A long-lived **service** runtime: one worker per machine core, kept
+    /// hot across jobs (idle workers park on the sleeper, costing nothing
+    /// between jobs), with elastic headroom to [`Runtime::resize_workers`]
+    /// anywhere in `1..=max(cores, 8)`. Because hyperqueue programs are
+    /// scale-free, resizing never changes observable job output — only
+    /// throughput.
+    pub fn persistent() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(RuntimeConfig::with_worker_range(cores, cores.max(8)))
+    }
+
+    /// Number of worker threads the runtime was configured with (the
+    /// initial staffing; see [`Runtime::active_workers`] for the current
+    /// elastic target).
     pub fn workers(&self) -> usize {
         self.inner.config.workers
+    }
+
+    /// Current elastic worker target (threads serving tasks right now,
+    /// modulo retirements still in flight).
+    pub fn active_workers(&self) -> usize {
+        self.inner.target_workers.load(Ordering::Acquire)
+    }
+
+    /// Upper bound for [`Runtime::resize_workers`].
+    pub fn max_workers(&self) -> usize {
+        self.inner.rings.len()
+    }
+
+    /// Elastically grows or shrinks the worker pool to `n` threads
+    /// (clamped to `1..=max_workers`); returns the applied target.
+    ///
+    /// Shrinking is asynchronous: surplus workers retire as soon as they
+    /// next look for work, and any tasks left in their rings remain
+    /// stealable by the survivors. Growing first joins the retired threads
+    /// of the re-staffed slots, then spawns fresh ones. Determinism is
+    /// unaffected — programs on this runtime are scale-free, so a resize
+    /// (even mid-job) changes throughput, never output.
+    pub fn resize_workers(&self, n: usize) -> usize {
+        let n = n.clamp(1, self.inner.rings.len());
+        let mut threads = self.threads.lock();
+        let cur = self.inner.target_workers.load(Ordering::Acquire);
+        if n > cur {
+            // Re-staffed slots may still hold a retiring thread from an
+            // earlier shrink: join it before handing the ring to a new
+            // one (retirement is prompt — checked before claiming work).
+            for slot in threads[cur..n].iter_mut() {
+                if let Some(h) = slot.take() {
+                    let _ = h.join();
+                }
+            }
+            self.inner.target_workers.store(n, Ordering::Release);
+            for (off, slot) in threads[cur..n].iter_mut().enumerate() {
+                *slot = Some(spawn_worker(&self.inner, cur + off));
+            }
+        } else if n < cur {
+            self.inner.target_workers.store(n, Ordering::Release);
+            // Wake parked surplus workers so they notice and retire.
+            self.inner.sleeper.notify_all();
+        }
+        n
     }
 
     /// Opens a scope: tasks spawned within may borrow from the enclosing
@@ -368,7 +451,7 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.sleeper.notify_all();
-        for t in self.threads.drain(..) {
+        for t in self.threads.get_mut().iter_mut().filter_map(Option::take) {
             let _ = t.join();
         }
     }
@@ -520,6 +603,88 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn elastic_resize_grows_and_shrinks_between_work() {
+        let rt = Runtime::new(RuntimeConfig::with_worker_range(1, 4));
+        assert_eq!((rt.active_workers(), rt.max_workers()), (1, 4));
+        let run_batch = |expect: usize| {
+            let counter = AtomicUsize::new(0);
+            rt.scope(|s| {
+                for _ in 0..expect {
+                    s.spawn((), |_, ()| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), expect);
+        };
+        run_batch(32);
+        assert_eq!(rt.resize_workers(4), 4);
+        run_batch(32);
+        assert_eq!(rt.resize_workers(2), 2);
+        run_batch(32);
+        // Grow again: re-staffs slots whose threads retired above.
+        assert_eq!(rt.resize_workers(3), 3);
+        run_batch(32);
+        // Clamping: 0 -> 1, beyond max -> max.
+        assert_eq!(rt.resize_workers(0), 1);
+        assert_eq!(rt.resize_workers(99), 4);
+        run_batch(32);
+    }
+
+    #[test]
+    fn resize_mid_job_does_not_lose_tasks() {
+        let rt = Runtime::new(RuntimeConfig::with_worker_range(4, 8));
+        let counter = AtomicUsize::new(0);
+        rt.scope(|s| {
+            for i in 0..256 {
+                s.spawn((), |_, ()| {
+                    let mut x = 0u64;
+                    for j in 0..20_000u64 {
+                        x = x.wrapping_mul(31).wrapping_add(j);
+                    }
+                    std::hint::black_box(x);
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                if i == 64 {
+                    rt.resize_workers(1);
+                }
+                if i == 128 {
+                    rt.resize_workers(8);
+                }
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 256);
+    }
+
+    #[test]
+    fn persistent_runtime_serves_scopes_from_multiple_threads() {
+        let rt = Arc::new(Runtime::persistent());
+        assert!(rt.max_workers() >= rt.active_workers());
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (rt, total) = (Arc::clone(&rt), Arc::clone(&total));
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        rt.scope(|s| {
+                            for _ in 0..4 {
+                                let t = Arc::clone(&total);
+                                s.spawn((), move |_, ()| {
+                                    t.fetch_add(1, Ordering::SeqCst);
+                                });
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 8 * 4);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   pipeline (tee + keyed/round-robin fan-out + ordered fan-in), the
 //!   workload that exercises `pipelines::graph` beyond the paper's
 //!   straight chains
+//! * [`service`] — thousands of small wordcount/logstream jobs fired at
+//!   a **persistent** compiled graph by closed-loop clients: the
+//!   service-runtime workload (throughput + p50/p95/p99 job latency,
+//!   zero-allocation steady state)
 //!
 //! Every workload is *algorithmically real* (the dedup output really
 //! round-trips; bzip2 really compresses via BWT+MTF+Huffman) but runs on
@@ -23,6 +27,7 @@ pub mod dedup;
 pub mod entropy;
 pub mod ferret;
 pub mod logstream;
+pub mod service;
 pub mod timing;
 pub mod util;
 
