@@ -29,10 +29,11 @@ use std::process::ExitCode;
 
 use bench::tinyjson::{flatten_numbers, parse, Value};
 
-const RECORDS: [&str; 3] = [
+const RECORDS: [&str; 4] = [
     "BENCH_queue_ops.json",
     "BENCH_pipegraph.json",
     "BENCH_service.json",
+    "BENCH_ingress.json",
 ];
 
 fn load(path: &Path) -> Result<Value, String> {

@@ -1,0 +1,297 @@
+//! ingress_load — closed-loop load generator for the `hqd` TCP ingress.
+//!
+//! Two modes:
+//!
+//! * **In-process sweep** (default): for each worker count in `1, 2, 8`,
+//!   stand up a real `IngressServer` on a loopback socket, fire
+//!   `--jobs` wordcount + logstream jobs at it over `--connections`
+//!   concurrent client connections, verify every response byte-for-byte
+//!   against the job's serial elision, and check the full response byte
+//!   stream is **identical across all three worker counts**. Emits
+//!   `BENCH_ingress.json` (throughput + p50/p95/p99 from the final
+//!   phase) for CI's `bench_check` gate.
+//! * **Live-daemon mode** (`--addr host:port`): the same closed loop
+//!   against an already-running `hqd` (started with matching defaults:
+//!   wordcount or logstream, parse-work 40). Verifies responses, prints
+//!   a summary, writes no JSON.
+//!
+//! Exit code 1 on any verification failure.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pipelines::graph::ServiceConfig;
+use pipelines::ingress::{IngressClient, IngressConfig, IngressServer, JobOutcome};
+use swan::Runtime;
+use workloads::service::{
+    job_lines, logstream_digest_spec, percentile, wordcount_spec, ServiceWorkloadConfig,
+};
+use workloads::util::fnv1a;
+use workloads::wire::{
+    encode_lines, expected_logstream_bytes, expected_wordcount_bytes, LogstreamCodec,
+    WordcountCodec,
+};
+
+const RETRY_BACKOFF: Duration = Duration::from_micros(200);
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Wordcount,
+    Logstream,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Wordcount => "wordcount",
+            Workload::Logstream => "logstream",
+        }
+    }
+}
+
+/// One measured closed-loop run against one server address.
+struct PhaseReport {
+    elapsed: Duration,
+    /// Sorted job latencies, µs.
+    latencies: Vec<f64>,
+    /// fnv1a of every job's response bytes, indexed by job id — the
+    /// cross-phase byte-identity witness.
+    response_hashes: Vec<u64>,
+}
+
+impl PhaseReport {
+    fn jobs_per_sec(&self) -> f64 {
+        self.latencies.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Fires `jobs` closed-loop jobs at `addr` over `connections` client
+/// threads, verifying every response against `expected(j)`.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    cfg: &ServiceWorkloadConfig,
+    connections: usize,
+    jobs: usize,
+    expected: impl Fn(usize) -> Vec<u8> + Sync,
+) -> PhaseReport {
+    let next = AtomicUsize::new(0);
+    let failures = AtomicU64::new(0);
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(jobs));
+    let hashes: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..connections.max(1) {
+            let (next, failures, latencies, hashes, expected, cfg) =
+                (&next, &failures, &latencies, &hashes, &expected, cfg);
+            s.spawn(move || {
+                let mut client = match IngressClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("ingress_load: connection {c} failed: {e}");
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut local = Vec::new();
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= jobs {
+                        break;
+                    }
+                    let payload = encode_lines(&job_lines(cfg, j));
+                    let submit = Instant::now();
+                    match client.submit_and_wait(j as u64, &payload, RETRY_BACKOFF) {
+                        Ok(JobOutcome::Result(bytes)) => {
+                            local.push(submit.elapsed().as_secs_f64() * 1e6);
+                            if bytes != expected(j) {
+                                eprintln!("ingress_load: job {j}: response != serial elision");
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                            hashes[j].store(fnv1a(&bytes), Ordering::Relaxed);
+                        }
+                        Ok(JobOutcome::Failed(msg)) => {
+                            eprintln!("ingress_load: job {j} failed server-side: {msg}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("ingress_load: job {j} transport error: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                latencies.lock().expect("no poisoned lock").extend(local);
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    if failures.load(Ordering::Relaxed) > 0 {
+        eprintln!("ingress_load: FAILED — responses diverged or transport broke");
+        std::process::exit(1);
+    }
+    let mut lat = latencies.into_inner().expect("no poisoned lock");
+    assert_eq!(lat.len(), jobs, "every job must complete exactly once");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    PhaseReport {
+        elapsed,
+        latencies: lat,
+        response_hashes: hashes.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
+    }
+}
+
+/// In-process sweep for one workload: phases at 1/2/8 workers, identity
+/// check across phases, returns the final (8-worker) phase's report.
+fn sweep_workload(
+    workload: Workload,
+    cfg: &ServiceWorkloadConfig,
+    connections: usize,
+    jobs: usize,
+) -> PhaseReport {
+    let mut last: Option<PhaseReport> = None;
+    let mut reference: Option<Vec<u64>> = None;
+    for workers in [1usize, 2, 8] {
+        let rt = Arc::new(Runtime::with_workers(workers));
+        let service_cfg = ServiceConfig {
+            max_in_flight: cfg.max_in_flight,
+            segment_capacity: cfg.segment_capacity,
+            io_batch: cfg.io_batch,
+            ..ServiceConfig::default()
+        };
+        let ingress_cfg = IngressConfig::default();
+        let server = match workload {
+            Workload::Wordcount => {
+                let graph = Arc::new(
+                    wordcount_spec(cfg.degree, cfg.window).compile(Arc::clone(&rt), service_cfg),
+                );
+                IngressServer::bind("127.0.0.1:0", graph, Arc::new(WordcountCodec), ingress_cfg)
+            }
+            Workload::Logstream => {
+                let graph = Arc::new(
+                    logstream_digest_spec(cfg.degree, cfg.window, cfg.parse_work)
+                        .compile(Arc::clone(&rt), service_cfg),
+                );
+                IngressServer::bind("127.0.0.1:0", graph, Arc::new(LogstreamCodec), ingress_cfg)
+            }
+        }
+        .expect("bind loopback ingress");
+        let report = run_phase(server.local_addr(), cfg, connections, jobs, |j| {
+            let lines = job_lines(cfg, j);
+            match workload {
+                Workload::Wordcount => expected_wordcount_bytes(&lines),
+                Workload::Logstream => expected_logstream_bytes(&lines, cfg.parse_work),
+            }
+        });
+        let stats = server.shutdown();
+        rt.quiesce();
+        assert_eq!(
+            stats.jobs_accepted, stats.jobs_completed,
+            "every accepted job must drain"
+        );
+        println!(
+            "ingress_load: {} @ {workers} worker(s): {} jobs in {:.2}s \
+             ({:.0} jobs/s, p50 {:.0}µs, retries {})",
+            workload.name(),
+            jobs,
+            report.elapsed.as_secs_f64(),
+            report.jobs_per_sec(),
+            percentile(&report.latencies, 50.0),
+            stats.retries_sent,
+        );
+        match &reference {
+            None => reference = Some(report.response_hashes.clone()),
+            Some(r) => {
+                if *r != report.response_hashes {
+                    eprintln!(
+                        "ingress_load: FAILED — {} responses at {workers} workers are not \
+                         byte-identical to the 1-worker run",
+                        workload.name()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        last = Some(report);
+    }
+    println!(
+        "ingress_load: {}: responses byte-identical across 1/2/8 workers ✓",
+        workload.name()
+    );
+    last.expect("three phases ran")
+}
+
+fn report_block(name: &str, r: &PhaseReport) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"jobs_per_sec\": {:.1},\n    \"p95_us\": {:.1},\n    \
+         \"p99_us\": {:.1},\n    \"max_us\": {:.1}\n  }}",
+        r.jobs_per_sec(),
+        percentile(&r.latencies, 95.0),
+        percentile(&r.latencies, 99.0),
+        r.latencies.last().copied().unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let args = bench::Args::parse();
+    let connections = args.get_usize("connections", 4);
+    let jobs = args.get_usize("jobs", if args.is_small() { 200 } else { 1000 });
+    let cfg = ServiceWorkloadConfig::bench(jobs);
+
+    if let Some(addr) = args.get("addr") {
+        // Live-daemon mode: one phase against an external hqd.
+        let workload = match args.get("workload").unwrap_or("wordcount") {
+            "wordcount" => Workload::Wordcount,
+            "logstream" => Workload::Logstream,
+            other => {
+                eprintln!("ingress_load: unknown --workload {other}");
+                std::process::exit(2);
+            }
+        };
+        let addr: std::net::SocketAddr = addr.parse().expect("--addr host:port");
+        let report = run_phase(addr, &cfg, connections, jobs, |j| {
+            let lines = job_lines(&cfg, j);
+            match workload {
+                Workload::Wordcount => expected_wordcount_bytes(&lines),
+                Workload::Logstream => expected_logstream_bytes(&lines, cfg.parse_work),
+            }
+        });
+        println!(
+            "ingress_load: live {} @ {addr}: {} jobs over {connections} connections in \
+             {:.2}s ({:.0} jobs/s, p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs), all responses \
+             matched the serial elision ✓",
+            workload.name(),
+            jobs,
+            report.elapsed.as_secs_f64(),
+            report.jobs_per_sec(),
+            percentile(&report.latencies, 50.0),
+            percentile(&report.latencies, 95.0),
+            percentile(&report.latencies, 99.0),
+        );
+        return;
+    }
+
+    // In-process sweep: both workloads, 1/2/8 workers, JSON for bench_check.
+    let wc = sweep_workload(Workload::Wordcount, &cfg, connections, jobs);
+    let ls = sweep_workload(Workload::Logstream, &cfg, connections, jobs);
+
+    let out_path = args.get("out").unwrap_or("BENCH_ingress.json");
+    let json = format!(
+        "{{\n  \"bench\": \"ingress\",\n  \"jobs\": {jobs},\n  \"connections\": \
+         {connections},\n  \"job_lines\": {},\n  \"degree\": {},\n  \"machine_cores\": {},\n  \
+         \"worker_phases\": [1, 2, 8],\n  \"byte_identical_phases\": true,\n  \
+         \"median_us\": {{\n    \"wordcount_p50\": {:.1},\n    \"logstream_p50\": {:.1}\n  }},\n\
+         {},\n{}\n}}\n",
+        cfg.job_lines,
+        cfg.degree,
+        bench::machine_cores(),
+        percentile(&wc.latencies, 50.0),
+        percentile(&ls.latencies, 50.0),
+        report_block("wordcount", &wc),
+        report_block("logstream", &ls),
+    );
+    let mut f = std::fs::File::create(out_path).expect("create BENCH_ingress.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_ingress.json");
+    println!("ingress_load: wrote {out_path}");
+}

@@ -48,7 +48,7 @@
 //! assert_eq!(seen, (0..100).map(|n| n * n).collect::<Vec<_>>());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod pool;
 mod queue;

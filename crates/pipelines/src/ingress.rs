@@ -1,0 +1,964 @@
+//! Network ingress for the service layer: the `hqd` daemon's engine.
+//!
+//! [`crate::service`] made pipeline graphs persistent, but jobs could only
+//! be submitted in-process. This module puts a TCP front door on a
+//! [`CompiledGraph`] (std::net only — no dependencies): a length-prefixed
+//! framed protocol, an acceptor plus per-connection reader/writer thread
+//! pairs, and — crucially — **backpressure that reaches the client**. A
+//! submit is accepted only through [`CompiledGraph::try_run_job`]'s
+//! bounded admission queue; past the bound the client gets an explicit
+//! [`FrameKind::Retry`] frame instead of the server buffering without
+//! limit. See DESIGN.md §6.3 for the architecture discussion.
+//!
+//! # Wire format
+//!
+//! Every frame is:
+//!
+//! ```text
+//! offset  size     field
+//! 0       4        len: u32 LE — byte length of everything after this field
+//! 4       1        kind (see FrameKind)
+//! 5       8        req_id: u64 LE — client-chosen correlation id
+//! 13      len - 9  body (kind-specific)
+//! ```
+//!
+//! | kind | name      | direction | body                                  |
+//! |------|-----------|-----------|---------------------------------------|
+//! | 1    | Submit    | c → s     | job payload ([`JobCodec::decode_job`])|
+//! | 2    | Result    | s → c     | job output ([`JobCodec::encode_result`]) |
+//! | 3    | Retry     | s → c     | u32 LE: waiting-line depth at refusal |
+//! | 4    | Error     | s → c     | UTF-8 message (`req_id` 0 = connection-level) |
+//! | 5    | Stats     | c → s     | empty                                 |
+//! | 6    | StatsOk   | s → c     | UTF-8 JSON snapshot                   |
+//!
+//! # Ordering and determinism
+//!
+//! Each connection has one reader thread (parses frames, submits jobs)
+//! and one writer thread (joins job handles and writes responses). The
+//! reader forwards every reply — job, retry, error, stats — through one
+//! FIFO channel to the writer, so **responses arrive in exactly the order
+//! the requests were sent**, and each job's result bytes are the encoding
+//! of its deterministic serial-elision output: the whole response stream
+//! of a connection is byte-identical at any worker count.
+//!
+//! # Failure containment
+//!
+//! * A malformed or oversized *frame* is a protocol error: the server
+//!   sends `Error` (req_id 0) and stops reading from that connection,
+//!   after draining replies already in flight.
+//! * An undecodable *job payload* is an application error: `Error` with
+//!   the submit's req_id, connection stays open. Likewise a job whose
+//!   *result* would exceed `max_frame_len`: the server never emits a
+//!   frame its own limit calls oversized — the job ran, but the client
+//!   gets an `Error` instead of the result.
+//! * A client that disconnects mid-job never leaks work: the writer joins
+//!   every accepted job's handle whether or not the socket can still be
+//!   written, so the job drains through the graph normally.
+//! * [`IngressServer::shutdown`] stops the acceptor, lets every reader
+//!   stop at the next frame boundary, drains all accepted jobs through
+//!   the writers, and joins every thread — the graceful path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::service::{CompiledGraph, JobHandle, SubmitError};
+
+/// Default cap on a single frame's `len` field (8 MiB).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+/// Bytes of the fixed (kind + req_id) part counted by `len`.
+const FRAME_FIXED_LEN: usize = 9;
+
+// ---------------------------------------------------------------------------
+// Frames.
+// ---------------------------------------------------------------------------
+
+/// Frame type tag (byte 4 of the wire format; see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: run one job; body is the codec's job payload.
+    Submit = 1,
+    /// Server → client: a job's output, in submission order.
+    Result = 2,
+    /// Server → client: admission queue full — resubmit later.
+    Retry = 3,
+    /// Server → client: job or protocol failure (UTF-8 message body).
+    Error = 4,
+    /// Client → server: request a stats snapshot (empty body).
+    Stats = 5,
+    /// Server → client: stats snapshot (UTF-8 JSON body).
+    StatsOk = 6,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => FrameKind::Submit,
+            2 => FrameKind::Result,
+            3 => FrameKind::Retry,
+            4 => FrameKind::Error,
+            5 => FrameKind::Stats,
+            6 => FrameKind::StatsOk,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// Client-chosen correlation id (0 = connection-level).
+    pub req_id: u64,
+    /// Kind-specific body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why a byte stream failed to parse as a frame. Any of these is fatal
+/// for the connection (the stream offset can no longer be trusted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The `len` field exceeds the configured maximum.
+    Oversized {
+        /// The offending frame's declared length.
+        len: u32,
+        /// The configured cap it exceeded.
+        max: u32,
+    },
+    /// The `len` field is smaller than the fixed kind + req_id part.
+    Truncated {
+        /// The offending frame's declared length.
+        len: u32,
+    },
+    /// Unassigned frame-kind byte.
+    UnknownKind(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte limit")
+            }
+            FrameError::Truncated { len } => {
+                write!(
+                    f,
+                    "frame length {len} is shorter than the 9-byte fixed part"
+                )
+            }
+            FrameError::UnknownKind(b) => write!(f, "unknown frame kind {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends one encoded frame to `out`.
+pub fn encode_frame(kind: FrameKind, req_id: u64, body: &[u8], out: &mut Vec<u8>) {
+    let len = (FRAME_FIXED_LEN + body.len()) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(kind as u8);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Incremental frame parser over an arbitrarily-chunked byte stream.
+///
+/// ```
+/// use pipelines::ingress::{encode_frame, FrameDecoder, FrameKind};
+///
+/// let mut wire = Vec::new();
+/// encode_frame(FrameKind::Submit, 7, b"alpha bravo", &mut wire);
+/// let mut dec = FrameDecoder::new(1024);
+/// dec.extend(&wire[..5]); // partial delivery
+/// assert!(dec.next_frame().unwrap().is_none());
+/// dec.extend(&wire[5..]);
+/// let frame = dec.next_frame().unwrap().unwrap();
+/// assert_eq!((frame.kind, frame.req_id), (FrameKind::Submit, 7));
+/// assert_eq!(frame.body, b"alpha bravo");
+/// ```
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    max_frame_len: u32,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame_len` on the `len` field.
+    pub fn new(max_frame_len: u32) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame_len,
+        }
+    }
+
+    /// Appends raw received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: the parsed prefix is dead weight.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Parses the next complete frame, `Ok(None)` if more bytes are
+    /// needed. Errors are fatal: the decoder's offset is no longer
+    /// meaningful and the connection should close.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len > self.max_frame_len {
+            return Err(FrameError::Oversized {
+                len,
+                max: self.max_frame_len,
+            });
+        }
+        if (len as usize) < FRAME_FIXED_LEN {
+            return Err(FrameError::Truncated { len });
+        }
+        if avail.len() < 4 + len as usize {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_byte(avail[4]).ok_or(FrameError::UnknownKind(avail[4]))?;
+        let req_id = u64::from_le_bytes(avail[5..13].try_into().expect("8 bytes"));
+        let body = avail[13..4 + len as usize].to_vec();
+        self.pos += 4 + len as usize;
+        Ok(Some(Frame { kind, req_id, body }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job codecs.
+// ---------------------------------------------------------------------------
+
+/// Translates between wire payloads and a [`CompiledGraph`]'s typed job
+/// inputs/outputs. Implementations must be deterministic: equal outputs
+/// must encode to equal bytes, or the protocol's byte-identical response
+/// guarantee breaks at the edge.
+pub trait JobCodec: Send + Sync + 'static {
+    /// The graph's input value type.
+    type In: Send + 'static;
+    /// The graph's output value type.
+    type Out: Send + 'static;
+
+    /// Decodes a submit body into one job's input stream. `Err` becomes
+    /// an [`FrameKind::Error`] frame for that req_id (connection stays
+    /// open).
+    fn decode_job(&self, payload: &[u8]) -> Result<Vec<Self::In>, String>;
+
+    /// Appends the encoding of a completed job's output to `buf`.
+    fn encode_result(&self, out: &[Self::Out], buf: &mut Vec<u8>);
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration and counters.
+// ---------------------------------------------------------------------------
+
+/// Knobs of an [`IngressServer`].
+#[derive(Clone, Debug)]
+pub struct IngressConfig {
+    /// Upper bound on a frame's `len` field; larger frames are protocol
+    /// errors. Default [`DEFAULT_MAX_FRAME_LEN`].
+    pub max_frame_len: u32,
+    /// Admission-queue bound per graph (jobs accepted but not yet
+    /// admitted); beyond it submits get [`FrameKind::Retry`]. Clamped to
+    /// at least 1. Default 64.
+    pub max_queued: usize,
+    /// How often blocked reads and the acceptor re-check the shutdown
+    /// flag. Default 25 ms.
+    pub poll_interval: Duration,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_queued: 64,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    jobs_accepted: AtomicU64,
+    jobs_completed: AtomicU64,
+    retries_sent: AtomicU64,
+    errors_sent: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Counter snapshot of an [`IngressServer`] (monotonic unless noted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames successfully parsed off client connections.
+    pub frames_in: u64,
+    /// Raw bytes read from clients.
+    pub bytes_in: u64,
+    /// Raw bytes written to clients.
+    pub bytes_out: u64,
+    /// Submits accepted into the graph's admission queue.
+    pub jobs_accepted: u64,
+    /// Accepted jobs whose handle has been joined (drained) — equals
+    /// `jobs_accepted` once traffic stops, even for dead clients.
+    pub jobs_completed: u64,
+    /// Submits refused with a Retry frame (admission queue full).
+    pub retries_sent: u64,
+    /// Error frames sent (bad payloads, failed jobs, protocol errors).
+    pub errors_sent: u64,
+    /// Connections dropped for malformed/oversized frames.
+    pub protocol_errors: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> IngressStats {
+        IngressStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            jobs_accepted: self.jobs_accepted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            retries_sent: self.retries_sent.load(Ordering::Relaxed),
+            errors_sent: self.errors_sent.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------------
+
+struct Shared<C: JobCodec> {
+    graph: Arc<CompiledGraph<C::In, C::Out>>,
+    codec: Arc<C>,
+    cfg: IngressConfig,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A TCP ingress daemon fronting one [`CompiledGraph`] (see module docs).
+/// Bind with [`IngressServer::bind`]; stop with
+/// [`IngressServer::shutdown`] (graceful: drains all accepted jobs) or by
+/// dropping (same path).
+pub struct IngressServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl IngressServer {
+    /// Binds `addr` and starts serving `graph` through `codec`. Pass port
+    /// 0 to let the OS choose (see [`IngressServer::local_addr`]).
+    pub fn bind<C: JobCodec>(
+        addr: impl ToSocketAddrs,
+        graph: Arc<CompiledGraph<C::In, C::Out>>,
+        codec: Arc<C>,
+        cfg: IngressConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let shared = Arc::new(Shared {
+            graph,
+            codec,
+            cfg,
+            counters: Arc::clone(&counters),
+            shutdown: Arc::clone(&shutdown),
+        });
+        let accept_conns = Arc::clone(&conns);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("hqd-accept".to_string())
+            .spawn(move || accept_loop(listener, shared, accept_conns, accept_shutdown))
+            .expect("failed to spawn acceptor thread");
+        Ok(IngressServer {
+            addr,
+            shutdown,
+            counters,
+            acceptor: Some(acceptor),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IngressStats {
+        self.counters.snapshot()
+    }
+
+    /// Graceful shutdown: stops accepting, lets every connection finish
+    /// the frames it already read, drains every accepted job through its
+    /// writer, and joins all threads. Jobs the graph admitted are never
+    /// abandoned.
+    pub fn shutdown(mut self) -> IngressStats {
+        self.stop_and_join();
+        self.counters.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for c in self.conns.lock().drain(..) {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for IngressServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Joins the connection threads that have already finished, keeping the
+/// live ones registered. A long-lived daemon churns through many
+/// short-lived connections; without this the handle list (and each dead
+/// thread's retained exit state) would grow without bound.
+fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut live = conns.lock();
+        let mut done = Vec::new();
+        let mut keep = Vec::with_capacity(live.len());
+        for h in live.drain(..) {
+            if h.is_finished() {
+                done.push(h);
+            } else {
+                keep.push(h);
+            }
+        }
+        *live = keep;
+        done
+    };
+    for h in finished {
+        let _ = h.join(); // immediate: the thread already exited
+    }
+}
+
+fn accept_loop<C: JobCodec>(
+    listener: TcpListener,
+    shared: Arc<Shared<C>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut next_conn = 0u64;
+    while !shutdown.load(Ordering::Acquire) {
+        reap_finished(&conns);
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                let id = next_conn;
+                next_conn += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("hqd-conn-{id}"))
+                    .spawn(move || connection_loop(shared, stream))
+                    .expect("failed to spawn connection thread");
+                conns.lock().push(handle);
+            }
+            // Transient accept failures (ECONNABORTED, EMFILE under fd
+            // pressure, EINTR, and the nonblocking WouldBlock poll) must
+            // not wedge the daemon: back off one poll interval and keep
+            // accepting. A permanently broken listener degrades to
+            // polling at that interval until shutdown — still responsive
+            // to the shutdown flag, never silently dead while existing
+            // connections look healthy.
+            Err(_) => std::thread::sleep(shared.cfg.poll_interval),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection reader/writer pair.
+// ---------------------------------------------------------------------------
+
+/// What the reader hands the writer. One FIFO channel per connection:
+/// whatever order requests arrived in is the order replies go out.
+enum Reply<O> {
+    Job { req_id: u64, handle: JobHandle<O> },
+    Retry { req_id: u64, queued: u32 },
+    Error { req_id: u64, message: String },
+    Stats { req_id: u64, body: String },
+}
+
+fn connection_loop<C: JobCodec>(shared: Arc<Shared<C>>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply<C::Out>>();
+    let writer_shared = Arc::clone(&shared);
+    let writer = std::thread::Builder::new()
+        .name("hqd-write".to_string())
+        .spawn(move || writer_loop(writer_shared, write_half, reply_rx))
+        .expect("failed to spawn connection writer thread");
+    reader_loop(&shared, stream, &reply_tx);
+    drop(reply_tx); // closes the channel: writer drains and exits
+    let _ = writer.join();
+}
+
+fn reader_loop<C: JobCodec>(
+    shared: &Shared<C>,
+    mut stream: TcpStream,
+    reply_tx: &mpsc::Sender<Reply<C::Out>>,
+) {
+    // A finite read timeout turns blocked reads into shutdown-flag polls.
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let mut dec = FrameDecoder::new(shared.cfg.max_frame_len);
+    let mut chunk = vec![0u8; 16 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return; // graceful: stop at a frame boundary, writer drains
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                dec.extend(&chunk[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                            if !handle_frame(shared, frame, reply_tx) {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            shared
+                                .counters
+                                .protocol_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = reply_tx.send(Reply::Error {
+                                req_id: 0,
+                                message: format!("protocol error: {e}"),
+                            });
+                            return; // stream offset untrustworthy: close
+                        }
+                    }
+                }
+            }
+            // Timeouts are the shutdown-poll mechanism; EINTR loses no
+            // bytes and leaves the stream offset intact — retry both.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one parsed frame; `false` closes the connection.
+fn handle_frame<C: JobCodec>(
+    shared: &Shared<C>,
+    frame: Frame,
+    reply_tx: &mpsc::Sender<Reply<C::Out>>,
+) -> bool {
+    let reply = match frame.kind {
+        FrameKind::Submit => match shared.codec.decode_job(&frame.body) {
+            Ok(input) => match shared
+                .graph
+                .try_run_job(input, shared.cfg.max_queued.max(1))
+            {
+                Ok(handle) => {
+                    shared
+                        .counters
+                        .jobs_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    Reply::Job {
+                        req_id: frame.req_id,
+                        handle,
+                    }
+                }
+                Err(SubmitError::Busy { queued, .. }) => {
+                    shared.counters.retries_sent.fetch_add(1, Ordering::Relaxed);
+                    Reply::Retry {
+                        req_id: frame.req_id,
+                        queued: queued.min(u32::MAX as usize) as u32,
+                    }
+                }
+            },
+            Err(msg) => Reply::Error {
+                req_id: frame.req_id,
+                message: format!("bad job payload: {msg}"),
+            },
+        },
+        FrameKind::Stats => Reply::Stats {
+            req_id: frame.req_id,
+            body: stats_json(shared),
+        },
+        // Server-to-client kinds arriving at the server are protocol
+        // errors: close after reporting. Connection-fatal errors use
+        // req_id 0 (the documented connection-level id) so clients never
+        // mistake them for a per-request failure.
+        FrameKind::Result | FrameKind::Retry | FrameKind::Error | FrameKind::StatsOk => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = reply_tx.send(Reply::Error {
+                req_id: 0,
+                message: format!("protocol error: client sent a {:?} frame", frame.kind),
+            });
+            return false;
+        }
+    };
+    // Send failure means the writer died (socket gone); stop reading.
+    reply_tx.send(reply).is_ok()
+}
+
+fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
+    let js = shared.graph.job_stats();
+    let is = shared.counters.snapshot();
+    format!(
+        "{{\"in_flight\": {}, \"queued\": {}, \"submitted\": {}, \"completed\": {}, \
+         \"max_in_flight\": {}, \"jobs_accepted\": {}, \"jobs_completed\": {}, \
+         \"retries_sent\": {}, \"connections\": {}}}",
+        js.in_flight,
+        js.queued,
+        js.submitted,
+        js.completed,
+        js.max_in_flight,
+        is.jobs_accepted,
+        is.jobs_completed,
+        is.retries_sent,
+        is.connections,
+    )
+}
+
+fn writer_loop<C: JobCodec>(
+    shared: Arc<Shared<C>>,
+    mut stream: TcpStream,
+    replies: mpsc::Receiver<Reply<C::Out>>,
+) {
+    let mut out = Vec::new();
+    // Once the socket dies we keep draining replies — accepted jobs must
+    // still be joined so they complete through the graph — but stop
+    // encoding/writing.
+    let mut socket_alive = true;
+    for reply in replies {
+        out.clear();
+        match reply {
+            Reply::Job { req_id, handle } => {
+                let result = handle.wait();
+                shared
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                if !socket_alive {
+                    continue;
+                }
+                match result {
+                    Ok(vals) => {
+                        let mut body = Vec::new();
+                        shared.codec.encode_result(&vals, &mut body);
+                        // The server must never emit a frame its own
+                        // protocol limit calls oversized (a conforming
+                        // peer would have to drop the connection), so a
+                        // too-large result degrades to a job error.
+                        if FRAME_FIXED_LEN + body.len() > shared.cfg.max_frame_len as usize {
+                            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                            encode_frame(
+                                FrameKind::Error,
+                                req_id,
+                                format!(
+                                    "result too large for the {}-byte frame limit \
+                                     ({} bytes)",
+                                    shared.cfg.max_frame_len,
+                                    body.len()
+                                )
+                                .as_bytes(),
+                                &mut out,
+                            );
+                        } else {
+                            encode_frame(FrameKind::Result, req_id, &body, &mut out);
+                        }
+                    }
+                    Err(e) => {
+                        shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                        encode_frame(
+                            FrameKind::Error,
+                            req_id,
+                            format!("job failed: {e}").as_bytes(),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            Reply::Retry { req_id, queued } => {
+                if !socket_alive {
+                    continue;
+                }
+                encode_frame(FrameKind::Retry, req_id, &queued.to_le_bytes(), &mut out);
+            }
+            Reply::Error { req_id, message } => {
+                shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                if !socket_alive {
+                    continue;
+                }
+                encode_frame(FrameKind::Error, req_id, message.as_bytes(), &mut out);
+            }
+            Reply::Stats { req_id, body } => {
+                if !socket_alive {
+                    continue;
+                }
+                encode_frame(FrameKind::StatsOk, req_id, body.as_bytes(), &mut out);
+            }
+        }
+        if socket_alive {
+            if stream.write_all(&out).is_err() {
+                socket_alive = false;
+            } else {
+                shared
+                    .counters
+                    .bytes_out
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking client.
+// ---------------------------------------------------------------------------
+
+/// What [`IngressClient::submit_and_wait`] resolved to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job's result bytes.
+    Result(Vec<u8>),
+    /// The server reported a failure for this job.
+    Failed(String),
+}
+
+/// A blocking client for the ingress protocol (std::net). One client =
+/// one connection; submissions and responses interleave freely, but
+/// responses always arrive in submission order.
+pub struct IngressClient {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    chunk: Vec<u8>,
+}
+
+impl IngressClient {
+    /// Connects to an [`IngressServer`], accepting response frames up to
+    /// [`DEFAULT_MAX_FRAME_LEN`]. A server configured with a larger
+    /// `max_frame_len` may legally emit larger Result frames — talk to it
+    /// with [`IngressClient::connect_with_limit`] instead.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with_limit(addr, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// [`IngressClient::connect`] with an explicit inbound frame-length
+    /// cap; match it to the server's [`IngressConfig::max_frame_len`].
+    pub fn connect_with_limit(
+        addr: impl ToSocketAddrs,
+        max_frame_len: u32,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(IngressClient {
+            stream,
+            dec: FrameDecoder::new(max_frame_len),
+            chunk: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Sends one frame. Exposed raw (any kind, any body) so tests can
+    /// speak the protocol incorrectly on purpose.
+    pub fn send(&mut self, kind: FrameKind, req_id: u64, body: &[u8]) -> std::io::Result<()> {
+        let mut out = Vec::with_capacity(4 + FRAME_FIXED_LEN + body.len());
+        encode_frame(kind, req_id, body, &mut out);
+        self.stream.write_all(&out)
+    }
+
+    /// Sends raw pre-encoded bytes (for malformed-frame tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Submits a job payload under `req_id` without waiting.
+    pub fn submit(&mut self, req_id: u64, payload: &[u8]) -> std::io::Result<()> {
+        self.send(FrameKind::Submit, req_id, payload)
+    }
+
+    /// Blocks until the server's next frame arrives.
+    pub fn recv(&mut self) -> std::io::Result<Frame> {
+        loop {
+            if let Some(frame) = self
+                .dec
+                .next_frame()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut self.chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.dec.extend(&self.chunk[..n]);
+        }
+    }
+
+    /// The closed-loop convenience: submits `payload`, transparently
+    /// resubmitting on [`FrameKind::Retry`] (sleeping `retry_backoff`
+    /// between attempts), until the job resolves to a result or an error.
+    pub fn submit_and_wait(
+        &mut self,
+        req_id: u64,
+        payload: &[u8],
+        retry_backoff: Duration,
+    ) -> std::io::Result<JobOutcome> {
+        loop {
+            self.submit(req_id, payload)?;
+            let frame = self.recv()?;
+            if frame.req_id != req_id {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response for {} while awaiting {req_id}", frame.req_id),
+                ));
+            }
+            match frame.kind {
+                FrameKind::Result => return Ok(JobOutcome::Result(frame.body)),
+                FrameKind::Error => {
+                    return Ok(JobOutcome::Failed(
+                        String::from_utf8_lossy(&frame.body).into_owned(),
+                    ))
+                }
+                FrameKind::Retry => std::thread::sleep(retry_backoff),
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected {other:?} frame for submit {req_id}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Requests and returns the server's stats JSON.
+    pub fn stats(&mut self, req_id: u64) -> std::io::Result<String> {
+        self.send(FrameKind::Stats, req_id, &[])?;
+        let frame = self.recv()?;
+        match frame.kind {
+            FrameKind::StatsOk => Ok(String::from_utf8_lossy(&frame.body).into_owned()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected {other:?} reply to a stats request"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_chunked_delivery() {
+        let mut wire = Vec::new();
+        encode_frame(FrameKind::Submit, 1, b"one", &mut wire);
+        encode_frame(FrameKind::Result, 2, b"", &mut wire);
+        encode_frame(FrameKind::Error, u64::MAX, "boom".as_bytes(), &mut wire);
+        // Deliver in 1-byte chunks: the decoder must reassemble exactly.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut frames = Vec::new();
+        for b in &wire {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(
+            (frames[0].kind, frames[0].req_id, frames[0].body.as_slice()),
+            (FrameKind::Submit, 1, b"one".as_slice())
+        );
+        assert_eq!(
+            (frames[1].kind, frames[1].body.len()),
+            (FrameKind::Result, 0)
+        );
+        assert_eq!(
+            (frames[2].kind, frames[2].req_id),
+            (FrameKind::Error, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_truncated_and_unknown() {
+        let mut dec = FrameDecoder::new(64);
+        dec.extend(&1000u32.to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { len: 1000, max: 64 })
+        );
+
+        let mut dec = FrameDecoder::new(64);
+        dec.extend(&3u32.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(FrameError::Truncated { len: 3 }));
+
+        let mut dec = FrameDecoder::new(64);
+        let mut wire = Vec::new();
+        encode_frame(FrameKind::Submit, 9, b"x", &mut wire);
+        wire[4] = 0xEE; // stomp the kind byte
+        dec.extend(&wire);
+        assert_eq!(dec.next_frame(), Err(FrameError::UnknownKind(0xEE)));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut wire = Vec::new();
+        encode_frame(FrameKind::Stats, 5, &[], &mut wire);
+        for round in 0..10_000u64 {
+            dec.extend(&wire);
+            let f = dec.next_frame().unwrap().unwrap();
+            assert_eq!((f.kind, f.req_id), (FrameKind::Stats, 5), "round {round}");
+        }
+        // The whole point of compaction: memory stays bounded.
+        assert!(dec.buf.capacity() < 1024 * 1024);
+    }
+}

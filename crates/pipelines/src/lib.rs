@@ -23,12 +23,17 @@
 //! k-way merges, and multicast ([`graph::Node::tee`]) — all running on the
 //! `swan` runtime over hyperqueue edges with batched slice I/O, and all
 //! preserving the serial-elision determinism guarantee. See the [`graph`]
-//! module docs for the contract and a worked example.
+//! module docs for the contract and a worked example. On top of it sit
+//! the **service layer** ([`service`]: persistent [`CompiledGraph`]s
+//! serving many independent jobs) and the **network ingress**
+//! ([`ingress`]: the `hqd` daemon's framed TCP protocol, with admission
+//! backpressure surfaced to clients as explicit retry frames).
 
 #![warn(missing_docs)]
 
 pub mod bounded;
 pub mod graph;
+pub mod ingress;
 pub mod reorder;
 pub mod service;
 pub mod spsc;
@@ -36,9 +41,10 @@ pub mod tbb;
 
 pub use bounded::{channel, Receiver, Sender};
 pub use graph::{Fanout, GraphBuilder, Node, Partition, Shards};
+pub use ingress::{IngressClient, IngressConfig, IngressServer, IngressStats, JobCodec};
 pub use reorder::{ReorderBuffer, ReorderQueue};
 pub use service::{
-    CompiledGraph, GraphSpec, JobError, JobHandle, ServiceConfig, ServiceStorageStats,
+    CompiledGraph, GraphSpec, JobError, JobHandle, ServiceConfig, ServiceStorageStats, SubmitError,
 };
 pub use spsc::{spsc, SpscReceiver, SpscRing, SpscSender};
 pub use tbb::{Item, TbbPipeline};

@@ -544,6 +544,41 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
         JobHandle { id, rx }
     }
 
+    /// Bounded-queue variant of [`run_job`](CompiledGraph::run_job): the
+    /// backpressure entry point for network front-ends. The job is
+    /// accepted only while fewer than `max_queued` accepted jobs are
+    /// still waiting for admission (executing jobs don't count — see
+    /// [`swan::JobTable::try_register`]); otherwise the input is handed
+    /// back in [`SubmitError::Busy`] so the caller can tell its client to
+    /// retry instead of buffering without bound.
+    pub fn try_run_job(
+        &self,
+        input: Vec<I>,
+        max_queued: usize,
+    ) -> Result<JobHandle<O>, SubmitError<I>> {
+        let (reply, rx) = mpsc::channel();
+        let submit = self.submit.lock();
+        let tx = submit
+            .as_ref()
+            .expect("try_run_job on a CompiledGraph that is shutting down");
+        // Same one-lock discipline as `run_job`: the bounded registration
+        // and the channel send happen under the submit lock so the
+        // admission FIFO matches dispatch order. A refusal carries the
+        // depth observed atomically at refusal time.
+        let ticket = match self.core.jobs.try_register(max_queued) {
+            Ok(ticket) => ticket,
+            Err(queued) => return Err(SubmitError::Busy { queued, input }),
+        };
+        let id = ticket.seq();
+        tx.send(JobRequest {
+            ticket,
+            input,
+            reply,
+        })
+        .expect("dispatchers outlive the submit sender");
+        Ok(JobHandle { id, rx })
+    }
+
     /// The runtime this graph serves jobs on.
     pub fn runtime(&self) -> &Arc<Runtime> {
         &self.core.rt
@@ -604,6 +639,30 @@ impl<I: Send + 'static, O: Send + 'static> Drop for CompiledGraph<I, O> {
 // ---------------------------------------------------------------------------
 // Job handles.
 // ---------------------------------------------------------------------------
+
+/// Why [`CompiledGraph::try_run_job`] refused a job. Carries the input
+/// back so the caller can retry without cloning it up front.
+#[derive(Debug)]
+pub enum SubmitError<I> {
+    /// The admission queue is at its `max_queued` bound. Retry later;
+    /// `queued` is the waiting-line depth observed at refusal.
+    Busy {
+        /// Jobs accepted but not yet admitted when the refusal happened.
+        queued: usize,
+        /// The rejected job input, returned to the caller.
+        input: Vec<I>,
+    },
+}
+
+impl<I> std::fmt::Display for SubmitError<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy { queued, .. } => {
+                write!(f, "admission queue full ({queued} jobs waiting)")
+            }
+        }
+    }
+}
 
 /// Why a job failed (a stage or the job scope panicked).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -755,6 +814,50 @@ mod tests {
             *expect.entry(v % 13).or_insert(0) += 1;
         }
         assert_eq!(out, expect.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_run_job_refuses_beyond_the_queue_bound() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = Arc::clone(&release);
+        let rt = Arc::new(Runtime::with_workers(2));
+        let graph = GraphSpec::<u64, u64>::new()
+            .map(move |x| {
+                // Input 0 parks its job until the test opens the gate.
+                while x == 0 && !gate.load(Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                x + 1
+            })
+            .compile(
+                Arc::clone(&rt),
+                ServiceConfig {
+                    max_in_flight: 1,
+                    ..ServiceConfig::default()
+                },
+            );
+        let blocker = graph.run_job(vec![0]);
+        // Wait until the blocker is admitted, so it occupies the in-flight
+        // slot rather than the waiting line.
+        while graph.job_stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        let a = graph.try_run_job(vec![1], 2).expect("slot 1 of 2");
+        let b = graph.try_run_job(vec![2], 2).expect("slot 2 of 2");
+        match graph.try_run_job(vec![3], 2) {
+            Err(SubmitError::Busy { queued, input }) => {
+                assert_eq!(queued, 2);
+                assert_eq!(input, vec![3], "refused input must come back");
+            }
+            Ok(_) => panic!("third queued job must be refused at bound 2"),
+        }
+        release.store(true, Ordering::Release);
+        assert_eq!(blocker.join(), vec![1]);
+        assert_eq!(a.join(), vec![2]);
+        assert_eq!(b.join(), vec![3]);
+        // The line drained: bounded submission works again.
+        assert!(graph.try_run_job(vec![4], 2).is_ok());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub struct JobTable {
 /// admitted in registration order (the table blocks any ticket whose
 /// predecessors have not been admitted yet), so register a ticket only
 /// once the job it stands for is committed to running.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct JobTicket {
     seq: u64,
 }
@@ -121,6 +121,40 @@ impl JobTable {
         let seq = st.next_ticket;
         st.next_ticket += 1;
         JobTicket { seq }
+    }
+
+    /// Bounded registration: registers a job only while fewer than
+    /// `max_queued` tickets are waiting for admission (registered but not
+    /// yet admitted; executing jobs do not count). Refusal returns the
+    /// waiting-line depth observed under the lock at that instant — the
+    /// backpressure signal a service front-end turns into an explicit
+    /// retry instead of buffering without bound. The check and the
+    /// registration are one atomic step, so concurrent callers cannot
+    /// overshoot the bound.
+    ///
+    /// `max_queued == 0` always refuses.
+    ///
+    /// ```
+    /// use swan::JobTable;
+    ///
+    /// let table = JobTable::new(1);
+    /// let head = table.try_register(1).expect("empty queue accepts");
+    /// // `head` is waiting (not admitted), so the queue is now full.
+    /// assert_eq!(table.try_register(1), Err(1));
+    /// let guard = table.admit(&head);
+    /// // Admission moved `head` out of the waiting line.
+    /// assert!(table.try_register(1).is_ok());
+    /// drop(guard);
+    /// ```
+    pub fn try_register(&self, max_queued: usize) -> Result<JobTicket, usize> {
+        let mut st = self.state.lock();
+        let queued = (st.next_ticket - st.next_admit) as usize;
+        if queued >= max_queued {
+            return Err(queued);
+        }
+        let seq = st.next_ticket;
+        st.next_ticket += 1;
+        Ok(JobTicket { seq })
     }
 
     /// Blocks until `ticket` is at the head of the FIFO **and** an
@@ -250,5 +284,23 @@ mod tests {
     #[test]
     fn bound_is_clamped_to_one() {
         assert_eq!(JobTable::new(0).max_in_flight(), 1);
+    }
+
+    #[test]
+    fn try_register_bounds_the_waiting_line() {
+        let table = JobTable::new(2);
+        // Two tickets waiting: the line is at its bound of 2.
+        let t0 = table.try_register(2).unwrap();
+        let _t1 = table.try_register(2).unwrap();
+        assert_eq!(table.try_register(2), Err(2), "waiting line over bound");
+        assert_eq!(table.try_register(0), Err(2), "max_queued == 0 refuses");
+        // Admitting t0 frees one waiting slot (admitted jobs do not count).
+        let g0 = table.admit(&t0);
+        let t2 = table.try_register(2).unwrap();
+        assert_eq!(t2.seq(), 2, "bounded tickets share the global order");
+        assert_eq!(table.try_register(2), Err(2));
+        drop(g0);
+        let s = table.stats();
+        assert_eq!((s.submitted, s.queued), (3, 2));
     }
 }

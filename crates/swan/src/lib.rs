@@ -36,7 +36,7 @@
 //! dependence edges are derived from spawn order, which is fixed by the
 //! program text.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 pub mod dataflow;

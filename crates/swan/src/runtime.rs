@@ -58,6 +58,8 @@ pub(crate) struct RtInner {
     /// it observes `idx >= target_workers` (see `worker_main`). Always in
     /// `1..=rings.len()`.
     target_workers: AtomicUsize,
+    /// Scopes currently open on this runtime (see [`Runtime::quiesce`]).
+    open_scopes: AtomicUsize,
     next_id: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -324,6 +326,7 @@ impl Runtime {
             sleeper: Sleeper::new(),
             metrics: Metrics::default(),
             target_workers: AtomicUsize::new(workers),
+            open_scopes: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
         });
@@ -414,6 +417,18 @@ impl Runtime {
     where
         F: FnOnce(&Scope<'env>) -> R,
     {
+        // Open-scope accounting for `quiesce`: the decrement lives in a
+        // drop guard so panicking scopes are counted out too, and it
+        // notifies the sleeper so a quiescing thread re-checks promptly.
+        struct OpenScope<'rt>(&'rt RtInner);
+        impl Drop for OpenScope<'_> {
+            fn drop(&mut self) {
+                self.0.open_scopes.fetch_sub(1, Ordering::SeqCst);
+                self.0.sleeper.notify_all();
+            }
+        }
+        self.inner.open_scopes.fetch_add(1, Ordering::SeqCst);
+        let _open = OpenScope(&self.inner);
         let root = Frame::new_root(self.inner.alloc_id());
         let scope = Scope::new(Arc::clone(&self.inner), Arc::clone(&root));
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
@@ -432,6 +447,42 @@ impl Runtime {
             }
             Err(payload) => panic::resume_unwind(payload),
         }
+    }
+
+    /// Scopes currently open on this runtime (jobs, in service terms).
+    pub fn open_scopes(&self) -> usize {
+        self.inner.open_scopes.load(Ordering::SeqCst)
+    }
+
+    /// Drains the runtime: blocks until every currently open
+    /// [`Runtime::scope`] has returned. This is the graceful-shutdown
+    /// primitive for persistent services (see [`Runtime::persistent`]):
+    /// stop submitting new work first (quiescing does not fence new
+    /// scopes), then `quiesce()` guarantees all in-flight jobs have fully
+    /// drained before the process tears the service down.
+    ///
+    /// The caller parks on the runtime's sleeper between checks, so
+    /// waiting costs nothing while jobs run.
+    pub fn quiesce(&self) {
+        while self.inner.open_scopes.load(Ordering::SeqCst) > 0 {
+            self.inner.sleeper.park(self.inner.config.park_timeout);
+        }
+    }
+
+    /// Bounded [`Runtime::quiesce`]: `true` if the runtime drained within
+    /// `timeout`, `false` if scopes were still open when it elapsed.
+    pub fn quiesce_timeout(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.inner.open_scopes.load(Ordering::SeqCst) > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner
+                .sleeper
+                .park((deadline - now).min(self.inner.config.park_timeout));
+        }
+        true
     }
 
     /// A snapshot of the scheduler counters.
@@ -685,6 +736,49 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(total.load(Ordering::SeqCst), 4 * 8 * 4);
+    }
+
+    #[test]
+    fn quiesce_waits_for_open_scopes() {
+        let rt = Arc::new(Runtime::with_workers(2));
+        assert_eq!(rt.open_scopes(), 0);
+        rt.quiesce(); // idle runtime: returns immediately
+        let release = Arc::new(AtomicBool::new(false));
+        let (rt2, release2) = (Arc::clone(&rt), Arc::clone(&release));
+        let worker = std::thread::spawn(move || {
+            rt2.scope(|s| {
+                s.spawn((), move |_, ()| {
+                    while !release2.load(Ordering::Acquire) {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                });
+            });
+        });
+        // The scope above is held open by its spinning task.
+        while rt.open_scopes() == 0 {
+            std::thread::yield_now();
+        }
+        assert!(
+            !rt.quiesce_timeout(std::time::Duration::from_millis(30)),
+            "quiesce must not report drained while a scope is open"
+        );
+        release.store(true, Ordering::Release);
+        rt.quiesce();
+        assert_eq!(rt.open_scopes(), 0);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn quiesce_counts_out_panicking_scopes() {
+        let rt = Runtime::with_workers(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.scope(|s| {
+                s.spawn((), |_, ()| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(rt.open_scopes(), 0, "panicked scope still counted open");
+        assert!(rt.quiesce_timeout(std::time::Duration::from_secs(1)));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   a **persistent** compiled graph by closed-loop clients: the
 //!   service-runtime workload (throughput + p50/p95/p99 job latency,
 //!   zero-allocation steady state)
+//! * [`wire`] — the job codecs that put the service workloads on the
+//!   `hqd` network-ingress protocol (see `pipelines::ingress`)
 //!
 //! Every workload is *algorithmically real* (the dedup output really
 //! round-trips; bzip2 really compresses via BWT+MTF+Huffman) but runs on
@@ -30,5 +32,6 @@ pub mod logstream;
 pub mod service;
 pub mod timing;
 pub mod util;
+pub mod wire;
 
 pub use timing::{StageClock, StageEntry};

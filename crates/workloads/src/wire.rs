@@ -1,0 +1,164 @@
+//! Wire codecs for the network ingress: how [`crate::service`] jobs
+//! travel over the `hqd` framed protocol.
+//!
+//! The ingress layer ([`pipelines::ingress`]) is payload-agnostic; these
+//! [`JobCodec`] implementations pin the byte formats for the two service
+//! workloads:
+//!
+//! * **submit payload** (both workloads): the job's input lines as
+//!   UTF-8, each **terminated** by `\n` (an empty payload is an empty
+//!   job; `"\n"` is a job of one empty line — termination rather than
+//!   joining keeps the encoding injective). Decoding is lenient about a
+//!   missing final `\n`. Invalid UTF-8 is rejected, which the server
+//!   surfaces as an `Error` frame.
+//! * **wordcount result**: one `word count\n` line per (word, count)
+//!   pair, in the graph's output order (sorted by word);
+//! * **logstream result**: one 16-digit lower-hex line per digest, in
+//!   serial order.
+//!
+//! Both encodings are injective on the graph output, so the protocol's
+//! byte-identical-responses guarantee reduces to the graphs' determinism
+//! guarantee. The `expected_*` helpers compute the exact bytes a job must
+//! come back as (via the serial elisions), which is what the load
+//! generator and the ingress tests verify responses against.
+
+use std::fmt::Write as _;
+
+use pipelines::ingress::JobCodec;
+
+use crate::service::{logstream_digest_serial, wordcount_serial};
+
+/// Encodes job input lines as a submit-frame payload: each line followed
+/// by `\n`. Terminating (not joining) makes the encoding injective —
+/// an empty job (`[]` → `""`) is distinguishable from a job of one empty
+/// line (`[""]` → `"\n"`).
+pub fn encode_lines(lines: &[String]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Decodes a submit-frame payload back into job input lines. Lenient
+/// about a missing final `\n` (hand-written clients), strict about
+/// UTF-8.
+pub fn decode_lines(payload: &[u8]) -> Result<Vec<String>, String> {
+    if payload.is_empty() {
+        return Ok(Vec::new());
+    }
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    let text = text.strip_suffix('\n').unwrap_or(text);
+    Ok(text.split('\n').map(str::to_string).collect())
+}
+
+/// Wire codec for the wordcount service
+/// ([`crate::service::wordcount_spec`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WordcountCodec;
+
+impl JobCodec for WordcountCodec {
+    type In = String;
+    type Out = (String, u64);
+
+    fn decode_job(&self, payload: &[u8]) -> Result<Vec<String>, String> {
+        decode_lines(payload)
+    }
+
+    fn encode_result(&self, out: &[(String, u64)], buf: &mut Vec<u8>) {
+        let mut text = String::new();
+        for (word, count) in out {
+            let _ = writeln!(text, "{word} {count}");
+        }
+        buf.extend_from_slice(text.as_bytes());
+    }
+}
+
+/// Wire codec for the logstream-digest service
+/// ([`crate::service::logstream_digest_spec`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LogstreamCodec;
+
+impl JobCodec for LogstreamCodec {
+    type In = String;
+    type Out = u64;
+
+    fn decode_job(&self, payload: &[u8]) -> Result<Vec<String>, String> {
+        decode_lines(payload)
+    }
+
+    fn encode_result(&self, out: &[u64], buf: &mut Vec<u8>) {
+        let mut text = String::new();
+        for digest in out {
+            let _ = writeln!(text, "{digest:016x}");
+        }
+        buf.extend_from_slice(text.as_bytes());
+    }
+}
+
+/// The exact result bytes a wordcount job over `lines` must produce
+/// (serial elision, then [`WordcountCodec::encode_result`]).
+pub fn expected_wordcount_bytes(lines: &[String]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    WordcountCodec.encode_result(&wordcount_serial(lines), &mut buf);
+    buf
+}
+
+/// The exact result bytes a logstream-digest job over `lines` must
+/// produce at the given `parse_work` setting.
+pub fn expected_logstream_bytes(lines: &[String], parse_work: u32) -> Vec<u8> {
+    let mut buf = Vec::new();
+    LogstreamCodec.encode_result(&logstream_digest_serial(lines, parse_work), &mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{job_lines, ServiceWorkloadConfig};
+
+    #[test]
+    fn line_payloads_roundtrip() {
+        let lines: Vec<String> = ["alpha bravo", "", "charlie"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(decode_lines(&encode_lines(&lines)).unwrap(), lines);
+        // The encoding is injective on the edge cases: an empty job and a
+        // job of one empty line are different jobs with different bytes.
+        assert_eq!(encode_lines(&[]), b"");
+        assert_eq!(encode_lines(&["".to_string()]), b"\n");
+        assert_eq!(decode_lines(b"").unwrap(), Vec::<String>::new());
+        assert_eq!(decode_lines(b"\n").unwrap(), vec![String::new()]);
+        // Lenient decode: a missing final newline still parses.
+        assert_eq!(decode_lines(b"alpha\nbravo").unwrap(), ["alpha", "bravo"]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected_not_mangled() {
+        let err = WordcountCodec.decode_job(&[0xFF, 0xFE, b'a']).unwrap_err();
+        assert!(err.contains("UTF-8"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn expected_bytes_match_the_serial_elision_encodings() {
+        let cfg = ServiceWorkloadConfig::small();
+        let lines = job_lines(&cfg, 3);
+        let wc = expected_wordcount_bytes(&lines);
+        let text = String::from_utf8(wc).expect("wordcount results are UTF-8");
+        // One "word count" pair per line, sorted by word.
+        let words: Vec<&str> = text
+            .lines()
+            .map(|l| l.split_once(' ').expect("word count").0)
+            .collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        assert_eq!(words, sorted, "wordcount output must be word-sorted");
+
+        let ls = expected_logstream_bytes(&lines, 7);
+        let text = String::from_utf8(ls).expect("digests are UTF-8");
+        assert_eq!(text.lines().count(), lines.len());
+        assert!(text.lines().all(|l| l.len() == 16));
+    }
+}

@@ -1,0 +1,71 @@
+//! Network ingress round trip, fully offline: bind an `IngressServer` on
+//! a loopback socket, speak the framed protocol to it with
+//! `IngressClient`, and watch backpressure and stats frames work.
+//!
+//! Run with: `cargo run --release --example ingress`
+//!
+//! This is the in-process version of the `hqd` + `ingress_load` pair the
+//! README quickstart shows; the wire bytes are identical.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pipelines::graph::ServiceConfig;
+use pipelines::ingress::{IngressClient, IngressConfig, IngressServer, JobOutcome};
+use swan::Runtime;
+use workloads::service::{job_lines, wordcount_spec, ServiceWorkloadConfig};
+use workloads::wire::{encode_lines, expected_wordcount_bytes, WordcountCodec};
+
+fn main() {
+    // Server side: a persistent wordcount graph behind a TCP front door.
+    let rt = Arc::new(Runtime::with_workers(2));
+    let graph = Arc::new(wordcount_spec(3, 16).compile(
+        Arc::clone(&rt),
+        ServiceConfig {
+            max_in_flight: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = IngressServer::bind(
+        "127.0.0.1:0", // port 0: the OS picks; real deployments pin one
+        graph,
+        Arc::new(WordcountCodec),
+        IngressConfig::default(),
+    )
+    .expect("bind loopback");
+    println!("serving wordcount on {}", server.local_addr());
+
+    // Client side: submit a handful of jobs and check every response
+    // against its serial elision — the bytes must match exactly.
+    let cfg = ServiceWorkloadConfig::small();
+    let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+    for j in 0..8usize {
+        let lines = job_lines(&cfg, j);
+        let outcome = client
+            .submit_and_wait(j as u64, &encode_lines(&lines), Duration::from_micros(200))
+            .expect("transport");
+        match outcome {
+            JobOutcome::Result(bytes) => {
+                assert_eq!(bytes, expected_wordcount_bytes(&lines));
+                let text = String::from_utf8(bytes).expect("utf8");
+                let first = text.lines().next().unwrap_or("<empty>");
+                println!(
+                    "job {j}: {} distinct words, first: {first}",
+                    text.lines().count()
+                );
+            }
+            JobOutcome::Failed(msg) => panic!("job {j} failed: {msg}"),
+        }
+    }
+
+    // The protocol also exposes a stats snapshot.
+    println!("server stats: {}", client.stats(99).expect("stats"));
+
+    // Graceful teardown: drain accepted jobs, then quiesce the runtime.
+    let stats = server.shutdown();
+    rt.quiesce();
+    println!(
+        "drained: {} jobs accepted, {} completed, {} bytes out",
+        stats.jobs_accepted, stats.jobs_completed, stats.bytes_out
+    );
+}

@@ -1,0 +1,162 @@
+//! `hqd` — the hyperqueue service daemon.
+//!
+//! Fronts a persistent [`pipelines::service::CompiledGraph`] with the TCP
+//! ingress protocol (`pipelines::ingress`; frame layout in the README's
+//! "Network ingress" section). Submit jobs with any protocol client —
+//! `ingress_load` in the bench crate is the closed-loop load generator.
+//!
+//! ```text
+//! hqd [--addr 127.0.0.1:7171] [--workload wordcount|logstream]
+//!     [--workers N]          0 (default) = persistent(): one per core, elastic
+//!     [--max-in-flight N]    admission bound, default 4
+//!     [--max-queued N]       accepted-but-waiting bound, default 64 (then RETRY)
+//!     [--degree N]           fan-out/shard degree inside each job, default 4
+//!     [--run-secs N]         serve for N seconds, then drain and exit;
+//!                            0 (default) = serve until stdin closes or
+//!                            a "quit" line arrives
+//! ```
+//!
+//! Shutdown is always graceful: stop accepting, finish every accepted
+//! job, drain the dispatchers, quiesce the runtime, then exit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pipelines::graph::ServiceConfig;
+use pipelines::ingress::{IngressConfig, IngressServer};
+use swan::Runtime;
+use workloads::service::{logstream_digest_spec, wordcount_spec};
+use workloads::wire::{LogstreamCodec, WordcountCodec};
+
+const KNOWN_FLAGS: [&str; 7] = [
+    "--addr",
+    "--workload",
+    "--workers",
+    "--max-in-flight",
+    "--max-queued",
+    "--degree",
+    "--run-secs",
+];
+
+/// Rejects unknown flags and flags without values up front: a daemon
+/// that silently ignores a misspelled option starts with a configuration
+/// the operator did not ask for.
+fn validate_args(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let tok = args[i].as_str();
+        if !KNOWN_FLAGS.contains(&tok) {
+            eprintln!("hqd: unknown argument {tok} (expected one of {KNOWN_FLAGS:?})");
+            std::process::exit(2);
+        }
+        if args.get(i + 1).is_none() {
+            eprintln!("hqd: {tok} requires a value");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+}
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_usize(args: &[String], key: &str, default: usize) -> usize {
+    match flag(args, key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("hqd: {key} expects a non-negative integer, got {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    validate_args(&args);
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let workload = flag(&args, "--workload").unwrap_or_else(|| "wordcount".to_string());
+    let workers = flag_usize(&args, "--workers", 0);
+    let max_in_flight = flag_usize(&args, "--max-in-flight", 4);
+    let max_queued = flag_usize(&args, "--max-queued", 64);
+    let degree = flag_usize(&args, "--degree", 4);
+    let run_secs = flag_usize(&args, "--run-secs", 0);
+
+    let rt = Arc::new(if workers == 0 {
+        Runtime::persistent()
+    } else {
+        Runtime::with_workers(workers)
+    });
+    let service_cfg = ServiceConfig {
+        max_in_flight,
+        ..ServiceConfig::default()
+    };
+    let ingress_cfg = IngressConfig {
+        max_queued,
+        ..IngressConfig::default()
+    };
+
+    // The graph type differs per workload, so each arm owns its server.
+    let server = match workload.as_str() {
+        "wordcount" => {
+            let graph = Arc::new(wordcount_spec(degree, 32).compile(Arc::clone(&rt), service_cfg));
+            IngressServer::bind(&addr, graph, Arc::new(WordcountCodec), ingress_cfg)
+        }
+        "logstream" => {
+            let graph = Arc::new(
+                logstream_digest_spec(degree, 32, 40).compile(Arc::clone(&rt), service_cfg),
+            );
+            IngressServer::bind(&addr, graph, Arc::new(LogstreamCodec), ingress_cfg)
+        }
+        other => {
+            eprintln!("hqd: unknown --workload {other} (wordcount|logstream)");
+            std::process::exit(2);
+        }
+    };
+    let server = match server {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hqd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "hqd: serving {workload} on {} ({} workers, max_in_flight {max_in_flight}, \
+         max_queued {max_queued})",
+        server.local_addr(),
+        rt.active_workers(),
+    );
+
+    if run_secs > 0 {
+        std::thread::sleep(Duration::from_secs(run_secs as u64));
+    } else {
+        // Serve until stdin closes (or says "quit"): the daemon shape that
+        // still shuts down gracefully under `cmd | hqd` and in terminals.
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) => break, // EOF
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    println!("hqd: draining…");
+    let stats = server.shutdown();
+    rt.quiesce();
+    println!(
+        "hqd: drained. connections {}, jobs accepted {}, completed {}, \
+         retries {}, protocol errors {}",
+        stats.connections,
+        stats.jobs_accepted,
+        stats.jobs_completed,
+        stats.retries_sent,
+        stats.protocol_errors,
+    );
+}

@@ -1,0 +1,109 @@
+//! Every `DESIGN.md §N` citation in the source tree must resolve to a
+//! real section heading in DESIGN.md — documentation that drifts from
+//! the code is worse than none.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                rust_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Section ids (`2`, `3.1`, …) cited as `DESIGN.md §id` in `text`.
+fn cited_sections(text: &str) -> Vec<String> {
+    const NEEDLE: &str = "DESIGN.md §";
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(NEEDLE) {
+        rest = &rest[pos + NEEDLE.len()..];
+        let id: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        let id = id.trim_end_matches('.').to_string();
+        if !id.is_empty() {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Section ids declared by DESIGN.md's headings. A heading declares `id`
+/// when it contains `§id` not followed by another digit or dot (so a
+/// `§3.1` heading does not declare `§3`).
+fn declared_sections(design: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in design.lines() {
+        if !line.starts_with('#') {
+            continue;
+        }
+        for id in cited_sections(&line.replace('§', "DESIGN.md §")) {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+#[test]
+fn every_design_citation_resolves_to_a_heading() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md"))
+        .expect("DESIGN.md must exist at the repository root");
+    let declared = declared_sections(&design);
+    assert!(
+        !declared.is_empty(),
+        "DESIGN.md must declare §-numbered section headings"
+    );
+
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "examples", "tests"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    assert!(files.len() > 50, "source walk looks broken: {files:?}");
+
+    let mut missing = Vec::new();
+    let mut citations = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable source file");
+        for id in cited_sections(&text) {
+            citations += 1;
+            if !declared.contains(&id) {
+                missing.push(format!("{} cites DESIGN.md §{id}", file.display()));
+            }
+        }
+    }
+    assert!(
+        citations >= 5,
+        "expected several DESIGN.md citations in the tree"
+    );
+    assert!(
+        missing.is_empty(),
+        "unresolved DESIGN.md citations (headings declared: {declared:?}):\n{}",
+        missing.join("\n")
+    );
+}
+
+#[test]
+fn section_parsers_behave() {
+    assert_eq!(
+        cited_sections("see DESIGN.md §3.1 and DESIGN.md §2; also DESIGN.md §6.3."),
+        vec!["3.1", "2", "6.3"]
+    );
+    assert_eq!(
+        cited_sections("plain DESIGN.md mention"),
+        Vec::<String>::new()
+    );
+    let declared = declared_sections("## §2 · Views\n### §3.1 · Rings\nnope\n# intro\n");
+    assert!(declared.contains("2") && declared.contains("3.1"));
+    assert!(!declared.contains("3"), "§3.1 must not declare §3");
+}

@@ -1,0 +1,383 @@
+//! Ingress failure modes and end-to-end determinism over real sockets.
+//!
+//! Everything here runs against a live `IngressServer` on a loopback
+//! socket: malformed/oversized frame rejection, undecodable payloads,
+//! admission-full RETRY backpressure, clients that vanish mid-job,
+//! graceful shutdown draining, and byte-identical responses across
+//! worker counts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pipelines::graph::{GraphSpec, ServiceConfig};
+use pipelines::ingress::{
+    FrameKind, IngressClient, IngressConfig, IngressServer, JobCodec, JobOutcome,
+};
+use swan::Runtime;
+use workloads::service::{job_lines, logstream_digest_spec, wordcount_spec, ServiceWorkloadConfig};
+use workloads::wire::{
+    decode_lines, encode_lines, expected_wordcount_bytes, LogstreamCodec, WordcountCodec,
+};
+
+const BACKOFF: Duration = Duration::from_micros(200);
+
+fn wordcount_server(workers: usize, cfg: IngressConfig) -> (Arc<Runtime>, IngressServer) {
+    let rt = Arc::new(Runtime::with_workers(workers));
+    let graph = Arc::new(wordcount_spec(3, 16).compile(
+        Arc::clone(&rt),
+        ServiceConfig {
+            max_in_flight: 2,
+            segment_capacity: 16,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server =
+        IngressServer::bind("127.0.0.1:0", graph, Arc::new(WordcountCodec), cfg).expect("bind");
+    (rt, server)
+}
+
+/// Line-echo codec over a configurable-latency graph: the test harness
+/// for admission and disconnect scenarios.
+struct EchoCodec;
+
+impl JobCodec for EchoCodec {
+    type In = String;
+    type Out = String;
+    fn decode_job(&self, payload: &[u8]) -> Result<Vec<String>, String> {
+        decode_lines(payload)
+    }
+    fn encode_result(&self, out: &[String], buf: &mut Vec<u8>) {
+        buf.extend_from_slice(encode_lines(out).as_slice());
+    }
+}
+
+/// An echo service whose jobs block while their line says "block" and the
+/// gate is closed; returns (runtime, server, gate).
+fn gated_echo_server(
+    max_in_flight: usize,
+    max_queued: usize,
+) -> (Arc<Runtime>, IngressServer, Arc<AtomicBool>) {
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate2 = Arc::clone(&gate);
+    let rt = Arc::new(Runtime::with_workers(2));
+    let graph = Arc::new(
+        GraphSpec::<String, String>::new()
+            .map(move |line: String| {
+                while line == "block" && !gate2.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                line
+            })
+            .compile(
+                Arc::clone(&rt),
+                ServiceConfig {
+                    max_in_flight,
+                    ..ServiceConfig::default()
+                },
+            ),
+    );
+    let server = IngressServer::bind(
+        "127.0.0.1:0",
+        graph,
+        Arc::new(EchoCodec),
+        IngressConfig {
+            max_queued,
+            ..IngressConfig::default()
+        },
+    )
+    .expect("bind");
+    (rt, server, gate)
+}
+
+fn poll_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+#[test]
+fn malformed_frame_gets_error_then_close_and_server_survives() {
+    let (_rt, server) = wordcount_server(2, IngressConfig::default());
+    let addr = server.local_addr();
+    let mut bad = IngressClient::connect(addr).unwrap();
+    // A syntactically valid frame with an unassigned kind byte.
+    let mut wire = vec![];
+    wire.extend_from_slice(&9u32.to_le_bytes());
+    wire.push(0xEE);
+    wire.extend_from_slice(&1u64.to_le_bytes());
+    bad.send_raw(&wire).unwrap();
+    let err = bad.recv().expect("error frame before close");
+    assert_eq!((err.kind, err.req_id), (FrameKind::Error, 0));
+    assert!(String::from_utf8_lossy(&err.body).contains("protocol error"));
+    assert!(bad.recv().is_err(), "connection must close after the error");
+    // The daemon itself is unharmed: a fresh client completes a job.
+    let mut ok = IngressClient::connect(addr).unwrap();
+    let lines = vec!["alpha bravo alpha".to_string()];
+    match ok
+        .submit_and_wait(7, &encode_lines(&lines), BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Result(bytes) => assert_eq!(bytes, expected_wordcount_bytes(&lines)),
+        JobOutcome::Failed(m) => panic!("job failed: {m}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+#[test]
+fn oversized_and_truncated_frames_are_rejected() {
+    let (_rt, server) = wordcount_server(
+        1,
+        IngressConfig {
+            max_frame_len: 64,
+            ..IngressConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    // Oversized: a submit whose len field exceeds the 64-byte cap.
+    let mut big = IngressClient::connect(addr).unwrap();
+    big.submit(1, &[b'x'; 500]).unwrap();
+    let err = big.recv().expect("oversized must be reported");
+    assert_eq!((err.kind, err.req_id), (FrameKind::Error, 0));
+    assert!(big.recv().is_err(), "connection must close");
+    // Truncated: a len field smaller than the fixed kind+req_id part.
+    let mut short = IngressClient::connect(addr).unwrap();
+    short.send_raw(&3u32.to_le_bytes()).unwrap();
+    let err = short.recv().expect("truncated must be reported");
+    assert_eq!(err.kind, FrameKind::Error);
+    assert!(short.recv().is_err(), "connection must close");
+    assert_eq!(server.shutdown().protocol_errors, 2);
+}
+
+#[test]
+fn undecodable_payload_errors_but_keeps_the_connection() {
+    let (_rt, server) = wordcount_server(2, IngressConfig::default());
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    client.submit(3, &[0xFF, 0xFE, 0x00]).unwrap(); // not UTF-8
+    let err = client.recv().unwrap();
+    assert_eq!((err.kind, err.req_id), (FrameKind::Error, 3));
+    assert!(String::from_utf8_lossy(&err.body).contains("bad job payload"));
+    // Same connection, next request: still served.
+    let lines = vec!["charlie delta charlie".to_string()];
+    match client
+        .submit_and_wait(4, &encode_lines(&lines), BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Result(bytes) => assert_eq!(bytes, expected_wordcount_bytes(&lines)),
+        JobOutcome::Failed(m) => panic!("job failed: {m}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "payload errors are not protocol errors"
+    );
+    assert!(stats.errors_sent >= 1);
+}
+
+#[test]
+fn oversized_result_degrades_to_a_job_error() {
+    // Logstream expands each input line into a 17-byte hex digest line,
+    // so a submit can fit the frame limit while its result does not. The
+    // server must answer with an Error, not an oversized frame.
+    let rt = Arc::new(Runtime::with_workers(2));
+    let graph =
+        Arc::new(logstream_digest_spec(2, 8, 0).compile(Arc::clone(&rt), ServiceConfig::default()));
+    let server = IngressServer::bind(
+        "127.0.0.1:0",
+        graph,
+        Arc::new(LogstreamCodec),
+        IngressConfig {
+            max_frame_len: 32,
+            ..IngressConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    // Three 1-char lines: 15-byte submit frame, 51-byte result body.
+    client.submit(1, b"a\nb\nc\n").unwrap();
+    let r = client.recv().unwrap();
+    assert_eq!((r.kind, r.req_id), (FrameKind::Error, 1));
+    assert!(String::from_utf8_lossy(&r.body).contains("result too large"));
+    // One line (17-byte result body) fits: the connection still serves.
+    client.submit(2, b"a\n").unwrap();
+    let r = client.recv().unwrap();
+    assert_eq!((r.kind, r.req_id), (FrameKind::Result, 2));
+    assert_eq!(r.body.len(), 17);
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_accepted, stats.jobs_completed);
+}
+
+#[test]
+fn admission_full_turns_into_retry_frames() {
+    let (_rt, server, gate) = gated_echo_server(1, 1);
+    let addr = server.local_addr();
+    let mut a = IngressClient::connect(addr).unwrap();
+    let mut probe = IngressClient::connect(addr).unwrap();
+    // Occupy the single in-flight slot…
+    a.submit(0, b"block").unwrap();
+    assert!(
+        poll_until(Duration::from_secs(5), || probe
+            .stats(90)
+            .unwrap()
+            .contains("\"in_flight\": 1")),
+        "blocker never admitted"
+    );
+    // …and the single waiting slot.
+    a.submit(1, b"queued").unwrap();
+    assert!(
+        poll_until(Duration::from_secs(5), || probe
+            .stats(91)
+            .unwrap()
+            .contains("\"queued\": 1")),
+        "second job never queued"
+    );
+    // The line is full: an independent connection gets explicit RETRY.
+    let mut b = IngressClient::connect(addr).unwrap();
+    b.submit(5, b"rejected").unwrap();
+    let retry = b.recv().unwrap();
+    assert_eq!((retry.kind, retry.req_id), (FrameKind::Retry, 5));
+    assert_eq!(u32::from_le_bytes(retry.body[..4].try_into().unwrap()), 1);
+    // Open the gate: everything drains, in submission order per connection.
+    gate.store(true, Ordering::Release);
+    let r0 = a.recv().unwrap();
+    assert_eq!(
+        (r0.kind, r0.req_id, r0.body.as_slice()),
+        (FrameKind::Result, 0, b"block\n".as_slice())
+    );
+    let r1 = a.recv().unwrap();
+    assert_eq!(
+        (r1.kind, r1.req_id, r1.body.as_slice()),
+        (FrameKind::Result, 1, b"queued\n".as_slice())
+    );
+    // And the refused client succeeds on resubmission.
+    match b.submit_and_wait(6, b"rejected", BACKOFF).unwrap() {
+        JobOutcome::Result(bytes) => assert_eq!(bytes, b"rejected\n"),
+        JobOutcome::Failed(m) => panic!("{m}"),
+    }
+    let stats = server.shutdown();
+    assert!(stats.retries_sent >= 1);
+    assert_eq!(stats.jobs_accepted, stats.jobs_completed);
+}
+
+#[test]
+fn client_disconnect_mid_job_still_drains_the_job() {
+    let (_rt, server, gate) = gated_echo_server(2, 8);
+    let addr = server.local_addr();
+    {
+        let mut doomed = IngressClient::connect(addr).unwrap();
+        doomed.submit(0, b"block").unwrap();
+        // Wait until the job is truly accepted, then vanish.
+        let mut probe = IngressClient::connect(addr).unwrap();
+        assert!(
+            poll_until(Duration::from_secs(5), || probe
+                .stats(1)
+                .unwrap()
+                .contains("\"jobs_accepted\": 1")),
+            "job never accepted"
+        );
+    } // both sockets drop here, job still running
+    gate.store(true, Ordering::Release);
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            let s = server.stats();
+            s.jobs_completed == s.jobs_accepted && s.jobs_accepted >= 1
+        }),
+        "abandoned job did not drain: {:?}",
+        server.stats()
+    );
+    // No worker/dispatcher leaked: the service still serves new clients.
+    let mut next = IngressClient::connect(addr).unwrap();
+    match next.submit_and_wait(9, b"hello", BACKOFF).unwrap() {
+        JobOutcome::Result(bytes) => assert_eq!(bytes, b"hello\n"),
+        JobOutcome::Failed(m) => panic!("{m}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_accepted_jobs_and_answers_them() {
+    let (rt, server, gate) = gated_echo_server(2, 16);
+    gate.store(true, Ordering::Release); // jobs run at full speed
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    for j in 0..5u64 {
+        client.submit(j, format!("job-{j}").as_bytes()).unwrap();
+    }
+    assert!(
+        poll_until(Duration::from_secs(5), || server.stats().jobs_accepted == 5),
+        "submits not all accepted before shutdown"
+    );
+    let stats = server.shutdown();
+    assert_eq!(
+        (stats.jobs_accepted, stats.jobs_completed),
+        (5, 5),
+        "graceful shutdown must drain accepted jobs"
+    );
+    // The responses were written before the server closed the socket.
+    for j in 0..5u64 {
+        let r = client.recv().expect("drained response");
+        assert_eq!((r.kind, r.req_id), (FrameKind::Result, j));
+        assert_eq!(r.body, format!("job-{j}\n").into_bytes());
+    }
+    assert!(client.recv().is_err(), "socket closed after the drain");
+    rt.quiesce();
+    assert_eq!(rt.open_scopes(), 0);
+}
+
+#[test]
+fn responses_are_byte_identical_across_1_2_8_workers() {
+    let cfg = ServiceWorkloadConfig::small();
+    let jobs = 24usize;
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for workers in [1usize, 2, 8] {
+        let (rt, server) = wordcount_server(workers, IngressConfig::default());
+        let addr = server.local_addr();
+        // Two concurrent connections splitting the job range.
+        let responses: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let cfg = &cfg;
+            let handles: Vec<_> = (0..2)
+                .map(|half| {
+                    s.spawn(move || {
+                        let mut client = IngressClient::connect(addr).unwrap();
+                        let mut out = Vec::new();
+                        for j in (0..jobs).filter(|j| j % 2 == half) {
+                            let payload = encode_lines(&job_lines(cfg, j));
+                            match client.submit_and_wait(j as u64, &payload, BACKOFF).unwrap() {
+                                JobOutcome::Result(bytes) => out.push((j, bytes)),
+                                JobOutcome::Failed(m) => panic!("job {j}: {m}"),
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut all: Vec<(usize, Vec<u8>)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_by_key(|(j, _)| *j);
+            all.into_iter().map(|(_, b)| b).collect()
+        });
+        for (j, bytes) in responses.iter().enumerate() {
+            assert_eq!(
+                bytes,
+                &expected_wordcount_bytes(&job_lines(&cfg, j)),
+                "job {j} at {workers} workers diverged from its serial elision"
+            );
+        }
+        match &reference {
+            None => reference = Some(responses),
+            Some(r) => assert_eq!(
+                r, &responses,
+                "responses at {workers} workers differ from the 1-worker bytes"
+            ),
+        }
+        server.shutdown();
+        rt.quiesce();
+    }
+}
