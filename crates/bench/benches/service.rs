@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, Criterion};
+use pipelines::Admission;
 use swan::Runtime;
 use workloads::service::{
     build_wordcount_service, job_lines, run_logstream_service, run_wordcount_service,
@@ -31,7 +32,10 @@ fn bench_service(c: &mut Criterion) {
     let cfg = sized_config();
     let rt = Arc::new(Runtime::with_workers(4));
     let graph = build_wordcount_service(Arc::clone(&rt), &cfg);
-    graph.run_job(job_lines(&cfg, 0)).join(); // instantiate edges
+    graph
+        .submit(job_lines(&cfg, 0), Admission::Unbounded)
+        .expect_accepted()
+        .join(); // instantiate edges
     graph.prewarm(cfg.prewarm_depth());
     let lines = job_lines(&cfg, 1);
     let expect = wordcount_serial(&lines);
@@ -39,7 +43,10 @@ fn bench_service(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("wordcount_warm_job", |b| {
         b.iter(|| {
-            let out = graph.run_job(lines.clone()).join();
+            let out = graph
+                .submit(lines.clone(), Admission::Unbounded)
+                .expect_accepted()
+                .join();
             assert_eq!(out.len(), expect.len());
             out
         })

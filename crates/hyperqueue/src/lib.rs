@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn determinism_under_chaos_scheduling() {
         for seed in 0..5u64 {
-            let rt = Runtime::new(RuntimeConfig::with_workers(8).with_chaos(seed, 80));
+            let rt = Runtime::new(RuntimeConfig::new().workers(8).with_chaos(seed, 80));
             let mut out = Vec::new();
             let out_ref = &mut out;
             rt.scope(move |s| {

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use crate::segment::Segment;
+use crate::state::QueueStats;
 
 /// Counters reported by [`SegmentPool::stats`]. `hits`/`misses`/`returned`
 /// are monotonic; `available` is the instantaneous pool depth.
@@ -54,6 +55,11 @@ pub struct SegmentPool<T> {
     hits: AtomicU64,
     misses: AtomicU64,
     returned: AtomicU64,
+    /// Lifetime [`QueueStats`] totals absorbed from every retired queue
+    /// that drew from this pool (a queue's own counters die with it, so
+    /// the pool is where the service layer accumulates the history of
+    /// its edge).
+    retired: Mutex<QueueStats>,
 }
 
 // SAFETY: the raw segment pointers are owned by the pool while parked in
@@ -74,7 +80,22 @@ impl<T> SegmentPool<T> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             returned: AtomicU64::new(0),
+            retired: Mutex::new(QueueStats::default()),
         }
+    }
+
+    /// Folds a retired queue's final counters into the pool's lifetime
+    /// totals (called from the queue's drop path).
+    pub(crate) fn absorb(&self, stats: &QueueStats) {
+        self.retired.lock().merge(stats);
+    }
+
+    /// [`QueueStats`] totals accumulated across every queue that retired
+    /// into this pool. On a compiled service graph this is the lifetime
+    /// fast-path history of one edge (live queues report through
+    /// [`crate::Hyperqueue::stats`] until they drop).
+    pub fn retired_queue_stats(&self) -> QueueStats {
+        *self.retired.lock()
     }
 
     /// Capacity (values per segment) of every segment in this pool.

@@ -131,6 +131,16 @@ impl<T: Send + 'static> QueueInner<T> {
     }
 }
 
+impl<T: Send + 'static> Drop for QueueInner<T> {
+    fn drop(&mut self) {
+        // The fast-path counters live here (outside the state mutex) and
+        // die with this value: compose them with the state's counters and
+        // hand the total to the shared pool before the state drops.
+        let fast = self.fast.snapshot();
+        self.state.get_mut().absorb_stats_into_pool(fast);
+    }
+}
+
 /// Wakes the runtime after a publication — unless no consumer of this
 /// queue is blocked, or no worker is parked at all. Suppressed wakeups
 /// are counted.

@@ -124,6 +124,23 @@ pub struct QueueStats {
     pub notifies_suppressed: u64,
 }
 
+impl QueueStats {
+    /// Adds `other`'s counters into `self`, field by field. Used to
+    /// accumulate totals across queues — per-edge lifetime history in
+    /// [`crate::SegmentPool::retired_queue_stats`], and cross-edge sums in
+    /// the service layer's consolidated stats snapshot.
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.segments_allocated += other.segments_allocated;
+        self.segments_recycled += other.segments_recycled;
+        self.freelist_hits += other.freelist_hits;
+        self.head_attaches += other.head_attaches;
+        self.pool_draws += other.pool_draws;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.chain_advances += other.chain_advances;
+        self.notifies_suppressed += other.notifies_suppressed;
+    }
+}
+
 /// Result of a consumer-side probe.
 pub(crate) enum Probe<T> {
     /// A value was popped; the new head segment is returned for caching.
@@ -693,6 +710,21 @@ impl<T> QueueState<T> {
 
     #[cfg(not(debug_assertions))]
     pub(crate) fn debug_validate(&self) {}
+}
+
+impl<T> QueueState<T> {
+    /// End-of-life stats handoff: folds this queue's final counters
+    /// (mutex-guarded ones from `self.stats`, the fast-path trio passed
+    /// in by the owner) into the shared pool's lifetime totals, so the
+    /// service layer can still observe an edge's history after its
+    /// queues retire. No-op for unpooled queues.
+    pub(crate) fn absorb_stats_into_pool(&mut self, fast: (u64, u64, u64)) {
+        if let Some(pool) = &self.pool {
+            let mut s = self.stats;
+            (s.lock_acquisitions, s.chain_advances, s.notifies_suppressed) = fast;
+            pool.absorb(&s);
+        }
+    }
 }
 
 impl<T> Drop for QueueState<T> {

@@ -71,7 +71,10 @@ use swan::Scope;
 use crate::reorder::ReorderBuffer;
 use crate::service::PoolCursor;
 
-pub use crate::service::{CompiledGraph, GraphSpec, JobError, JobHandle, ServiceConfig};
+pub use crate::service::{
+    Admission, CompiledGraph, GraphSpec, JobError, JobHandle, SchedulerStats, ServiceConfig,
+    Submission,
+};
 
 /// Default segment capacity for graph edges — small enough that short
 /// property-test streams cross segment boundaries, large enough to batch.

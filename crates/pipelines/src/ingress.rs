@@ -67,7 +67,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::service::{CompiledGraph, JobHandle, SubmitError};
+use crate::service::{Admission, CompiledGraph, JobHandle, Submission};
 
 /// Default cap on a single frame's `len` field (8 MiB).
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
@@ -596,28 +596,30 @@ fn handle_frame<C: JobCodec>(
 ) -> bool {
     let reply = match frame.kind {
         FrameKind::Submit => match shared.codec.decode_job(&frame.body) {
-            Ok(input) => match shared
-                .graph
-                .try_run_job(input, shared.cfg.max_queued.max(1))
-            {
-                Ok(handle) => {
-                    shared
-                        .counters
-                        .jobs_accepted
-                        .fetch_add(1, Ordering::Relaxed);
-                    Reply::Job {
-                        req_id: frame.req_id,
-                        handle,
+            Ok(input) => {
+                let admission = Admission::Bounded {
+                    max_queued: shared.cfg.max_queued.max(1),
+                };
+                match shared.graph.submit(input, admission) {
+                    Submission::Accepted(handle) => {
+                        shared
+                            .counters
+                            .jobs_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        Reply::Job {
+                            req_id: frame.req_id,
+                            handle,
+                        }
+                    }
+                    Submission::Rejected { depth, .. } => {
+                        shared.counters.retries_sent.fetch_add(1, Ordering::Relaxed);
+                        Reply::Retry {
+                            req_id: frame.req_id,
+                            queued: depth.min(u32::MAX as usize) as u32,
+                        }
                     }
                 }
-                Err(SubmitError::Busy { queued, .. }) => {
-                    shared.counters.retries_sent.fetch_add(1, Ordering::Relaxed);
-                    Reply::Retry {
-                        req_id: frame.req_id,
-                        queued: queued.min(u32::MAX as usize) as u32,
-                    }
-                }
-            },
+            }
             Err(msg) => Reply::Error {
                 req_id: frame.req_id,
                 message: format!("bad job payload: {msg}"),
@@ -650,10 +652,15 @@ fn handle_frame<C: JobCodec>(
 fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
     let js = shared.graph.job_stats();
     let is = shared.counters.snapshot();
+    let ss = shared.graph.scheduler_stats();
     format!(
         "{{\"in_flight\": {}, \"queued\": {}, \"submitted\": {}, \"completed\": {}, \
          \"max_in_flight\": {}, \"jobs_accepted\": {}, \"jobs_completed\": {}, \
-         \"retries_sent\": {}, \"connections\": {}}}",
+         \"retries_sent\": {}, \"connections\": {}, \
+         \"tasks_executed\": {}, \"steals\": {}, \"steal_batch_items\": {}, \
+         \"steal_failures\": {}, \"parks\": {}, \
+         \"edge_lock_acquisitions\": {}, \"edge_pool_draws\": {}, \
+         \"segments_allocated\": {}, \"segments_pooled\": {}}}",
         js.in_flight,
         js.queued,
         js.submitted,
@@ -663,6 +670,15 @@ fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
         is.jobs_completed,
         is.retries_sent,
         is.connections,
+        ss.sched.tasks_executed,
+        ss.sched.steals,
+        ss.sched.steal_batch_items,
+        ss.sched.steal_failures,
+        ss.sched.parks,
+        ss.queues.lock_acquisitions,
+        ss.queues.pool_draws,
+        ss.storage.segments_allocated,
+        ss.storage.segments_pooled,
     )
 }
 

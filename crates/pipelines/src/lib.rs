@@ -44,7 +44,8 @@ pub use graph::{Fanout, GraphBuilder, Node, Partition, Shards};
 pub use ingress::{IngressClient, IngressConfig, IngressServer, IngressStats, JobCodec};
 pub use reorder::{ReorderBuffer, ReorderQueue};
 pub use service::{
-    CompiledGraph, GraphSpec, JobError, JobHandle, ServiceConfig, ServiceStorageStats, SubmitError,
+    Admission, CompiledGraph, GraphSpec, JobError, JobHandle, SchedulerStats, ServiceConfig,
+    ServiceStorageStats, Submission, SubmitError,
 };
 pub use spsc::{spsc, SpscReceiver, SpscRing, SpscSender};
 pub use tbb::{Item, TbbPipeline};

@@ -7,12 +7,14 @@
 //! [`GraphSpec::compile`] turns it into a [`CompiledGraph`] that serves
 //! many independent jobs:
 //!
-//! * [`CompiledGraph::run_job`] submits one job (a finite input stream)
-//!   and returns a [`JobHandle`] immediately; jobs run concurrently up to
-//!   the admission bound and each job's output is bitwise-identical to
-//!   its serial elision, regardless of how jobs interleave;
+//! * [`CompiledGraph::submit`] submits one job (a finite input stream)
+//!   under an [`Admission`] discipline and returns a [`Submission`]
+//!   immediately; accepted jobs run concurrently up to the admission
+//!   bound and each job's output is bitwise-identical to its serial
+//!   elision, regardless of how jobs interleave;
 //! * admission is FIFO-fair and bounded by a [`swan::JobTable`]
-//!   (`max_in_flight` in [`ServiceConfig`]);
+//!   (`max_in_flight` in [`ServiceConfig`]); `Admission::Bounded` adds
+//!   the accepted-but-waiting backpressure bound network front-ends use;
 //! * every graph edge owns a [`SegmentPool`]: job N's queues hand their
 //!   segments back on teardown and job N+1's queues draw them out again,
 //!   so a warm graph sustains jobs with **zero segment allocations**
@@ -21,7 +23,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use pipelines::graph::{GraphSpec, ServiceConfig};
+//! use pipelines::graph::{Admission, GraphSpec, ServiceConfig};
 //! use swan::Runtime;
 //!
 //! let rt = Arc::new(Runtime::with_workers(2));
@@ -29,7 +31,11 @@
 //!     .fanout_map(4, 32, |x| x * x)
 //!     .compile(Arc::clone(&rt), ServiceConfig::default());
 //! let jobs: Vec<_> = (0..4)
-//!     .map(|j| graph.run_job((j * 100..j * 100 + 100).collect()))
+//!     .map(|j| {
+//!         graph
+//!             .submit((j * 100..j * 100 + 100).collect(), Admission::Unbounded)
+//!             .expect_accepted()
+//!     })
 //!     .collect();
 //! for (j, job) in jobs.into_iter().enumerate() {
 //!     let expect: Vec<u64> = (j as u64 * 100..j as u64 * 100 + 100)
@@ -45,9 +51,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use hyperqueue::{PoolStats, SegmentPool, Tagged};
+use hyperqueue::{PoolStats, QueueStats, SegmentPool, Tagged};
 use parking_lot::Mutex;
-use swan::{JobTable, JobTableStats, JobTicket, Runtime};
+use swan::{JobTable, JobTableStats, JobTicket, MetricsSnapshot, Runtime};
 
 use crate::graph::{GraphBuilder, Node, Partition, DEFAULT_EDGE_CAPACITY, DEFAULT_IO_BATCH};
 
@@ -61,6 +67,8 @@ use crate::graph::{GraphBuilder, Node, Partition, DEFAULT_EDGE_CAPACITY, DEFAULT
 struct EdgeSlot {
     pool: Arc<dyn Any + Send + Sync>,
     stats: Box<dyn Fn() -> PoolStats + Send + Sync>,
+    /// Lifetime [`QueueStats`] totals of every queue retired on this edge.
+    queue_totals: Box<dyn Fn() -> QueueStats + Send + Sync>,
     /// Tops the pool up to the given parked-segment depth.
     prewarm: Box<dyn Fn(usize) + Send + Sync>,
 }
@@ -96,10 +104,12 @@ impl EdgePools {
         debug_assert_eq!(idx, slots.len(), "edges register in creation order");
         let pool = Arc::new(SegmentPool::<T>::new(seg_cap));
         let stats_pool = Arc::clone(&pool);
+        let totals_pool = Arc::clone(&pool);
         let warm_pool = Arc::clone(&pool);
         slots.push(EdgeSlot {
             pool: pool.clone(),
             stats: Box::new(move || stats_pool.stats()),
+            queue_totals: Box::new(move || totals_pool.retired_queue_stats()),
             prewarm: Box::new(move |depth| {
                 let have = warm_pool.stats().available as usize;
                 warm_pool.preallocate(depth.saturating_sub(have));
@@ -110,6 +120,16 @@ impl EdgePools {
 
     fn stats(&self) -> Vec<PoolStats> {
         self.slots.lock().iter().map(|s| (s.stats)()).collect()
+    }
+
+    /// Cross-edge sum of retired-queue counters (see
+    /// [`SegmentPool::retired_queue_stats`]).
+    fn queue_totals(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for slot in self.slots.lock().iter() {
+            total.merge(&(slot.queue_totals)());
+        }
+        total
     }
 
     fn prewarm(&self, depth: usize) {
@@ -473,7 +493,7 @@ fn dispatcher_loop<I: Send + 'static, O: Send + 'static>(
 
 /// A persistent pipeline graph serving many independent jobs (see module
 /// docs). Create with [`GraphSpec::compile`]; share across client threads
-/// by reference (`run_job` takes `&self`). Dropping the graph drains the
+/// by reference (`submit` takes `&self`). Dropping the graph drains the
 /// dispatchers and releases all pooled storage.
 pub struct CompiledGraph<I: Send + 'static, O: Send + 'static> {
     core: Arc<ServiceCore<I, O>>,
@@ -519,55 +539,39 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
         }
     }
 
-    /// Submits one job — a finite stream of inputs — and returns
-    /// immediately. The job runs when the admission gate (FIFO, bounded
+    /// Submits one job — a finite stream of inputs — under `admission`
+    /// and returns immediately with a typed [`Submission`].
+    ///
+    /// With [`Admission::Unbounded`] the job is always accepted. With
+    /// [`Admission::Bounded`] — the backpressure entry point for network
+    /// front-ends — the job is accepted only while fewer than
+    /// `max_queued` accepted jobs are still waiting for admission
+    /// (executing jobs don't count; see [`swan::JobTable::try_register`]),
+    /// and a refusal hands the input back in [`Submission::Rejected`] so
+    /// the caller can tell its client to retry instead of buffering
+    /// without bound.
+    ///
+    /// An accepted job runs when the admission gate (FIFO, bounded
     /// in-flight) lets it through; its output is the serial elision of
-    /// the graph applied to `input`, independent of worker count and of
-    /// whatever other jobs are in flight.
-    pub fn run_job(&self, input: Vec<I>) -> JobHandle<O> {
+    /// the graph applied to `input`, independent of worker count, of the
+    /// configured [`swan::SchedulerPolicy`], and of whatever other jobs
+    /// are in flight.
+    pub fn submit(&self, input: Vec<I>, admission: Admission) -> Submission<I, O> {
         let (reply, rx) = mpsc::channel();
         let submit = self.submit.lock();
         let tx = submit
             .as_ref()
-            .expect("run_job on a CompiledGraph that is shutting down");
+            .expect("submit on a CompiledGraph that is shutting down");
         // Ticket registration and channel send under one lock: the
         // admission FIFO must match dispatch order, or a lone dispatcher
-        // could pick up a later ticket and deadlock the gate.
-        let ticket = self.core.jobs.register();
-        let id = ticket.seq();
-        tx.send(JobRequest {
-            ticket,
-            input,
-            reply,
-        })
-        .expect("dispatchers outlive the submit sender");
-        JobHandle { id, rx }
-    }
-
-    /// Bounded-queue variant of [`run_job`](CompiledGraph::run_job): the
-    /// backpressure entry point for network front-ends. The job is
-    /// accepted only while fewer than `max_queued` accepted jobs are
-    /// still waiting for admission (executing jobs don't count — see
-    /// [`swan::JobTable::try_register`]); otherwise the input is handed
-    /// back in [`SubmitError::Busy`] so the caller can tell its client to
-    /// retry instead of buffering without bound.
-    pub fn try_run_job(
-        &self,
-        input: Vec<I>,
-        max_queued: usize,
-    ) -> Result<JobHandle<O>, SubmitError<I>> {
-        let (reply, rx) = mpsc::channel();
-        let submit = self.submit.lock();
-        let tx = submit
-            .as_ref()
-            .expect("try_run_job on a CompiledGraph that is shutting down");
-        // Same one-lock discipline as `run_job`: the bounded registration
-        // and the channel send happen under the submit lock so the
-        // admission FIFO matches dispatch order. A refusal carries the
-        // depth observed atomically at refusal time.
-        let ticket = match self.core.jobs.try_register(max_queued) {
-            Ok(ticket) => ticket,
-            Err(queued) => return Err(SubmitError::Busy { queued, input }),
+        // could pick up a later ticket and deadlock the gate. A refusal
+        // carries the depth observed atomically at refusal time.
+        let ticket = match admission {
+            Admission::Unbounded => self.core.jobs.register(),
+            Admission::Bounded { max_queued } => match self.core.jobs.try_register(max_queued) {
+                Ok(ticket) => ticket,
+                Err(depth) => return Submission::Rejected { depth, input },
+            },
         };
         let id = ticket.seq();
         tx.send(JobRequest {
@@ -576,7 +580,32 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
             reply,
         })
         .expect("dispatchers outlive the submit sender");
-        Ok(JobHandle { id, rx })
+        Submission::Accepted(JobHandle { id, rx })
+    }
+
+    /// Submits one job, always accepting it.
+    #[deprecated(since = "0.2.0", note = "use `submit(input, Admission::Unbounded)`")]
+    pub fn run_job(&self, input: Vec<I>) -> JobHandle<O> {
+        self.submit(input, Admission::Unbounded).expect_accepted()
+    }
+
+    /// Bounded-queue submission returning the legacy `Result` shape.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `submit(input, Admission::Bounded { max_queued })`"
+    )]
+    pub fn try_run_job(
+        &self,
+        input: Vec<I>,
+        max_queued: usize,
+    ) -> Result<JobHandle<O>, SubmitError<I>> {
+        match self.submit(input, Admission::Bounded { max_queued }) {
+            Submission::Accepted(handle) => Ok(handle),
+            Submission::Rejected { depth, input } => Err(SubmitError::Busy {
+                queued: depth,
+                input,
+            }),
+        }
     }
 
     /// The runtime this graph serves jobs on.
@@ -624,6 +653,21 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
         }
         agg
     }
+
+    /// The consolidated observability snapshot: scheduler counters from
+    /// the runtime, retired-queue fast-path totals from every edge,
+    /// aggregate segment storage, and admission — one allocation-free
+    /// [`SchedulerStats`] value (all leaves are `Copy`; taking the
+    /// snapshot performs no heap allocation). This is what the ablations
+    /// harness prints and what the ingress `Stats` frame serializes.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            sched: self.core.rt.metrics(),
+            queues: self.core.pools.queue_totals(),
+            storage: self.storage_stats(),
+            admission: self.core.jobs.stats(),
+        }
+    }
 }
 
 impl<I: Send + 'static, O: Send + 'static> Drop for CompiledGraph<I, O> {
@@ -640,8 +684,89 @@ impl<I: Send + 'static, O: Send + 'static> Drop for CompiledGraph<I, O> {
 // Job handles.
 // ---------------------------------------------------------------------------
 
+/// Admission discipline for [`CompiledGraph::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Always accept. In-process callers that tolerate queueing (tests,
+    /// benches, batch drivers) use this; the job still waits its FIFO
+    /// turn at the in-flight gate.
+    Unbounded,
+    /// Accept only while fewer than `max_queued` accepted jobs are still
+    /// waiting for admission — the backpressure discipline for network
+    /// front-ends (a refusal maps to the ingress protocol's RETRY).
+    Bounded {
+        /// Bound on accepted-but-not-yet-admitted jobs (min 1 applies at
+        /// the [`swan::JobTable`]).
+        max_queued: usize,
+    },
+}
+
+/// The typed outcome of [`CompiledGraph::submit`].
+#[must_use = "a rejected submission carries the input back; an accepted one carries the handle"]
+pub enum Submission<I, O> {
+    /// The job was accepted; await its output through the handle.
+    Accepted(JobHandle<O>),
+    /// The admission queue was at its [`Admission::Bounded`] bound. The
+    /// input comes back so the caller can retry without cloning it up
+    /// front; `depth` is the waiting-line length observed at refusal.
+    Rejected {
+        /// Jobs accepted but not yet admitted when the refusal happened.
+        depth: usize,
+        /// The rejected job input, returned to the caller.
+        input: Vec<I>,
+    },
+}
+
+impl<I, O> Submission<I, O> {
+    /// The handle if accepted, `None` if rejected (dropping the input).
+    pub fn accepted(self) -> Option<JobHandle<O>> {
+        match self {
+            Submission::Accepted(handle) => Some(handle),
+            Submission::Rejected { .. } => None,
+        }
+    }
+
+    /// Unwraps the accepted handle; panics on a rejection. Infallible for
+    /// [`Admission::Unbounded`] submissions, which are never rejected.
+    pub fn expect_accepted(self) -> JobHandle<O> {
+        match self {
+            Submission::Accepted(handle) => handle,
+            Submission::Rejected { depth, .. } => {
+                panic!("job rejected: admission queue full ({depth} jobs waiting)")
+            }
+        }
+    }
+
+    /// True when the submission was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Submission::Accepted(_))
+    }
+}
+
+/// One consolidated, allocation-free observability snapshot of a
+/// [`CompiledGraph`] (see [`CompiledGraph::scheduler_stats`]): the swan
+/// scheduler counters (tasks, steals, steal batch sizes, helps, parks),
+/// the retired-queue fast-path totals accumulated by every edge's
+/// [`SegmentPool`], the aggregate segment-storage counters, and the
+/// admission gate. Every leaf is plain `Copy` data, so snapshots can be
+/// taken on hot paths (the ingress Stats frame) without heap traffic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedulerStats {
+    /// Runtime scheduler counters ([`swan::MetricsSnapshot`]).
+    pub sched: MetricsSnapshot,
+    /// Retired-queue totals summed across edges ([`QueueStats`]); live
+    /// queues report here once they retire at job teardown.
+    pub queues: QueueStats,
+    /// Aggregate segment storage across all edge pools.
+    pub storage: ServiceStorageStats,
+    /// Admission/job counters ([`swan::JobTableStats`]).
+    pub admission: JobTableStats,
+}
+
 /// Why [`CompiledGraph::try_run_job`] refused a job. Carries the input
-/// back so the caller can retry without cloning it up front.
+/// back so the caller can retry without cloning it up front. Legacy shape
+/// kept for the deprecated `try_run_job` shim; [`Submission::Rejected`]
+/// is the replacement.
 #[derive(Debug)]
 pub enum SubmitError<I> {
     /// The admission queue is at its `max_queued` bound. Retry later;
@@ -749,7 +874,10 @@ mod tests {
     #[test]
     fn single_job_equals_serial_elision() {
         let (_rt, graph) = square_graph(2, 2);
-        let out = graph.run_job((0..200).collect()).join();
+        let out = graph
+            .submit((0..200).collect(), Admission::Unbounded)
+            .expect_accepted()
+            .join();
         assert_eq!(out, (0..200).map(|x| x * x).collect::<Vec<u64>>());
     }
 
@@ -757,7 +885,11 @@ mod tests {
     fn many_concurrent_jobs_stay_isolated() {
         let (_rt, graph) = square_graph(4, 3);
         let handles: Vec<_> = (0..20)
-            .map(|j| graph.run_job((j * 37..j * 37 + 64).collect()))
+            .map(|j| {
+                graph
+                    .submit((j * 37..j * 37 + 64).collect(), Admission::Unbounded)
+                    .expect_accepted()
+            })
             .collect();
         for (j, h) in handles.into_iter().enumerate() {
             let j = j as u64;
@@ -775,13 +907,19 @@ mod tests {
     #[test]
     fn warm_graph_reuses_segments() {
         let (_rt, graph) = square_graph(2, 1);
-        graph.run_job((0..500).collect()).join();
+        graph
+            .submit((0..500).collect(), Admission::Unbounded)
+            .expect_accepted()
+            .join();
         // 500 items, capacity-8 segments: no schedule can chain more than
         // ceil(500/8) + 2 segments on any edge.
         graph.prewarm(500 / 8 + 3);
         let warm = graph.storage_stats();
         for _ in 0..10 {
-            graph.run_job((0..500).collect()).join();
+            graph
+                .submit((0..500).collect(), Admission::Unbounded)
+                .expect_accepted()
+                .join();
         }
         let after = graph.storage_stats();
         assert_eq!(
@@ -808,7 +946,10 @@ mod tests {
                 |&(k, _)| k,
             )
             .compile(rt, ServiceConfig::default());
-        let out = graph.run_job((0..300).collect()).join();
+        let out = graph
+            .submit((0..300).collect(), Admission::Unbounded)
+            .expect_accepted()
+            .join();
         let mut expect = std::collections::BTreeMap::<u64, u64>::new();
         for v in 0..300u64 {
             *expect.entry(v % 13).or_insert(0) += 1;
@@ -817,7 +958,7 @@ mod tests {
     }
 
     #[test]
-    fn try_run_job_refuses_beyond_the_queue_bound() {
+    fn bounded_submit_refuses_beyond_the_queue_bound() {
         use std::sync::atomic::{AtomicBool, Ordering};
         let release = Arc::new(AtomicBool::new(false));
         let gate = Arc::clone(&release);
@@ -837,27 +978,30 @@ mod tests {
                     ..ServiceConfig::default()
                 },
             );
-        let blocker = graph.run_job(vec![0]);
+        let blocker = graph
+            .submit(vec![0], Admission::Unbounded)
+            .expect_accepted();
         // Wait until the blocker is admitted, so it occupies the in-flight
         // slot rather than the waiting line.
         while graph.job_stats().in_flight == 0 {
             std::thread::yield_now();
         }
-        let a = graph.try_run_job(vec![1], 2).expect("slot 1 of 2");
-        let b = graph.try_run_job(vec![2], 2).expect("slot 2 of 2");
-        match graph.try_run_job(vec![3], 2) {
-            Err(SubmitError::Busy { queued, input }) => {
-                assert_eq!(queued, 2);
+        let bounded = Admission::Bounded { max_queued: 2 };
+        let a = graph.submit(vec![1], bounded).expect_accepted();
+        let b = graph.submit(vec![2], bounded).expect_accepted();
+        match graph.submit(vec![3], bounded) {
+            Submission::Rejected { depth, input } => {
+                assert_eq!(depth, 2);
                 assert_eq!(input, vec![3], "refused input must come back");
             }
-            Ok(_) => panic!("third queued job must be refused at bound 2"),
+            Submission::Accepted(_) => panic!("third queued job must be refused at bound 2"),
         }
         release.store(true, Ordering::Release);
         assert_eq!(blocker.join(), vec![1]);
         assert_eq!(a.join(), vec![2]);
         assert_eq!(b.join(), vec![3]);
         // The line drained: bounded submission works again.
-        assert!(graph.try_run_job(vec![4], 2).is_ok());
+        assert!(graph.submit(vec![4], bounded).is_accepted());
     }
 
     #[test]
@@ -869,9 +1013,52 @@ mod tests {
                 x + 1
             })
             .compile(rt, ServiceConfig::default());
-        let bad = graph.run_job(vec![12, 13, 14]).wait();
+        let bad = graph
+            .submit(vec![12, 13, 14], Admission::Unbounded)
+            .expect_accepted()
+            .wait();
         assert!(bad.is_err(), "panicking stage must surface as JobError");
-        let ok = graph.run_job(vec![1, 2, 3]).join();
+        let ok = graph
+            .submit(vec![1, 2, 3], Admission::Unbounded)
+            .expect_accepted()
+            .join();
         assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_route_through_submit() {
+        let (_rt, graph) = square_graph(2, 4);
+        let out = graph.run_job(vec![3]).join();
+        assert_eq!(out, vec![9]);
+        let out = graph.try_run_job(vec![4], 4).expect("under bound").join();
+        assert_eq!(out, vec![16]);
+    }
+
+    #[test]
+    fn scheduler_stats_snapshot_reflects_completed_work() {
+        let (_rt, graph) = square_graph(2, 2);
+        graph
+            .submit((0..200).collect(), Admission::Unbounded)
+            .expect_accepted()
+            .join();
+        drop(graph);
+        let (_rt, graph) = square_graph(2, 2);
+        graph
+            .submit((0..200).collect(), Admission::Unbounded)
+            .expect_accepted()
+            .join();
+        let stats = graph.scheduler_stats();
+        assert_eq!(stats.admission.completed, 1);
+        assert!(
+            stats.sched.tasks_executed > 0,
+            "runtime must have executed tasks: {:?}",
+            stats.sched
+        );
+        assert!(
+            stats.storage.segments_allocated > 0,
+            "edges must have allocated segments: {:?}",
+            stats.storage
+        );
     }
 }

@@ -1,24 +1,121 @@
-//! Runtime configuration.
+//! Runtime configuration: the fluent [`RuntimeConfig`] builder and the
+//! [`SchedulerPolicy`] selector.
 
+use std::ops::RangeInclusive;
 use std::time::Duration;
 
-/// Configuration for a [`crate::Runtime`].
+/// Which worker-loop scheduler the runtime runs (see DESIGN.md §3.1 for
+/// the decision table). Both policies preserve determinism — programs on
+/// this runtime are scale-free, so the policy changes throughput and
+/// stealing behaviour, never observable output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Per-worker FIFO rings, injector before stealing, single-task
+    /// steals. Pops approximate the serial elision's program order, which
+    /// keeps pipeline producers ahead of their consumers and minimises
+    /// blocked-consumer helping. The historical default.
+    HelpFirst,
+    /// Per-worker Chase-Lev deques: owner LIFO bottom (depth-first, cache
+    /// hot), thieves FIFO top with steal-half batching, injector checked
+    /// after steal probes fail. The classic Cilk-style regime — better
+    /// under fork-join-heavy and irregular DAG load.
+    StealFirst {
+        /// Upper bound on one steal batch (the thief takes
+        /// `min(steal_batch, ceil(victim_len/2))` ids). 0 behaves as 1.
+        steal_batch: usize,
+    },
+}
+
+impl SchedulerPolicy {
+    /// The policy CI matrices select via the `HQ_SCHED` environment
+    /// variable (`help-first`, `steal-first`, or `steal-first:N` with a
+    /// batch bound), if set and well-formed. [`RuntimeConfig::default`]
+    /// applies this, so a test binary run under `HQ_SCHED=steal-first`
+    /// exercises the deque scheduler without per-test plumbing.
+    pub fn from_env() -> Option<Self> {
+        Self::parse(&std::env::var("HQ_SCHED").ok()?)
+    }
+
+    /// Parses a policy selector: `help-first`, `steal-first`, or
+    /// `steal-first:N` (N = steal batch bound). The grammar shared by
+    /// `HQ_SCHED` and `hqd --scheduler`.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim() {
+            "help-first" => Some(Self::HelpFirst),
+            "steal-first" => Some(Self::StealFirst {
+                steal_batch: Self::DEFAULT_STEAL_BATCH,
+            }),
+            other => {
+                let batch = other.strip_prefix("steal-first:")?.parse().ok()?;
+                Some(Self::StealFirst { steal_batch: batch })
+            }
+        }
+    }
+
+    /// Default steal-half batch bound.
+    pub const DEFAULT_STEAL_BATCH: usize = 16;
+}
+
+/// Initial and maximum worker counts, the argument to
+/// [`RuntimeConfig::workers`]. Converts from a plain count (`4` — fixed
+/// size, no elasticity headroom) or an inclusive range (`1..=8` — start
+/// at 1, [`crate::Runtime::resize_workers`] may grow to 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerRange {
+    /// Threads staffed at construction (min 1).
+    pub initial: usize,
+    /// Upper bound for elastic resizing (clamped up to `initial`).
+    pub max: usize,
+}
+
+impl From<usize> for WorkerRange {
+    fn from(n: usize) -> Self {
+        let n = n.max(1);
+        Self { initial: n, max: n }
+    }
+}
+
+impl From<RangeInclusive<usize>> for WorkerRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let initial = (*r.start()).max(1);
+        Self {
+            initial,
+            max: (*r.end()).max(initial),
+        }
+    }
+}
+
+/// Configuration for a [`crate::Runtime`], built fluently:
 ///
-/// The defaults follow the paper's philosophy: programs are *scale-free*, so
-/// the only knob a user normally touches is implicit (the machine's core
-/// count). Everything else exists for the benchmark harness and the test
-/// suite (chaos mode).
+/// ```
+/// use swan::{RuntimeConfig, SchedulerPolicy};
+///
+/// let cfg = RuntimeConfig::new()
+///     .workers(1..=8)
+///     .scheduler(SchedulerPolicy::StealFirst { steal_batch: 16 });
+/// assert_eq!((cfg.workers, cfg.max_workers), (1, 8));
+/// ```
+///
+/// The defaults follow the paper's philosophy: programs are *scale-free*,
+/// so the only knob a user normally touches is implicit (the machine's
+/// core count). Everything else exists for the benchmark harness and the
+/// test suite (chaos mode, the scheduler-policy ablation).
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Number of worker threads. Defaults to `std::thread::available_parallelism()`.
     pub workers: usize,
     /// Upper bound for [`crate::Runtime::resize_workers`]: the runtime
-    /// pre-allocates this many worker slots (rings) and can grow/shrink
+    /// pre-allocates this many worker slots (queues) and can grow/shrink
     /// the live thread count anywhere in `1..=max_workers` without
     /// changing observable program output (the scale-free guarantee).
     /// Clamped up to `workers`; defaults to `workers` (no elasticity
     /// headroom).
     pub max_workers: usize,
+    /// Worker-loop scheduling policy. Defaults to
+    /// [`SchedulerPolicy::HelpFirst`], overridable process-wide via the
+    /// `HQ_SCHED` environment variable (see
+    /// [`SchedulerPolicy::from_env`]).
+    pub scheduler: SchedulerPolicy,
     /// Maximum depth of nested "help" execution a blocked worker will stack
     /// before falling back to passive waiting. Bounds stack growth of the
     /// help-first scheduling discipline (see DESIGN.md §3.1).
@@ -42,31 +139,60 @@ pub struct ChaosConfig {
 }
 
 impl RuntimeConfig {
-    /// Default configuration with `workers` worker threads.
-    pub fn with_workers(workers: usize) -> Self {
-        Self {
-            workers: workers.max(1),
-            max_workers: workers.max(1),
-            ..Self::default()
-        }
+    /// Starts a builder from the defaults (machine core count, help-first
+    /// unless `HQ_SCHED` overrides).
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Elastic configuration: starts with `workers` threads and reserves
-    /// capacity to grow up to `max_workers` (see
+    /// Sets the worker count — a fixed size (`.workers(4)`) or an elastic
+    /// range (`.workers(1..=8)`, resizable via
     /// [`crate::Runtime::resize_workers`]).
-    pub fn with_worker_range(workers: usize, max_workers: usize) -> Self {
-        let workers = workers.max(1);
-        Self {
-            workers,
-            max_workers: max_workers.max(workers),
-            ..Self::default()
-        }
+    pub fn workers(mut self, range: impl Into<WorkerRange>) -> Self {
+        let range = range.into();
+        self.workers = range.initial;
+        self.max_workers = range.max;
+        self
+    }
+
+    /// Selects the worker-loop scheduler.
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
+        self
+    }
+
+    /// Bounds nested help-execution depth.
+    pub fn max_help_depth(mut self, depth: usize) -> Self {
+        self.max_help_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the idle/blocked park interval.
+    pub fn park_timeout(mut self, timeout: Duration) -> Self {
+        self.park_timeout = timeout;
+        self
     }
 
     /// Adds chaos-mode jitter (testing only).
     pub fn with_chaos(mut self, seed: u64, max_delay_us: u64) -> Self {
         self.chaos = Some(ChaosConfig { seed, max_delay_us });
         self
+    }
+
+    /// Default configuration with `workers` worker threads.
+    #[deprecated(since = "0.2.0", note = "use `RuntimeConfig::new().workers(n)`")]
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new().workers(workers)
+    }
+
+    /// Elastic configuration: starts with `workers` threads and reserves
+    /// capacity to grow up to `max_workers`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RuntimeConfig::new().workers(min..=max)`"
+    )]
+    pub fn with_worker_range(workers: usize, max_workers: usize) -> Self {
+        Self::new().workers(workers.max(1)..=max_workers)
     }
 }
 
@@ -78,6 +204,7 @@ impl Default for RuntimeConfig {
         Self {
             workers,
             max_workers: workers,
+            scheduler: SchedulerPolicy::from_env().unwrap_or(SchedulerPolicy::HelpFirst),
             max_help_depth: 64,
             park_timeout: Duration::from_micros(200),
             chaos: None,
@@ -95,25 +222,60 @@ mod tests {
     }
 
     #[test]
-    fn with_workers_clamps_zero_to_one() {
-        assert_eq!(RuntimeConfig::with_workers(0).workers, 1);
-        assert_eq!(RuntimeConfig::with_workers(8).workers, 8);
+    fn workers_accepts_count_and_range() {
+        let c = RuntimeConfig::new().workers(0);
+        assert_eq!((c.workers, c.max_workers), (1, 1));
+        let c = RuntimeConfig::new().workers(8);
+        assert_eq!((c.workers, c.max_workers), (8, 8));
+        let c = RuntimeConfig::new().workers(1..=8);
+        assert_eq!((c.workers, c.max_workers), (1, 8));
+        // A backwards range clamps max up to initial.
+        #[allow(clippy::reversed_empty_ranges)]
+        let c = RuntimeConfig::new().workers(4..=2);
+        assert_eq!((c.workers, c.max_workers), (4, 4));
     }
 
     #[test]
-    fn worker_range_clamps_max_to_at_least_init() {
-        let c = RuntimeConfig::with_worker_range(4, 2);
-        assert_eq!((c.workers, c.max_workers), (4, 4));
-        let c = RuntimeConfig::with_worker_range(1, 8);
-        assert_eq!((c.workers, c.max_workers), (1, 8));
-        assert_eq!(RuntimeConfig::with_workers(3).max_workers, 3);
+    fn scheduler_builder_sets_policy() {
+        let c = RuntimeConfig::new().scheduler(SchedulerPolicy::StealFirst { steal_batch: 4 });
+        assert_eq!(c.scheduler, SchedulerPolicy::StealFirst { steal_batch: 4 });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let shim = RuntimeConfig::with_workers(3);
+        assert_eq!((shim.workers, shim.max_workers), (3, 3));
+        assert_eq!(RuntimeConfig::with_workers(0).workers, 1);
+        let shim = RuntimeConfig::with_worker_range(4, 2);
+        assert_eq!((shim.workers, shim.max_workers), (4, 4));
+        let shim = RuntimeConfig::with_worker_range(1, 8);
+        assert_eq!((shim.workers, shim.max_workers), (1, 8));
     }
 
     #[test]
     fn chaos_builder_sets_fields() {
-        let c = RuntimeConfig::with_workers(2).with_chaos(42, 100);
+        let c = RuntimeConfig::new().workers(2).with_chaos(42, 100);
         let chaos = c.chaos.expect("chaos set");
         assert_eq!(chaos.seed, 42);
         assert_eq!(chaos.max_delay_us, 100);
+    }
+
+    #[test]
+    fn policy_parser_accepts_the_ci_matrix_forms() {
+        // Parse the *strings* the CI matrix uses without touching the
+        // process environment (tests run concurrently).
+        let parse = SchedulerPolicy::parse;
+        assert_eq!(parse("help-first"), Some(SchedulerPolicy::HelpFirst));
+        assert_eq!(
+            parse("steal-first"),
+            Some(SchedulerPolicy::StealFirst { steal_batch: 16 })
+        );
+        assert_eq!(
+            parse("steal-first:4"),
+            Some(SchedulerPolicy::StealFirst { steal_batch: 4 })
+        );
+        assert_eq!(parse("work-first"), None);
+        assert_eq!(parse("steal-first:x"), None);
     }
 }

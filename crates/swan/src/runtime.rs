@@ -31,17 +31,19 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::config::RuntimeConfig;
+use crate::config::{RuntimeConfig, SchedulerPolicy};
 use crate::frame::{Frame, FrameId, HelpMode};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::sched::{Injector, Registry, Ring, RunnableTask, Sleeper};
+use crate::sched::{Deque, Injector, Registry, Ring, RunnableTask, Sleeper, WorkerQueue};
 use crate::scope::Scope;
 use crate::util::{Backoff, XorShift64};
 
-const RING_CAPACITY: usize = 512;
+/// Capacity of each per-worker queue (ring or deque); overflow goes to
+/// the unbounded global injector.
+const QUEUE_CAPACITY: usize = 512;
 
 thread_local! {
-    /// Ring index of the current worker thread (None on external threads).
+    /// Queue index of the current worker thread (None on external threads).
     static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
     /// Nesting depth of help-execution on this thread's stack.
     static HELP_DEPTH: Cell<usize> = const { Cell::new(0) };
@@ -51,12 +53,12 @@ pub(crate) struct RtInner {
     pub(crate) config: RuntimeConfig,
     pub(crate) registry: Registry,
     pub(crate) injector: Injector,
-    pub(crate) rings: Vec<Ring>,
+    pub(crate) queues: Vec<WorkerQueue>,
     pub(crate) sleeper: Sleeper,
     pub(crate) metrics: Metrics,
-    /// Elastic worker target: the worker on ring `idx` retires as soon as
+    /// Elastic worker target: the worker on queue `idx` retires as soon as
     /// it observes `idx >= target_workers` (see `worker_main`). Always in
-    /// `1..=rings.len()`.
+    /// `1..=queues.len()`.
     target_workers: AtomicUsize,
     /// Scopes currently open on this runtime (see [`Runtime::quiesce`]).
     open_scopes: AtomicUsize,
@@ -69,10 +71,10 @@ impl RtInner {
         FrameId(self.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Makes task `id` runnable: local ring if on a worker, else injector.
+    /// Makes task `id` runnable: local queue if on a worker, else injector.
     pub(crate) fn enqueue(&self, id: FrameId) {
         let pushed = WORKER_INDEX.with(|w| match w.get() {
-            Some(idx) => self.rings[idx].push(id.0).is_ok(),
+            Some(idx) => self.queues[idx].push(id.0).is_ok(),
             None => false,
         });
         if !pushed {
@@ -221,32 +223,66 @@ impl RtInner {
         true
     }
 
-    /// Worker's task-finding policy: local ring, then injector, then steal.
+    /// Worker's task-finding policy (DESIGN.md §3.1). Both policies drain
+    /// the local queue first; they differ in what comes next:
+    ///
+    /// * **help-first** — injector before stealing, single-task steals.
+    ///   External submissions and overflow stay ahead of other workers'
+    ///   backlogs, approximating program order.
+    /// * **steal-first** — steal-half batches before the injector. An
+    ///   idle worker first rebalances in-flight work (the Cilk regime),
+    ///   touching the shared injector only when every victim probe fails.
     fn find_task(&self, idx: usize, rng: &mut XorShift64) -> Option<RunnableTask> {
-        while let Some(id) = self.rings[idx].pop() {
+        while let Some(id) = self.queues[idx].pop() {
             if let Some(task) = self.registry.claim(id) {
                 return Some(task);
             }
         }
+        match self.config.scheduler {
+            SchedulerPolicy::HelpFirst => self.pop_injector().or_else(|| self.steal(idx, rng, 1)),
+            SchedulerPolicy::StealFirst { steal_batch } => self
+                .steal(idx, rng, steal_batch.max(1))
+                .or_else(|| self.pop_injector()),
+        }
+    }
+
+    /// Claims the next runnable task from the global injector.
+    fn pop_injector(&self) -> Option<RunnableTask> {
         while let Some(id) = self.injector.pop() {
             if let Some(task) = self.registry.claim(id) {
                 return Some(task);
             }
         }
-        let n = self.rings.len();
-        if n > 1 {
-            // A couple of random probes per round; the outer loop retries.
-            for _ in 0..(2 * n) {
-                let victim = rng.next_below(n);
-                if victim == idx {
-                    continue;
-                }
-                let Some(id) = self.rings[victim].pop() else {
-                    Metrics::incr(&self.metrics.failed_steals);
-                    continue;
-                };
+        None
+    }
+
+    /// Random victim probes (a couple of rounds; the worker loop
+    /// retries). Steals up to `batch` ids per successful probe; extras
+    /// land in this worker's own queue.
+    fn steal(&self, idx: usize, rng: &mut XorShift64, batch: usize) -> Option<RunnableTask> {
+        let n = self.queues.len();
+        if n <= 1 {
+            return None;
+        }
+        for _ in 0..(2 * n) {
+            let victim = rng.next_below(n);
+            if victim == idx {
+                continue;
+            }
+            let (first, stolen) = self.queues[victim].steal_batch_into(&self.queues[idx], batch);
+            let Some(first) = first else {
+                Metrics::incr(&self.metrics.steal_failures);
+                continue;
+            };
+            Metrics::incr(&self.metrics.steals);
+            Metrics::add(&self.metrics.steal_batch_items, stolen as u64);
+            if let Some(task) = self.registry.claim(first) {
+                return Some(task);
+            }
+            // The first id was stale; any extras landed in our own queue —
+            // drain them through the normal local path before re-probing.
+            while let Some(id) = self.queues[idx].pop() {
                 if let Some(task) = self.registry.claim(id) {
-                    Metrics::incr(&self.metrics.steals);
                     return Some(task);
                 }
             }
@@ -264,8 +300,8 @@ impl RtInner {
             }
             // Elastic shrink: retire promptly (before claiming more work)
             // so a later grow can re-staff this slot without waiting out a
-            // backlog. Anything left in this worker's ring stays stealable
-            // by the survivors; ring 0 never retires (target >= 1).
+            // backlog. Anything left in this worker's queue stays stealable
+            // by the survivors; queue 0 never retires (target >= 1).
             if idx >= self.target_workers.load(Ordering::Acquire) {
                 break;
             }
@@ -280,7 +316,7 @@ impl RtInner {
     }
 }
 
-/// Spawns the worker thread for ring slot `idx`.
+/// Spawns the worker thread for queue slot `idx`.
 fn spawn_worker(inner: &Arc<RtInner>, idx: usize) -> JoinHandle<()> {
     let rt = Arc::clone(inner);
     std::thread::Builder::new()
@@ -306,8 +342,8 @@ fn spawn_worker(inner: &Arc<RtInner>, idx: usize) -> JoinHandle<()> {
 /// ```
 pub struct Runtime {
     inner: Arc<RtInner>,
-    /// One slot per ring; `None` for slots whose worker is not currently
-    /// staffed (never started, or retired by an elastic shrink).
+    /// One slot per worker queue; `None` for slots whose worker is not
+    /// currently staffed (never started, or retired by an elastic shrink).
     threads: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
@@ -316,13 +352,21 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Self {
         let workers = config.workers.max(1);
         let max_workers = config.max_workers.max(workers);
+        let queues = (0..max_workers)
+            .map(|_| match config.scheduler {
+                SchedulerPolicy::HelpFirst => {
+                    WorkerQueue::Fifo(Ring::with_capacity(QUEUE_CAPACITY))
+                }
+                SchedulerPolicy::StealFirst { .. } => {
+                    WorkerQueue::Deque(Deque::with_capacity(QUEUE_CAPACITY))
+                }
+            })
+            .collect();
         let inner = Arc::new(RtInner {
             config,
             registry: Registry::new(),
             injector: Injector::new(),
-            rings: (0..max_workers)
-                .map(|_| Ring::with_capacity(RING_CAPACITY))
-                .collect(),
+            queues,
             sleeper: Sleeper::new(),
             metrics: Metrics::default(),
             target_workers: AtomicUsize::new(workers),
@@ -341,7 +385,7 @@ impl Runtime {
 
     /// Runtime with `workers` threads and default settings.
     pub fn with_workers(workers: usize) -> Self {
-        Self::new(RuntimeConfig::with_workers(workers))
+        Self::new(RuntimeConfig::new().workers(workers))
     }
 
     /// A long-lived **service** runtime: one worker per machine core, kept
@@ -354,7 +398,7 @@ impl Runtime {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self::new(RuntimeConfig::with_worker_range(cores, cores.max(8)))
+        Self::new(RuntimeConfig::new().workers(cores..=cores.max(8)))
     }
 
     /// Number of worker threads the runtime was configured with (the
@@ -372,25 +416,30 @@ impl Runtime {
 
     /// Upper bound for [`Runtime::resize_workers`].
     pub fn max_workers(&self) -> usize {
-        self.inner.rings.len()
+        self.inner.queues.len()
+    }
+
+    /// The worker-loop scheduling policy this runtime runs.
+    pub fn scheduler(&self) -> SchedulerPolicy {
+        self.inner.config.scheduler
     }
 
     /// Elastically grows or shrinks the worker pool to `n` threads
     /// (clamped to `1..=max_workers`); returns the applied target.
     ///
     /// Shrinking is asynchronous: surplus workers retire as soon as they
-    /// next look for work, and any tasks left in their rings remain
+    /// next look for work, and any tasks left in their queues remain
     /// stealable by the survivors. Growing first joins the retired threads
     /// of the re-staffed slots, then spawns fresh ones. Determinism is
     /// unaffected — programs on this runtime are scale-free, so a resize
     /// (even mid-job) changes throughput, never output.
     pub fn resize_workers(&self, n: usize) -> usize {
-        let n = n.clamp(1, self.inner.rings.len());
+        let n = n.clamp(1, self.inner.queues.len());
         let mut threads = self.threads.lock();
         let cur = self.inner.target_workers.load(Ordering::Acquire);
         if n > cur {
             // Re-staffed slots may still hold a retiring thread from an
-            // earlier shrink: join it before handing the ring to a new
+            // earlier shrink: join it before handing the queue to a new
             // one (retirement is prompt — checked before claiming work).
             for slot in threads[cur..n].iter_mut() {
                 if let Some(h) = slot.take() {
@@ -658,7 +707,7 @@ mod tests {
 
     #[test]
     fn elastic_resize_grows_and_shrinks_between_work() {
-        let rt = Runtime::new(RuntimeConfig::with_worker_range(1, 4));
+        let rt = Runtime::new(RuntimeConfig::new().workers(1..=4));
         assert_eq!((rt.active_workers(), rt.max_workers()), (1, 4));
         let run_batch = |expect: usize| {
             let counter = AtomicUsize::new(0);
@@ -687,7 +736,7 @@ mod tests {
 
     #[test]
     fn resize_mid_job_does_not_lose_tasks() {
-        let rt = Runtime::new(RuntimeConfig::with_worker_range(4, 8));
+        let rt = Runtime::new(RuntimeConfig::new().workers(4..=8));
         let counter = AtomicUsize::new(0);
         rt.scope(|s| {
             for i in 0..256 {
@@ -779,6 +828,103 @@ mod tests {
         assert!(result.is_err());
         assert_eq!(rt.open_scopes(), 0, "panicked scope still counted open");
         assert!(rt.quiesce_timeout(std::time::Duration::from_secs(1)));
+    }
+
+    fn steal_first_rt(workers: usize) -> Runtime {
+        Runtime::new(
+            RuntimeConfig::new()
+                .workers(workers)
+                .scheduler(SchedulerPolicy::StealFirst { steal_batch: 4 }),
+        )
+    }
+
+    #[test]
+    fn steal_first_runs_simple_and_nested_tasks() {
+        for workers in [1usize, 2, 4] {
+            let rt = steal_first_rt(workers);
+            assert_eq!(
+                rt.scheduler(),
+                SchedulerPolicy::StealFirst { steal_batch: 4 }
+            );
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            rt.scope(move |s| {
+                let c3 = c2;
+                s.spawn((), move |s, ()| {
+                    for _ in 0..32 {
+                        let c = Arc::clone(&c3);
+                        s.spawn((), move |_, ()| {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 32, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn steal_first_deep_fork_join() {
+        fn go<'s>(s: &crate::scope::Scope<'s>, n: u64, out: &'s AtomicU64) {
+            if n < 2 {
+                out.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+            s.spawn((), move |s, ()| go(s, n - 1, out));
+            go(s, n - 2, out);
+        }
+        let rt = steal_first_rt(4);
+        let out = AtomicU64::new(0);
+        rt.scope(|s| go(s, 15, &out));
+        assert_eq!(out.load(Ordering::SeqCst), 610); // fib(15)
+    }
+
+    #[test]
+    fn steal_first_resize_mid_job_does_not_lose_tasks() {
+        let rt = Runtime::new(
+            RuntimeConfig::new()
+                .workers(4..=8)
+                .scheduler(SchedulerPolicy::StealFirst { steal_batch: 16 }),
+        );
+        let counter = AtomicUsize::new(0);
+        rt.scope(|s| {
+            for i in 0..256 {
+                s.spawn((), |_, ()| {
+                    let mut x = 0u64;
+                    for j in 0..20_000u64 {
+                        x = x.wrapping_mul(31).wrapping_add(j);
+                    }
+                    std::hint::black_box(x);
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                if i == 64 {
+                    rt.resize_workers(1);
+                }
+                if i == 128 {
+                    rt.resize_workers(8);
+                }
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 256);
+    }
+
+    #[test]
+    fn steal_first_overflow_spills_to_injector() {
+        // Spawn far more tasks than one deque holds (capacity 512) from a
+        // single frame: the overflow must ride the injector, and every
+        // task must still run exactly once.
+        let rt = steal_first_rt(2);
+        let counter = AtomicUsize::new(0);
+        rt.scope(|s| {
+            s.spawn((), |s, ()| {
+                for _ in 0..2000 {
+                    s.spawn((), |_, ()| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2000);
     }
 
     #[test]

@@ -45,8 +45,8 @@ fn serial(ops: &[Op]) -> [u64; NOBJ] {
 /// The parallel version: one task per op, dependences from access modes.
 fn parallel(ops: &[Op], workers: usize, chaos: Option<u64>) -> [u64; NOBJ] {
     let cfg = match chaos {
-        Some(seed) => RuntimeConfig::with_workers(workers).with_chaos(seed, 20),
-        None => RuntimeConfig::with_workers(workers),
+        Some(seed) => RuntimeConfig::new().workers(workers).with_chaos(seed, 20),
+        None => RuntimeConfig::new().workers(workers),
     };
     let rt = Runtime::new(cfg);
     let objs: Vec<Versioned<u64>> = (0..NOBJ).map(|_| Versioned::new(0)).collect();

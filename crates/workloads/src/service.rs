@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pipelines::graph::{CompiledGraph, GraphSpec, ServiceConfig};
+use pipelines::graph::{Admission, CompiledGraph, GraphSpec, ServiceConfig};
 use pipelines::service::ServiceStorageStats;
 use swan::{JobTableStats, Runtime};
 
@@ -288,7 +288,10 @@ where
                     }
                     let input = make_input(j);
                     let submit = Instant::now();
-                    let out = graph.run_job(input).join();
+                    let out = graph
+                        .submit(input, Admission::Unbounded)
+                        .expect_accepted()
+                        .join();
                     local.push(submit.elapsed().as_secs_f64() * 1e6);
                     check(j, &out);
                     completed.fetch_add(1, Ordering::Relaxed);
@@ -363,7 +366,10 @@ fn warm_up<I, O>(
     I: Send + 'static,
     O: Send + 'static,
 {
-    graph.run_job(make_input(0)).join();
+    graph
+        .submit(make_input(0), Admission::Unbounded)
+        .expect_accepted()
+        .join();
     graph.prewarm(cfg.prewarm_depth());
 }
 

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use hyperqueues::pipelines::graph::ServiceConfig;
+use hyperqueues::pipelines::graph::{Admission, ServiceConfig};
 use hyperqueues::swan::Runtime;
 use hyperqueues::workloads::service::{
     job_lines, wordcount_serial, wordcount_spec, ServiceWorkloadConfig,
@@ -36,7 +36,10 @@ fn main() {
 
     // Warm the graph (instantiates the per-edge segment pools), then park
     // the worst-case segment demand so the loop below never allocates.
-    graph.run_job(job_lines(&cfg, 0)).join();
+    graph
+        .submit(job_lines(&cfg, 0), Admission::Unbounded)
+        .expect_accepted()
+        .join();
     graph.prewarm(cfg.prewarm_depth());
     let warm = graph.storage_stats();
 
@@ -49,7 +52,9 @@ fn main() {
             if j == 20 {
                 rt.resize_workers(1);
             }
-            graph.run_job(job_lines(&cfg, j))
+            graph
+                .submit(job_lines(&cfg, j), Admission::Unbounded)
+                .expect_accepted()
         })
         .collect();
     for (j, h) in handles.into_iter().enumerate() {

@@ -8,6 +8,8 @@
 //! ```text
 //! hqd [--addr 127.0.0.1:7171] [--workload wordcount|logstream]
 //!     [--workers N]          0 (default) = persistent(): one per core, elastic
+//!     [--scheduler P]        help-first (default) | steal-first | steal-first:N
+//!                            (N = steal batch); HQ_SCHED sets the default
 //!     [--max-in-flight N]    admission bound, default 4
 //!     [--max-queued N]       accepted-but-waiting bound, default 64 (then RETRY)
 //!     [--degree N]           fan-out/shard degree inside each job, default 4
@@ -24,14 +26,15 @@ use std::time::Duration;
 
 use pipelines::graph::ServiceConfig;
 use pipelines::ingress::{IngressConfig, IngressServer};
-use swan::Runtime;
+use swan::{Runtime, RuntimeConfig, SchedulerPolicy};
 use workloads::service::{logstream_digest_spec, wordcount_spec};
 use workloads::wire::{LogstreamCodec, WordcountCodec};
 
-const KNOWN_FLAGS: [&str; 7] = [
+const KNOWN_FLAGS: [&str; 8] = [
     "--addr",
     "--workload",
     "--workers",
+    "--scheduler",
     "--max-in-flight",
     "--max-queued",
     "--degree",
@@ -84,11 +87,29 @@ fn main() {
     let degree = flag_usize(&args, "--degree", 4);
     let run_secs = flag_usize(&args, "--run-secs", 0);
 
-    let rt = Arc::new(if workers == 0 {
-        Runtime::persistent()
+    // --scheduler overrides HQ_SCHED, which overrides help-first.
+    let scheduler = match flag(&args, "--scheduler") {
+        None => RuntimeConfig::default().scheduler,
+        Some(v) => SchedulerPolicy::parse(&v).unwrap_or_else(|| {
+            eprintln!(
+                "hqd: --scheduler expects help-first, steal-first or \
+                 steal-first:N, got {v:?}"
+            );
+            std::process::exit(2);
+        }),
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let worker_range = if workers == 0 {
+        // persistent() shape: one worker per core, elastic headroom to 8.
+        cores..=cores.max(8)
     } else {
-        Runtime::with_workers(workers)
-    });
+        workers..=workers
+    };
+    let rt = Arc::new(Runtime::new(
+        RuntimeConfig::new()
+            .workers(worker_range)
+            .scheduler(scheduler),
+    ));
     let service_cfg = ServiceConfig {
         max_in_flight,
         ..ServiceConfig::default()
@@ -124,10 +145,11 @@ fn main() {
     };
 
     println!(
-        "hqd: serving {workload} on {} ({} workers, max_in_flight {max_in_flight}, \
-         max_queued {max_queued})",
+        "hqd: serving {workload} on {} ({} workers, {:?}, \
+         max_in_flight {max_in_flight}, max_queued {max_queued})",
         server.local_addr(),
         rt.active_workers(),
+        rt.scheduler(),
     );
 
     if run_secs > 0 {

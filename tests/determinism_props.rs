@@ -84,8 +84,8 @@ proptest! {
         serial_order(&plan, &mut 0, &mut expect);
 
         let cfg = match chaos {
-            Some(seed) => RuntimeConfig::with_workers(workers).with_chaos(seed, 25),
-            None => RuntimeConfig::with_workers(workers),
+            Some(seed) => RuntimeConfig::new().workers(workers).with_chaos(seed, 25),
+            None => RuntimeConfig::new().workers(workers),
         };
         let rt = Runtime::new(cfg);
         let mut got = Vec::new();

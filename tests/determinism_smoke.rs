@@ -28,8 +28,8 @@ fn produce(s: &Scope<'_>, mut p: PushToken<u64>, base: u64) {
 /// Runs the program and returns the consumer's observed pop order.
 fn pop_order(workers: usize, seg_cap: usize, chaos: Option<u64>) -> Vec<u64> {
     let cfg = match chaos {
-        Some(seed) => RuntimeConfig::with_workers(workers).with_chaos(seed, 30),
-        None => RuntimeConfig::with_workers(workers),
+        Some(seed) => RuntimeConfig::new().workers(workers).with_chaos(seed, 30),
+        None => RuntimeConfig::new().workers(workers),
     };
     let rt = Runtime::new(cfg);
     let mut got = Vec::new();

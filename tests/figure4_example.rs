@@ -15,8 +15,8 @@ use hyperqueues::swan::{Runtime, RuntimeConfig};
 
 fn run_figure4(workers: usize, chaos_seed: Option<u64>) -> (Vec<u32>, Vec<u32>) {
     let cfg = match chaos_seed {
-        Some(seed) => RuntimeConfig::with_workers(workers).with_chaos(seed, 60),
-        None => RuntimeConfig::with_workers(workers),
+        Some(seed) => RuntimeConfig::new().workers(workers).with_chaos(seed, 60),
+        None => RuntimeConfig::new().workers(workers),
     };
     let rt = Runtime::new(cfg);
     let mut consumed = Vec::new();

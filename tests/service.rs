@@ -18,8 +18,8 @@
 
 use std::sync::Arc;
 
-use hyperqueues::pipelines::graph::{GraphSpec, ServiceConfig};
-use hyperqueues::swan::{Runtime, RuntimeConfig};
+use hyperqueues::pipelines::graph::{Admission, GraphSpec, ServiceConfig};
+use hyperqueues::swan::{Runtime, RuntimeConfig, SchedulerPolicy};
 use hyperqueues::workloads::service::{
     build_wordcount_service, job_lines, logstream_digest_serial, logstream_digest_spec,
     wordcount_serial, ServiceWorkloadConfig,
@@ -42,33 +42,48 @@ fn sustained_jobs() -> usize {
         .unwrap_or(1000)
 }
 
+/// Both scheduler policies: concurrent-job determinism must hold whether
+/// idle workers help through FIFO rings or steal from Chase-Lev deques.
+const POLICIES: [SchedulerPolicy; 2] = [
+    SchedulerPolicy::HelpFirst,
+    SchedulerPolicy::StealFirst { steal_batch: 8 },
+];
+
 #[test]
 fn concurrent_jobs_deterministic_on_1_2_8_workers() {
     let cfg = small_cfg(16);
     let expected: Vec<_> = (0..cfg.jobs)
         .map(|j| wordcount_serial(&job_lines(&cfg, j)))
         .collect();
-    for workers in [1usize, 2, 8] {
-        let rt = Arc::new(Runtime::with_workers(workers));
-        let graph = build_wordcount_service(rt, &cfg);
-        // Submit everything up front so jobs genuinely overlap (up to the
-        // admission bound), then join in submission order.
-        let handles: Vec<_> = (0..cfg.jobs)
-            .map(|j| graph.run_job(job_lines(&cfg, j)))
-            .collect();
-        for (j, h) in handles.into_iter().enumerate() {
-            assert_eq!(
-                h.join(),
-                expected[j],
-                "job {j} diverged from its serial elision at {workers} workers"
+    for policy in POLICIES {
+        for workers in [1usize, 2, 8] {
+            let rt = Arc::new(Runtime::new(
+                RuntimeConfig::new().workers(workers).scheduler(policy),
+            ));
+            let graph = build_wordcount_service(rt, &cfg);
+            // Submit everything up front so jobs genuinely overlap (up to
+            // the admission bound), then join in submission order.
+            let handles: Vec<_> = (0..cfg.jobs)
+                .map(|j| {
+                    graph
+                        .submit(job_lines(&cfg, j), Admission::Unbounded)
+                        .expect_accepted()
+                })
+                .collect();
+            for (j, h) in handles.into_iter().enumerate() {
+                assert_eq!(
+                    h.join(),
+                    expected[j],
+                    "job {j} diverged from its serial elision at {workers}                      workers under {policy:?}"
+                );
+            }
+            let stats = graph.job_stats();
+            assert_eq!(stats.completed, cfg.jobs as u64);
+            assert!(
+                stats.high_water_in_flight <= cfg.max_in_flight,
+                "admission bound violated at {workers} workers: {stats:?}"
             );
         }
-        let stats = graph.job_stats();
-        assert_eq!(stats.completed, cfg.jobs as u64);
-        assert!(
-            stats.high_water_in_flight <= cfg.max_in_flight,
-            "admission bound violated at {workers} workers: {stats:?}"
-        );
     }
 }
 
@@ -95,7 +110,10 @@ fn sustained_jobs_allocate_zero_segments_after_warmup() {
     // demand in every pool.
     let lines0 = job_lines(&cfg, 0);
     assert_eq!(
-        graph.run_job(lines0.clone()).join(),
+        graph
+            .submit(lines0.clone(), Admission::Unbounded)
+            .expect_accepted()
+            .join(),
         logstream_digest_serial(&lines0, 0)
     );
     graph.prewarm(cfg.prewarm_depth());
@@ -103,7 +121,10 @@ fn sustained_jobs_allocate_zero_segments_after_warmup() {
 
     for j in 1..=jobs {
         let lines = job_lines(&cfg, j);
-        let out = graph.run_job(lines.clone()).join();
+        let out = graph
+            .submit(lines.clone(), Admission::Unbounded)
+            .expect_accepted()
+            .join();
         if j % 251 == 0 {
             assert_eq!(out, logstream_digest_serial(&lines, 0), "job {j} diverged");
         }
@@ -132,7 +153,7 @@ fn elastic_resize_between_and_during_jobs_keeps_output_identical() {
     let expected: Vec<_> = (0..cfg.jobs)
         .map(|j| wordcount_serial(&job_lines(&cfg, j)))
         .collect();
-    let rt = Arc::new(Runtime::new(RuntimeConfig::with_worker_range(1, 8)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::new().workers(1..=8)));
     let graph = build_wordcount_service(Arc::clone(&rt), &cfg);
     // Sweep the pool size while jobs flow: grow mid-stream, shrink back.
     for (j, expect) in expected.iter().enumerate() {
@@ -143,7 +164,9 @@ fn elastic_resize_between_and_during_jobs_keeps_output_identical() {
             9 => assert_eq!(rt.resize_workers(1), 1),
             _ => {}
         }
-        let h = graph.run_job(job_lines(&cfg, j));
+        let h = graph
+            .submit(job_lines(&cfg, j), Admission::Unbounded)
+            .expect_accepted();
         if j % 2 == 0 {
             // Resize *while* this job runs, too.
             rt.resize_workers(if j % 4 == 0 { 5 } else { 2 });
@@ -159,7 +182,11 @@ fn admission_is_fifo_and_bounded_under_burst() {
     let rt = Arc::new(Runtime::with_workers(2));
     let graph = build_wordcount_service(rt, &cfg);
     let handles: Vec<_> = (0..cfg.jobs)
-        .map(|j| graph.run_job(job_lines(&cfg, j)))
+        .map(|j| {
+            graph
+                .submit(job_lines(&cfg, j), Admission::Unbounded)
+                .expect_accepted()
+        })
         .collect();
     // Handles carry the admission sequence: submission order is FIFO.
     for (j, h) in handles.iter().enumerate() {
@@ -189,8 +216,16 @@ proptest! {
         max_in_flight in 1usize..5,
         seg_cap in 2usize..32,
         workers in 1usize..4,
+        steal_first in any::<bool>(),
     ) {
-        let rt = Arc::new(Runtime::with_workers(workers));
+        let policy = if steal_first {
+            SchedulerPolicy::StealFirst { steal_batch: 8 }
+        } else {
+            SchedulerPolicy::HelpFirst
+        };
+        let rt = Arc::new(Runtime::new(
+            RuntimeConfig::new().workers(workers).scheduler(policy),
+        ));
         let graph = GraphSpec::<u64, u64>::new()
             .fanout_map(3, 8, |x| x.wrapping_mul(x) ^ 0x9E37)
             .filter_map(|x| (x % 3 != 1).then_some(x))
@@ -210,7 +245,11 @@ proptest! {
             .collect();
         let handles: Vec<_> = inputs
             .iter()
-            .map(|input| graph.run_job(input.clone()))
+            .map(|input| {
+                graph
+                    .submit(input.clone(), Admission::Unbounded)
+                    .expect_accepted()
+            })
             .collect();
         for (input, h) in inputs.iter().zip(handles) {
             let expect: Vec<u64> = input
