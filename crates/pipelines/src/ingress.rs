@@ -22,14 +22,34 @@
 //! 13      len - 9  body (kind-specific)
 //! ```
 //!
-//! | kind | name      | direction | body                                  |
-//! |------|-----------|-----------|---------------------------------------|
-//! | 1    | Submit    | c → s     | job payload ([`JobCodec::decode_job`])|
-//! | 2    | Result    | s → c     | job output ([`JobCodec::encode_result`]) |
-//! | 3    | Retry     | s → c     | u32 LE: waiting-line depth at refusal |
-//! | 4    | Error     | s → c     | UTF-8 message (`req_id` 0 = connection-level) |
-//! | 5    | Stats     | c → s     | empty                                 |
-//! | 6    | StatsOk   | s → c     | UTF-8 JSON snapshot                   |
+//! | kind | name          | direction | body                                  |
+//! |------|---------------|-----------|---------------------------------------|
+//! | 1    | Submit        | c → s     | job payload ([`JobCodec::decode_job`])|
+//! | 2    | Result        | s → c     | job output ([`JobCodec::encode_result`]) |
+//! | 3    | Retry         | s → c     | u32 LE: waiting-line depth at refusal |
+//! | 4    | Error         | s → c     | UTF-8 message (`req_id` 0 = connection-level) |
+//! | 5    | Stats         | c → s     | empty                                 |
+//! | 6    | StatsOk       | s → c     | UTF-8 JSON snapshot                   |
+//! | 7    | SubmitDurable | c → s     | job payload; `req_id` = durable job id |
+//! | 8    | Ack           | c → s     | empty — confirm receipt of `req_id`'s result |
+//! | 9    | Query         | c → s     | empty — ask `req_id`'s durable status |
+//! | 10   | QueryOk       | s → c     | status byte (see [`QueryStatus`]) · payload |
+//!
+//! # Durable jobs
+//!
+//! A server bound with [`IngressServer::bind_durable`] additionally
+//! accepts `SubmitDurable` frames, whose `req_id` is a **client-assigned
+//! durable job id** (non-zero, unique per journal): the job is journaled
+//! to a [`crate::journal::Journal`] before execution, its result is
+//! journaled *before* the Result frame is written, and the whole thing
+//! survives a daemon crash — on restart, [`IngressServer::bind_durable`]
+//! replays the journal, restores completed results, and re-runs
+//! still-pending jobs through the graph (determinism makes the re-run
+//! byte-identical). A duplicate `SubmitDurable` of an in-flight or
+//! completed id never re-runs the job: it waits for / returns the
+//! journaled result. `Ack` retires an id (fire-and-forget; its segments
+//! become compactable), and `Query` reports an id's status without
+//! side effects. See DESIGN.md §6.4 for the durability design.
 //!
 //! # Ordering and determinism
 //!
@@ -58,6 +78,8 @@
 //!   stop at the next frame boundary, drains all accepted jobs through
 //!   the writers, and joins every thread — the graceful path.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,7 +89,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::service::{Admission, CompiledGraph, JobHandle, Submission};
+use crate::journal::{encode_failed_body, JobReplayStatus, Journal, RecordKind, Replay};
+use crate::service::{Admission, CompiledGraph, JobError, JobHandle, Submission};
 
 /// Default cap on a single frame's `len` field (8 MiB).
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
@@ -95,6 +118,18 @@ pub enum FrameKind {
     Stats = 5,
     /// Server → client: stats snapshot (UTF-8 JSON body).
     StatsOk = 6,
+    /// Client → server: run one *durable* job; `req_id` is the
+    /// client-assigned durable job id (non-zero). Requires a server bound
+    /// with [`IngressServer::bind_durable`].
+    SubmitDurable = 7,
+    /// Client → server: acknowledge receipt of `req_id`'s result, making
+    /// its journal records compactable. Fire-and-forget (no reply).
+    Ack = 8,
+    /// Client → server: ask the durable status of `req_id` (empty body).
+    Query = 9,
+    /// Server → client: reply to Query — one [`QueryStatus`] byte, then
+    /// the result bytes (Done) or failure message (Failed).
+    QueryOk = 10,
 }
 
 impl FrameKind {
@@ -106,6 +141,41 @@ impl FrameKind {
             4 => FrameKind::Error,
             5 => FrameKind::Stats,
             6 => FrameKind::StatsOk,
+            7 => FrameKind::SubmitDurable,
+            8 => FrameKind::Ack,
+            9 => FrameKind::Query,
+            10 => FrameKind::QueryOk,
+            _ => return None,
+        })
+    }
+}
+
+/// Status byte of a [`FrameKind::QueryOk`] body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum QueryStatus {
+    /// The id has never been submitted (or was compacted after ack on a
+    /// previous journal generation).
+    Unknown = 0,
+    /// Submitted and still executing.
+    InFlight = 1,
+    /// Completed; the rest of the QueryOk body is the result bytes.
+    Done = 2,
+    /// Failed terminally; the rest of the body is the failure message.
+    Failed = 3,
+    /// Completed and acknowledged (result bytes no longer retained).
+    Acked = 4,
+}
+
+impl QueryStatus {
+    /// Parses a QueryOk status byte.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => QueryStatus::Unknown,
+            1 => QueryStatus::InFlight,
+            2 => QueryStatus::Done,
+            3 => QueryStatus::Failed,
+            4 => QueryStatus::Acked,
             _ => return None,
         })
     }
@@ -252,8 +322,9 @@ impl FrameDecoder {
 /// must encode to equal bytes, or the protocol's byte-identical response
 /// guarantee breaks at the edge.
 pub trait JobCodec: Send + Sync + 'static {
-    /// The graph's input value type.
-    type In: Send + 'static;
+    /// The graph's input value type. `Clone` is what lets the service
+    /// retry a failed job and the durable path re-run a journaled one.
+    type In: Clone + Send + 'static;
     /// The graph's output value type.
     type Out: Send + 'static;
 
@@ -306,6 +377,11 @@ struct Counters {
     retries_sent: AtomicU64,
     errors_sent: AtomicU64,
     protocol_errors: AtomicU64,
+    results_dropped: AtomicU64,
+    durable_jobs: AtomicU64,
+    durable_dupes: AtomicU64,
+    acks: AtomicU64,
+    queries: AtomicU64,
 }
 
 /// Counter snapshot of an [`IngressServer`] (monotonic unless noted).
@@ -330,6 +406,20 @@ pub struct IngressStats {
     pub errors_sent: u64,
     /// Connections dropped for malformed/oversized frames.
     pub protocol_errors: u64,
+    /// Job results that could not be delivered because the client's
+    /// socket was already dead when the writer got to them. The job still
+    /// completed (and, for durable jobs, its result is journaled); this
+    /// counter is what makes the drop visible instead of silent.
+    pub results_dropped: u64,
+    /// Durable submissions accepted (fresh ids journaled and run).
+    pub durable_jobs: u64,
+    /// Duplicate durable submissions answered from the journal/table
+    /// instead of re-running (the at-least-once dedupe hits).
+    pub durable_dupes: u64,
+    /// Durable jobs acknowledged by clients.
+    pub acks: u64,
+    /// Query frames answered.
+    pub queries: u64,
 }
 
 impl Counters {
@@ -344,6 +434,11 @@ impl Counters {
             retries_sent: self.retries_sent.load(Ordering::Relaxed),
             errors_sent: self.errors_sent.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            results_dropped: self.results_dropped.load(Ordering::Relaxed),
+            durable_jobs: self.durable_jobs.load(Ordering::Relaxed),
+            durable_dupes: self.durable_dupes.load(Ordering::Relaxed),
+            acks: self.acks.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
         }
     }
 }
@@ -352,12 +447,111 @@ impl Counters {
 // The server.
 // ---------------------------------------------------------------------------
 
+/// What a waiter on a duplicate in-flight durable submit receives once
+/// the job resolves: the journaled result bytes or the failure message.
+type DurableOutcome = Result<Arc<Vec<u8>>, String>;
+
+/// One durable job id's server-side state.
+enum DurableEntry {
+    /// Accepted and executing; the senders are duplicate submitters
+    /// waiting for the same result.
+    InFlight(Vec<mpsc::Sender<DurableOutcome>>),
+    /// Completed; result bytes are journaled and retained until ack.
+    Done(Arc<Vec<u8>>),
+    /// Failed terminally (retry budget exhausted); message retained.
+    Failed(String),
+    /// Acknowledged: retired, result bytes released, compactable.
+    Acked,
+}
+
+/// The durable half of a server bound with
+/// [`IngressServer::bind_durable`]: the journal plus the in-memory job
+/// table the journal is the write-ahead log *of*.
+struct DurableState {
+    journal: Arc<Journal>,
+    table: Mutex<HashMap<u64, DurableEntry>>,
+}
+
+/// What [`IngressServer::bind_durable`] found in the journal and did
+/// about it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Durable jobs reconstructed from the journal.
+    pub journaled_jobs: u64,
+    /// Jobs found pending (submitted, never completed) and re-run.
+    pub resubmitted: u64,
+    /// Completed-but-unacked results restored into the table.
+    pub restored_results: u64,
+    /// Terminal failures restored into the table.
+    pub restored_failures: u64,
+    /// Acknowledged ids restored (retired, awaiting compaction).
+    pub restored_acked: u64,
+    /// Journal records rejected on replay (CRC mismatch / torn tail).
+    pub corrupt_records: u64,
+}
+
 struct Shared<C: JobCodec> {
     graph: Arc<CompiledGraph<C::In, C::Out>>,
     codec: Arc<C>,
     cfg: IngressConfig,
     counters: Arc<Counters>,
     shutdown: Arc<AtomicBool>,
+    /// `Some` only on servers bound with [`IngressServer::bind_durable`];
+    /// plain `bind` servers reject durable frames with an Error.
+    durable: Option<Arc<DurableState>>,
+}
+
+/// Journals a durable job's terminal state (Result/Failed record,
+/// fsync-durable before returning), publishes it in the table, and wakes
+/// every duplicate submitter waiting on the id. The returned outcome is
+/// what the caller should encode into its own reply frame — the Result
+/// frame therefore never precedes the record that makes it replayable.
+fn complete_durable<C: JobCodec>(
+    shared: &Shared<C>,
+    durable: &DurableState,
+    job_id: u64,
+    result: Result<Vec<C::Out>, JobError>,
+) -> DurableOutcome {
+    let outcome: DurableOutcome = match result {
+        Ok(vals) => {
+            let mut body = Vec::new();
+            shared.codec.encode_result(&vals, &mut body);
+            durable
+                .journal
+                .append_sync(RecordKind::Result, job_id, &body);
+            Ok(Arc::new(body))
+        }
+        Err(e) => {
+            let message = e.to_string();
+            durable.journal.append_sync(
+                RecordKind::Failed,
+                job_id,
+                &encode_failed_body(e.attempts(), &message),
+            );
+            Err(message)
+        }
+    };
+    let waiters = {
+        let mut table = durable.table.lock();
+        let entry = table
+            .entry(job_id)
+            .or_insert(DurableEntry::InFlight(Vec::new()));
+        let waiters = match entry {
+            DurableEntry::InFlight(waiters) => std::mem::take(waiters),
+            // Already resolved (e.g. replay restored it); keep the first
+            // journaled outcome authoritative.
+            _ => Vec::new(),
+        };
+        *entry = match &outcome {
+            Ok(bytes) => DurableEntry::Done(Arc::clone(bytes)),
+            Err(msg) => DurableEntry::Failed(msg.clone()),
+        };
+        waiters
+    };
+    for w in waiters {
+        let _ = w.send(outcome.clone());
+    }
+    outcome
 }
 
 /// A TCP ingress daemon fronting one [`CompiledGraph`] (see module docs).
@@ -381,32 +575,94 @@ impl IngressServer {
         codec: Arc<C>,
         cfg: IngressConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, graph, codec, cfg, None).map(|(server, _)| server)
+    }
+
+    /// [`bind`](IngressServer::bind) plus durability: accepts
+    /// `SubmitDurable`/`Ack`/`Query` frames backed by `journal`, and
+    /// **recovers** whatever `replay` (the [`crate::journal::Journal::open`]
+    /// scan of that journal) found from a previous daemon life —
+    /// completed results are restored for re-delivery, and jobs that were
+    /// submitted but never completed are re-run through the graph (their
+    /// deterministic output is byte-identical to the run the crash ate).
+    /// The returned [`RecoveryReport`] says what was restored; recovered
+    /// jobs complete on a background thread that is joined at shutdown.
+    pub fn bind_durable<C: JobCodec>(
+        addr: impl ToSocketAddrs,
+        graph: Arc<CompiledGraph<C::In, C::Out>>,
+        codec: Arc<C>,
+        cfg: IngressConfig,
+        journal: Arc<Journal>,
+        replay: &Replay,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        Self::bind_inner(addr, graph, codec, cfg, Some((journal, replay)))
+    }
+
+    fn bind_inner<C: JobCodec>(
+        addr: impl ToSocketAddrs,
+        graph: Arc<CompiledGraph<C::In, C::Out>>,
+        codec: Arc<C>,
+        cfg: IngressConfig,
+        durable: Option<(Arc<Journal>, &Replay)>,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let durable_state = durable.as_ref().map(|(journal, _)| {
+            Arc::new(DurableState {
+                journal: Arc::clone(journal),
+                table: Mutex::new(HashMap::new()),
+            })
+        });
         let shared = Arc::new(Shared {
             graph,
             codec,
             cfg,
             counters: Arc::clone(&counters),
             shutdown: Arc::clone(&shutdown),
+            durable: durable_state.clone(),
         });
+        let mut report = RecoveryReport::default();
+        if let (Some(state), Some((_, replay))) = (&durable_state, &durable) {
+            let recovery = recover_from_replay(&shared, state, replay, &mut report);
+            if !recovery.is_empty() {
+                let shared = Arc::clone(&shared);
+                let state = Arc::clone(state);
+                let handle = std::thread::Builder::new()
+                    .name("hqd-recover".to_string())
+                    .spawn(move || {
+                        for (job_id, handle) in recovery {
+                            let result = handle.wait();
+                            shared
+                                .counters
+                                .jobs_completed
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = complete_durable(&shared, &state, job_id, result);
+                        }
+                    })
+                    .expect("failed to spawn recovery thread");
+                conns.lock().push(handle);
+            }
+        }
         let accept_conns = Arc::clone(&conns);
         let accept_shutdown = Arc::clone(&shutdown);
         let acceptor = std::thread::Builder::new()
             .name("hqd-accept".to_string())
             .spawn(move || accept_loop(listener, shared, accept_conns, accept_shutdown))
             .expect("failed to spawn acceptor thread");
-        Ok(IngressServer {
-            addr,
-            shutdown,
-            counters,
-            acceptor: Some(acceptor),
-            conns,
-        })
+        Ok((
+            IngressServer {
+                addr,
+                shutdown,
+                counters,
+                acceptor: Some(acceptor),
+                conns,
+            },
+            report,
+        ))
     }
 
     /// The bound address (useful with port 0).
@@ -469,6 +725,60 @@ fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
     }
 }
 
+/// Rebuilds the durable table from a journal replay. Terminal states are
+/// restored verbatim; pending jobs are resubmitted (Unbounded — they
+/// already passed admission in their previous life) and returned for the
+/// recovery thread to complete. Called before the acceptor starts, so no
+/// client can race the rebuild.
+fn recover_from_replay<C: JobCodec>(
+    shared: &Shared<C>,
+    state: &DurableState,
+    replay: &Replay,
+    report: &mut RecoveryReport,
+) -> Vec<(u64, JobHandle<C::Out>)> {
+    let mut pending = Vec::new();
+    let mut table = state.table.lock();
+    for (&id, job) in &replay.jobs {
+        report.journaled_jobs += 1;
+        match &job.status {
+            JobReplayStatus::Acked => {
+                report.restored_acked += 1;
+                table.insert(id, DurableEntry::Acked);
+            }
+            JobReplayStatus::Done(bytes) => {
+                report.restored_results += 1;
+                table.insert(id, DurableEntry::Done(Arc::new(bytes.clone())));
+            }
+            JobReplayStatus::Failed { message, .. } => {
+                report.restored_failures += 1;
+                table.insert(id, DurableEntry::Failed(message.clone()));
+            }
+            JobReplayStatus::Pending => match shared.codec.decode_job(&job.payload) {
+                Ok(input) => {
+                    let handle = shared
+                        .graph
+                        .submit(input, Admission::Unbounded)
+                        .expect_accepted();
+                    table.insert(id, DurableEntry::InFlight(Vec::new()));
+                    report.resubmitted += 1;
+                    pending.push((id, handle));
+                }
+                Err(msg) => {
+                    report.restored_failures += 1;
+                    table.insert(
+                        id,
+                        DurableEntry::Failed(format!(
+                            "journaled payload undecodable on replay: {msg}"
+                        )),
+                    );
+                }
+            },
+        }
+    }
+    report.corrupt_records = replay.corrupt_records;
+    pending
+}
+
 fn accept_loop<C: JobCodec>(
     listener: TcpListener,
     shared: Arc<Shared<C>>,
@@ -509,23 +819,65 @@ fn accept_loop<C: JobCodec>(
 /// What the reader hands the writer. One FIFO channel per connection:
 /// whatever order requests arrived in is the order replies go out.
 enum Reply<O> {
-    Job { req_id: u64, handle: JobHandle<O> },
-    Retry { req_id: u64, queued: u32 },
-    Error { req_id: u64, message: String },
-    Stats { req_id: u64, body: String },
+    Job {
+        req_id: u64,
+        handle: JobHandle<O>,
+    },
+    Retry {
+        req_id: u64,
+        queued: u32,
+    },
+    Error {
+        req_id: u64,
+        message: String,
+    },
+    Stats {
+        req_id: u64,
+        body: String,
+    },
+    /// A freshly accepted durable job: the writer joins the handle, makes
+    /// the outcome journal-durable via [`complete_durable`], *then*
+    /// writes the Result/Error frame.
+    DurableJob {
+        req_id: u64,
+        handle: JobHandle<O>,
+    },
+    /// A duplicate submit of an in-flight id: the writer blocks on the
+    /// channel until the original submission resolves the job.
+    DurableWait {
+        req_id: u64,
+        rx: mpsc::Receiver<DurableOutcome>,
+    },
+    /// A duplicate submit answered instantly from the table (the result
+    /// is already journal-durable).
+    DurableDone {
+        req_id: u64,
+        outcome: DurableOutcome,
+    },
+    /// A Query answer: one QueryStatus byte plus status-specific bytes.
+    Query {
+        req_id: u64,
+        body: Vec<u8>,
+    },
 }
 
 fn connection_loop<C: JobCodec>(shared: Arc<Shared<C>>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // The reader is the side that *observes* a vanished client (EOF or a
+    // hard read error); the first write after a FIN still succeeds into
+    // the send buffer, so the writer cannot detect it alone. This flag is
+    // how undeliverable results get counted instead of silently buffered.
+    let peer_gone = Arc::new(AtomicBool::new(false));
     let (reply_tx, reply_rx) = mpsc::channel::<Reply<C::Out>>();
     let writer_shared = Arc::clone(&shared);
+    let writer_peer_gone = Arc::clone(&peer_gone);
     let writer = std::thread::Builder::new()
         .name("hqd-write".to_string())
-        .spawn(move || writer_loop(writer_shared, write_half, reply_rx))
+        .spawn(move || writer_loop(writer_shared, write_half, reply_rx, writer_peer_gone))
         .expect("failed to spawn connection writer thread");
-    reader_loop(&shared, stream, &reply_tx);
+    reader_loop(&shared, stream, &reply_tx, &peer_gone);
     drop(reply_tx); // closes the channel: writer drains and exits
     let _ = writer.join();
 }
@@ -534,6 +886,7 @@ fn reader_loop<C: JobCodec>(
     shared: &Shared<C>,
     mut stream: TcpStream,
     reply_tx: &mpsc::Sender<Reply<C::Out>>,
+    peer_gone: &AtomicBool,
 ) {
     // A finite read timeout turns blocked reads into shutdown-flag polls.
     let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
@@ -544,7 +897,13 @@ fn reader_loop<C: JobCodec>(
             return; // graceful: stop at a frame boundary, writer drains
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return, // client closed
+            Ok(0) => {
+                // Client closed: pending results are undeliverable. Not
+                // set on the graceful-shutdown path above, where the
+                // client is still reading its drained responses.
+                peer_gone.store(true, Ordering::Release);
+                return;
+            }
             Ok(n) => {
                 shared
                     .counters
@@ -583,7 +942,11 @@ fn reader_loop<C: JobCodec>(
             {
                 continue;
             }
-            Err(_) => return,
+            Err(_) => {
+                // Hard read error (reset, aborted): same as a close.
+                peer_gone.store(true, Ordering::Release);
+                return;
+            }
         }
     }
 }
@@ -629,11 +992,39 @@ fn handle_frame<C: JobCodec>(
             req_id: frame.req_id,
             body: stats_json(shared),
         },
+        FrameKind::SubmitDurable => match handle_submit_durable(shared, &frame) {
+            Some(reply) => reply,
+            None => return true, // nothing to send (can't happen today)
+        },
+        FrameKind::Ack => {
+            match handle_ack(shared, frame.req_id, &frame.body) {
+                // Ack is fire-and-forget: success sends nothing.
+                None => return true,
+                Some(message) => Reply::Error {
+                    req_id: frame.req_id,
+                    message,
+                },
+            }
+        }
+        FrameKind::Query => match handle_query(shared, frame.req_id, &frame.body) {
+            Ok(body) => Reply::Query {
+                req_id: frame.req_id,
+                body,
+            },
+            Err(message) => Reply::Error {
+                req_id: frame.req_id,
+                message,
+            },
+        },
         // Server-to-client kinds arriving at the server are protocol
         // errors: close after reporting. Connection-fatal errors use
         // req_id 0 (the documented connection-level id) so clients never
         // mistake them for a per-request failure.
-        FrameKind::Result | FrameKind::Retry | FrameKind::Error | FrameKind::StatsOk => {
+        FrameKind::Result
+        | FrameKind::Retry
+        | FrameKind::Error
+        | FrameKind::StatsOk
+        | FrameKind::QueryOk => {
             shared
                 .counters
                 .protocol_errors
@@ -649,6 +1040,160 @@ fn handle_frame<C: JobCodec>(
     reply_tx.send(reply).is_ok()
 }
 
+/// One SubmitDurable frame. The whole decision — duplicate detection,
+/// admission, journaling, table insertion — happens under the table lock,
+/// so two connections racing the same id cannot both run the job.
+fn handle_submit_durable<C: JobCodec>(shared: &Shared<C>, frame: &Frame) -> Option<Reply<C::Out>> {
+    let Some(durable) = &shared.durable else {
+        return Some(Reply::Error {
+            req_id: frame.req_id,
+            message: "durable submissions disabled (start the server with a journal)".to_string(),
+        });
+    };
+    if frame.req_id == 0 {
+        return Some(Reply::Error {
+            req_id: 0,
+            message: "durable job id must be non-zero (0 is the connection-level id)".to_string(),
+        });
+    }
+    let mut table = durable.table.lock();
+    match table.entry(frame.req_id) {
+        Entry::Occupied(mut entry) => {
+            // At-least-once dedupe: never re-run a known id.
+            shared
+                .counters
+                .durable_dupes
+                .fetch_add(1, Ordering::Relaxed);
+            match entry.get_mut() {
+                DurableEntry::InFlight(waiters) => {
+                    let (tx, rx) = mpsc::channel();
+                    waiters.push(tx);
+                    Some(Reply::DurableWait {
+                        req_id: frame.req_id,
+                        rx,
+                    })
+                }
+                DurableEntry::Done(bytes) => Some(Reply::DurableDone {
+                    req_id: frame.req_id,
+                    outcome: Ok(Arc::clone(bytes)),
+                }),
+                DurableEntry::Failed(message) => Some(Reply::DurableDone {
+                    req_id: frame.req_id,
+                    outcome: Err(message.clone()),
+                }),
+                DurableEntry::Acked => Some(Reply::Error {
+                    req_id: frame.req_id,
+                    message: format!(
+                        "durable job {} already acknowledged; its result was released",
+                        frame.req_id
+                    ),
+                }),
+            }
+        }
+        Entry::Vacant(slot) => match shared.codec.decode_job(&frame.body) {
+            Ok(input) => {
+                let admission = Admission::Bounded {
+                    max_queued: shared.cfg.max_queued.max(1),
+                };
+                match shared.graph.submit(input, admission) {
+                    Submission::Accepted(handle) => {
+                        // Journal before the client can observe the
+                        // acceptance. No explicit sync here: the WAL is
+                        // sequential, so the Result record's sync (which
+                        // gates the Result frame) covers this record too.
+                        durable
+                            .journal
+                            .append(RecordKind::Submit, frame.req_id, &frame.body);
+                        slot.insert(DurableEntry::InFlight(Vec::new()));
+                        shared.counters.durable_jobs.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .jobs_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        Some(Reply::DurableJob {
+                            req_id: frame.req_id,
+                            handle,
+                        })
+                    }
+                    Submission::Rejected { depth, .. } => {
+                        shared.counters.retries_sent.fetch_add(1, Ordering::Relaxed);
+                        Some(Reply::Retry {
+                            req_id: frame.req_id,
+                            queued: depth.min(u32::MAX as usize) as u32,
+                        })
+                    }
+                }
+            }
+            Err(msg) => Some(Reply::Error {
+                req_id: frame.req_id,
+                message: format!("bad job payload: {msg}"),
+            }),
+        },
+    }
+}
+
+/// One Ack frame. `None` = success (fire-and-forget, no reply); `Some` =
+/// the error message to send back.
+fn handle_ack<C: JobCodec>(shared: &Shared<C>, job_id: u64, body: &[u8]) -> Option<String> {
+    let Some(durable) = &shared.durable else {
+        return Some("durable acks disabled (start the server with a journal)".to_string());
+    };
+    if !body.is_empty() {
+        return Some(format!("Ack body must be empty, got {} bytes", body.len()));
+    }
+    let mut table = durable.table.lock();
+    match table.get_mut(&job_id) {
+        Some(entry @ (DurableEntry::Done(_) | DurableEntry::Failed(_))) => {
+            *entry = DurableEntry::Acked;
+            durable.journal.append(RecordKind::Ack, job_id, &[]);
+            durable.journal.note_acked(job_id);
+            shared.counters.acks.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        // Re-acking is idempotent — at-least-once clients resend acks.
+        Some(DurableEntry::Acked) => None,
+        Some(DurableEntry::InFlight(_)) => Some(format!(
+            "durable job {job_id} is still in flight; await its result before acking"
+        )),
+        None => Some(format!("unknown durable job {job_id}")),
+    }
+}
+
+/// One Query frame: status byte plus status-specific bytes, or an error
+/// message.
+fn handle_query<C: JobCodec>(
+    shared: &Shared<C>,
+    job_id: u64,
+    body: &[u8],
+) -> Result<Vec<u8>, String> {
+    let Some(durable) = &shared.durable else {
+        return Err("durable queries disabled (start the server with a journal)".to_string());
+    };
+    if !body.is_empty() {
+        return Err(format!(
+            "Query body must be empty, got {} bytes",
+            body.len()
+        ));
+    }
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    let table = durable.table.lock();
+    let mut out = Vec::new();
+    match table.get(&job_id) {
+        None => out.push(QueryStatus::Unknown as u8),
+        Some(DurableEntry::InFlight(_)) => out.push(QueryStatus::InFlight as u8),
+        Some(DurableEntry::Done(bytes)) => {
+            out.push(QueryStatus::Done as u8);
+            out.extend_from_slice(bytes);
+        }
+        Some(DurableEntry::Failed(message)) => {
+            out.push(QueryStatus::Failed as u8);
+            out.extend_from_slice(message.as_bytes());
+        }
+        Some(DurableEntry::Acked) => out.push(QueryStatus::Acked as u8),
+    }
+    Ok(out)
+}
+
 fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
     let js = shared.graph.job_stats();
     let is = shared.counters.snapshot();
@@ -657,6 +1202,8 @@ fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
         "{{\"in_flight\": {}, \"queued\": {}, \"submitted\": {}, \"completed\": {}, \
          \"max_in_flight\": {}, \"jobs_accepted\": {}, \"jobs_completed\": {}, \
          \"retries_sent\": {}, \"connections\": {}, \
+         \"results_dropped\": {}, \"durable_jobs\": {}, \"durable_dupes\": {}, \
+         \"acks\": {}, \"queries\": {}, \"job_retries\": {}, \"jobs_failed\": {}, \
          \"tasks_executed\": {}, \"steals\": {}, \"steal_batch_items\": {}, \
          \"steal_failures\": {}, \"parks\": {}, \
          \"edge_lock_acquisitions\": {}, \"edge_pool_draws\": {}, \
@@ -670,6 +1217,13 @@ fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
         is.jobs_completed,
         is.retries_sent,
         is.connections,
+        is.results_dropped,
+        is.durable_jobs,
+        is.durable_dupes,
+        is.acks,
+        is.queries,
+        js.retries,
+        js.failed,
         ss.sched.tasks_executed,
         ss.sched.steals,
         ss.sched.steal_batch_items,
@@ -682,88 +1236,192 @@ fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
     )
 }
 
+/// Encodes a job result (or failure) as the response frame for `req_id`,
+/// degrading an oversized result to a job error: the server must never
+/// emit a frame its own protocol limit calls oversized (a conforming peer
+/// would have to drop the connection).
+fn encode_result_frame<C: JobCodec>(
+    shared: &Shared<C>,
+    req_id: u64,
+    body: Result<&[u8], &str>,
+    out: &mut Vec<u8>,
+) {
+    match body {
+        Ok(body) => {
+            if FRAME_FIXED_LEN + body.len() > shared.cfg.max_frame_len as usize {
+                shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                encode_frame(
+                    FrameKind::Error,
+                    req_id,
+                    format!(
+                        "result too large for the {}-byte frame limit ({} bytes)",
+                        shared.cfg.max_frame_len,
+                        body.len()
+                    )
+                    .as_bytes(),
+                    out,
+                );
+            } else {
+                encode_frame(FrameKind::Result, req_id, body, out);
+            }
+        }
+        Err(message) => {
+            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            encode_frame(
+                FrameKind::Error,
+                req_id,
+                format!("job failed: {message}").as_bytes(),
+                out,
+            );
+        }
+    }
+}
+
 fn writer_loop<C: JobCodec>(
     shared: Arc<Shared<C>>,
     mut stream: TcpStream,
     replies: mpsc::Receiver<Reply<C::Out>>,
+    peer_gone: Arc<AtomicBool>,
 ) {
     let mut out = Vec::new();
     // Once the socket dies we keep draining replies — accepted jobs must
-    // still be joined so they complete through the graph — but stop
-    // encoding/writing.
+    // still be joined so they complete through the graph (and durable
+    // ones must still be journaled) — but stop encoding/writing. Every
+    // job result that can't reach the client counts as dropped.
     let mut socket_alive = true;
+    // Re-checked after every blocking join: the client can vanish while
+    // the writer waits on a job, and that moment is exactly when an
+    // undeliverable result must be counted rather than buffered at a
+    // socket the kernel will happily accept one last write into.
+    let sock_ok = |alive: &mut bool| {
+        if *alive && peer_gone.load(Ordering::Acquire) {
+            *alive = false;
+        }
+        *alive
+    };
     for reply in replies {
         out.clear();
+        // True for replies carrying a job's outcome: their loss is a
+        // result drop, not just a connection hiccup.
+        let mut is_job_result = false;
         match reply {
             Reply::Job { req_id, handle } => {
+                is_job_result = true;
                 let result = handle.wait();
                 shared
                     .counters
                     .jobs_completed
                     .fetch_add(1, Ordering::Relaxed);
-                if !socket_alive {
+                if !sock_ok(&mut socket_alive) {
+                    shared
+                        .counters
+                        .results_dropped
+                        .fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 match result {
                     Ok(vals) => {
                         let mut body = Vec::new();
                         shared.codec.encode_result(&vals, &mut body);
-                        // The server must never emit a frame its own
-                        // protocol limit calls oversized (a conforming
-                        // peer would have to drop the connection), so a
-                        // too-large result degrades to a job error.
-                        if FRAME_FIXED_LEN + body.len() > shared.cfg.max_frame_len as usize {
-                            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
-                            encode_frame(
-                                FrameKind::Error,
-                                req_id,
-                                format!(
-                                    "result too large for the {}-byte frame limit \
-                                     ({} bytes)",
-                                    shared.cfg.max_frame_len,
-                                    body.len()
-                                )
-                                .as_bytes(),
-                                &mut out,
-                            );
-                        } else {
-                            encode_frame(FrameKind::Result, req_id, &body, &mut out);
-                        }
+                        encode_result_frame(&shared, req_id, Ok(&body), &mut out);
                     }
                     Err(e) => {
-                        shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
-                        encode_frame(
-                            FrameKind::Error,
-                            req_id,
-                            format!("job failed: {e}").as_bytes(),
-                            &mut out,
-                        );
+                        encode_result_frame(&shared, req_id, Err(&e.to_string()), &mut out);
                     }
                 }
             }
+            Reply::DurableJob { req_id, handle } => {
+                is_job_result = true;
+                let result = handle.wait();
+                shared
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                // Journal + publish even for a dead socket: the client
+                // will reconnect and resume exactly because this ran.
+                let durable = shared
+                    .durable
+                    .as_ref()
+                    .expect("DurableJob replies only exist on durable servers");
+                let outcome = complete_durable(&shared, durable, req_id, result);
+                if !sock_ok(&mut socket_alive) {
+                    shared
+                        .counters
+                        .results_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match &outcome {
+                    Ok(bytes) => encode_result_frame(&shared, req_id, Ok(bytes), &mut out),
+                    Err(msg) => encode_result_frame(&shared, req_id, Err(msg), &mut out),
+                }
+            }
+            Reply::DurableWait { req_id, rx } => {
+                is_job_result = true;
+                let outcome = rx.recv().unwrap_or_else(|_| {
+                    Err("service shut down before the job completed".to_string())
+                });
+                if !sock_ok(&mut socket_alive) {
+                    shared
+                        .counters
+                        .results_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match &outcome {
+                    Ok(bytes) => encode_result_frame(&shared, req_id, Ok(bytes), &mut out),
+                    Err(msg) => encode_result_frame(&shared, req_id, Err(msg), &mut out),
+                }
+            }
+            Reply::DurableDone { req_id, outcome } => {
+                is_job_result = true;
+                if !sock_ok(&mut socket_alive) {
+                    shared
+                        .counters
+                        .results_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match &outcome {
+                    Ok(bytes) => encode_result_frame(&shared, req_id, Ok(bytes), &mut out),
+                    Err(msg) => encode_result_frame(&shared, req_id, Err(msg), &mut out),
+                }
+            }
             Reply::Retry { req_id, queued } => {
-                if !socket_alive {
+                if !sock_ok(&mut socket_alive) {
                     continue;
                 }
                 encode_frame(FrameKind::Retry, req_id, &queued.to_le_bytes(), &mut out);
             }
             Reply::Error { req_id, message } => {
                 shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
-                if !socket_alive {
+                if !sock_ok(&mut socket_alive) {
                     continue;
                 }
                 encode_frame(FrameKind::Error, req_id, message.as_bytes(), &mut out);
             }
             Reply::Stats { req_id, body } => {
-                if !socket_alive {
+                if !sock_ok(&mut socket_alive) {
                     continue;
                 }
                 encode_frame(FrameKind::StatsOk, req_id, body.as_bytes(), &mut out);
             }
+            Reply::Query { req_id, body } => {
+                if !sock_ok(&mut socket_alive) {
+                    continue;
+                }
+                encode_frame(FrameKind::QueryOk, req_id, &body, &mut out);
+            }
         }
-        if socket_alive {
+        if sock_ok(&mut socket_alive) {
             if stream.write_all(&out).is_err() {
                 socket_alive = false;
+                if is_job_result {
+                    shared
+                        .counters
+                        .results_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             } else {
                 shared
                     .counters
@@ -889,6 +1547,91 @@ impl IngressClient {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         format!("unexpected {other:?} frame for submit {req_id}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Submits a durable job under client-assigned id `job_id` (non-zero)
+    /// without waiting. Requires a server bound with
+    /// [`IngressServer::bind_durable`].
+    pub fn submit_durable(&mut self, job_id: u64, payload: &[u8]) -> std::io::Result<()> {
+        self.send(FrameKind::SubmitDurable, job_id, payload)
+    }
+
+    /// Acknowledges receipt of durable job `job_id`'s result, releasing
+    /// it for journal compaction. Fire-and-forget: the server replies
+    /// only on error.
+    pub fn ack(&mut self, job_id: u64) -> std::io::Result<()> {
+        self.send(FrameKind::Ack, job_id, &[])
+    }
+
+    /// Asks the durable status of `job_id`. Returns the status plus its
+    /// payload (result bytes for [`QueryStatus::Done`], failure message
+    /// bytes for [`QueryStatus::Failed`], empty otherwise).
+    pub fn query(&mut self, job_id: u64) -> std::io::Result<(QueryStatus, Vec<u8>)> {
+        self.send(FrameKind::Query, job_id, &[])?;
+        let mut frame = self.recv()?;
+        match frame.kind {
+            FrameKind::QueryOk => {
+                if frame.body.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "empty QueryOk body",
+                    ));
+                }
+                let status = QueryStatus::from_byte(frame.body[0]).ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unknown query status byte {:#04x}", frame.body[0]),
+                    )
+                })?;
+                frame.body.remove(0);
+                Ok((status, frame.body))
+            }
+            FrameKind::Error => Err(std::io::Error::other(
+                String::from_utf8_lossy(&frame.body).into_owned(),
+            )),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected {other:?} reply to a query"),
+            )),
+        }
+    }
+
+    /// The durable closed loop: submits `payload` under `job_id`,
+    /// transparently resubmitting on [`FrameKind::Retry`] (sleeping
+    /// `retry_backoff` between attempts) until the job resolves. Safe to
+    /// call again on a fresh connection after a crash — a duplicate id
+    /// returns the journaled result instead of re-running.
+    pub fn submit_durable_and_wait(
+        &mut self,
+        job_id: u64,
+        payload: &[u8],
+        retry_backoff: Duration,
+    ) -> std::io::Result<JobOutcome> {
+        loop {
+            self.submit_durable(job_id, payload)?;
+            let frame = self.recv()?;
+            if frame.req_id != job_id {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response for {} while awaiting {job_id}", frame.req_id),
+                ));
+            }
+            match frame.kind {
+                FrameKind::Result => return Ok(JobOutcome::Result(frame.body)),
+                FrameKind::Error => {
+                    return Ok(JobOutcome::Failed(
+                        String::from_utf8_lossy(&frame.body).into_owned(),
+                    ))
+                }
+                FrameKind::Retry => std::thread::sleep(retry_backoff),
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected {other:?} frame for durable submit {job_id}"),
                     ))
                 }
             }

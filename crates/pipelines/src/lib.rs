@@ -34,6 +34,7 @@
 pub mod bounded;
 pub mod graph;
 pub mod ingress;
+pub mod journal;
 pub mod reorder;
 pub mod service;
 pub mod spsc;
@@ -41,7 +42,13 @@ pub mod tbb;
 
 pub use bounded::{channel, Receiver, Sender};
 pub use graph::{Fanout, GraphBuilder, Node, Partition, Shards};
-pub use ingress::{IngressClient, IngressConfig, IngressServer, IngressStats, JobCodec};
+pub use ingress::{
+    IngressClient, IngressConfig, IngressServer, IngressStats, JobCodec, QueryStatus,
+    RecoveryReport,
+};
+pub use journal::{
+    JobReplayStatus, Journal, JournalConfig, JournalStats, RecordKind, Replay, ReplayedJob,
+};
 pub use reorder::{ReorderBuffer, ReorderQueue};
 pub use service::{
     Admission, CompiledGraph, GraphSpec, JobError, JobHandle, SchedulerStats, ServiceConfig,

@@ -53,7 +53,9 @@ use std::thread::JoinHandle;
 
 use hyperqueue::{PoolStats, QueueStats, SegmentPool, Tagged};
 use parking_lot::Mutex;
-use swan::{JobTable, JobTableStats, JobTicket, MetricsSnapshot, Runtime};
+use swan::{
+    JobTable, JobTableStats, JobTicket, MetricsSnapshot, RetryDecision, RetryPolicy, Runtime,
+};
 
 use crate::graph::{GraphBuilder, Node, Partition, DEFAULT_EDGE_CAPACITY, DEFAULT_IO_BATCH};
 
@@ -378,7 +380,12 @@ impl<I: Send + 'static, O: Send + 'static> GraphSpec<I, O> {
     }
 
     /// Compiles the spec into a persistent, job-serving graph on `rt`.
-    pub fn compile(self, rt: Arc<Runtime>, cfg: ServiceConfig) -> CompiledGraph<I, O> {
+    /// `I: Clone` is the retry reservation: a failed job can only be
+    /// re-admitted if its input could be kept.
+    pub fn compile(self, rt: Arc<Runtime>, cfg: ServiceConfig) -> CompiledGraph<I, O>
+    where
+        I: Clone,
+    {
         CompiledGraph::start(rt, self.plan, cfg)
     }
 }
@@ -404,6 +411,13 @@ pub struct ServiceConfig {
     pub segment_capacity: usize,
     /// Per-round stage batch size. Default [`DEFAULT_IO_BATCH`].
     pub io_batch: usize,
+    /// Retry discipline for failed (panicking) jobs. The default,
+    /// [`RetryPolicy::none`], keeps the historical fail-fast behaviour; a
+    /// non-zero `max_retries` re-admits failed jobs through the normal
+    /// submission channel with exponential backoff, and only a job that
+    /// exhausts its budget surfaces a [`JobError`] (whose
+    /// [`attempts`](JobError::attempts) then counts every execution).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -413,6 +427,7 @@ impl Default for ServiceConfig {
             dispatchers: 0,
             segment_capacity: DEFAULT_EDGE_CAPACITY,
             io_batch: DEFAULT_IO_BATCH,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -440,6 +455,8 @@ struct JobRequest<I, O> {
     ticket: JobTicket,
     input: Vec<I>,
     reply: mpsc::Sender<Result<Vec<O>, JobError>>,
+    /// 0-based execution attempt; > 0 only for retry re-admissions.
+    attempt: u32,
 }
 
 struct ServiceCore<I: Send + 'static, O: Send + 'static> {
@@ -449,9 +466,39 @@ struct ServiceCore<I: Send + 'static, O: Send + 'static> {
     jobs: JobTable,
     seg_cap: usize,
     io_batch: usize,
+    retry: RetryPolicy,
+    /// `None` only during shutdown (the graph's Drop takes it). Both
+    /// client submission and dispatcher retry re-admission hold this lock
+    /// while registering the ticket *and* sending the request, so the
+    /// admission FIFO matches the channel order.
+    submit: Mutex<Option<mpsc::Sender<JobRequest<I, O>>>>,
 }
 
 impl<I: Send + 'static, O: Send + 'static> ServiceCore<I, O> {
+    /// Re-enqueues a failed job through the normal submission channel
+    /// with a fresh ticket (re-admitting the *old* ticket could deadlock:
+    /// the table admits strictly in seq order and earlier tickets may
+    /// still be waiting in the channel for a free dispatcher). Returns
+    /// `false` when the service is shutting down.
+    fn resubmit(
+        &self,
+        input: Vec<I>,
+        reply: mpsc::Sender<Result<Vec<O>, JobError>>,
+        attempt: u32,
+    ) -> bool {
+        let submit = self.submit.lock();
+        let Some(tx) = submit.as_ref() else {
+            return false;
+        };
+        let ticket = self.jobs.register();
+        tx.send(JobRequest {
+            ticket,
+            input,
+            reply,
+            attempt,
+        })
+        .is_ok()
+    }
     /// Runs one job to completion on the calling thread: instantiate the
     /// plan over pooled edges inside a fresh scope, drain the sink.
     fn run_one(&self, input: Vec<I>) -> Vec<O> {
@@ -470,7 +517,7 @@ impl<I: Send + 'static, O: Send + 'static> ServiceCore<I, O> {
     }
 }
 
-fn dispatcher_loop<I: Send + 'static, O: Send + 'static>(
+fn dispatcher_loop<I: Clone + Send + 'static, O: Send + 'static>(
     core: Arc<ServiceCore<I, O>>,
     rx: Arc<Mutex<mpsc::Receiver<JobRequest<I, O>>>>,
 ) {
@@ -483,11 +530,42 @@ fn dispatcher_loop<I: Send + 'static, O: Send + 'static>(
         let Ok(req) = req else {
             return; // channel closed: service shutting down
         };
+        // The input clone is the retry reservation; skipped entirely when
+        // retries are off, keeping the historical fast path allocation-
+        // identical.
+        let retry_input = (core.retry.max_retries > 0).then(|| req.input.clone());
         let admitted = core.jobs.admit(&req.ticket);
         let result = catch_unwind(AssertUnwindSafe(|| core.run_one(req.input)));
         drop(admitted);
-        // The client may have dropped its handle; that's fine.
-        let _ = req.reply.send(result.map_err(JobError::from_panic));
+        match result {
+            // The client may have dropped its handle; that's fine.
+            Ok(out) => {
+                let _ = req.reply.send(Ok(out));
+            }
+            Err(payload) => match (core.retry.on_failure(req.attempt), retry_input) {
+                (RetryDecision::Retry { backoff }, Some(input)) => {
+                    core.jobs.note_retry();
+                    // The backoff burns this dispatcher, not the gate:
+                    // the admission guard is already released, policies
+                    // cap backoff, and sleeping here is what bounds the
+                    // service's retry pressure.
+                    std::thread::sleep(backoff);
+                    if !core.resubmit(input, req.reply.clone(), req.attempt + 1) {
+                        // Shutdown raced the retry: fail it honestly.
+                        core.jobs.note_failed();
+                        let _ = req
+                            .reply
+                            .send(Err(JobError::from_panic(payload, req.attempt + 1)));
+                    }
+                }
+                (..) => {
+                    core.jobs.note_failed();
+                    let _ = req
+                        .reply
+                        .send(Err(JobError::from_panic(payload, req.attempt + 1)));
+                }
+            },
+        }
     }
 }
 
@@ -497,14 +575,10 @@ fn dispatcher_loop<I: Send + 'static, O: Send + 'static>(
 /// dispatchers and releases all pooled storage.
 pub struct CompiledGraph<I: Send + 'static, O: Send + 'static> {
     core: Arc<ServiceCore<I, O>>,
-    /// `None` only during shutdown (Drop). Submission holds this lock
-    /// while registering the ticket *and* sending the request, so the
-    /// admission FIFO matches the channel order.
-    submit: Mutex<Option<mpsc::Sender<JobRequest<I, O>>>>,
     dispatchers: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
+impl<I: Clone + Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
     fn start(rt: Arc<Runtime>, plan: Arc<dyn StagePlan<I, O>>, cfg: ServiceConfig) -> Self {
         let max_in_flight = cfg.max_in_flight.max(1);
         let dispatchers = if cfg.dispatchers == 0 {
@@ -512,6 +586,7 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
         } else {
             cfg.dispatchers
         };
+        let (tx, rx) = mpsc::channel();
         let core = Arc::new(ServiceCore {
             rt,
             plan,
@@ -519,8 +594,9 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
             jobs: JobTable::new(max_in_flight),
             seg_cap: cfg.segment_capacity.max(2),
             io_batch: cfg.io_batch.max(1),
+            retry: cfg.retry,
+            submit: Mutex::new(Some(tx)),
         });
-        let (tx, rx) = mpsc::channel();
         let rx = Arc::new(Mutex::new(rx));
         let threads = (0..dispatchers)
             .map(|i| {
@@ -534,7 +610,6 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
             .collect();
         CompiledGraph {
             core,
-            submit: Mutex::new(Some(tx)),
             dispatchers: Mutex::new(threads),
         }
     }
@@ -558,7 +633,7 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
     /// are in flight.
     pub fn submit(&self, input: Vec<I>, admission: Admission) -> Submission<I, O> {
         let (reply, rx) = mpsc::channel();
-        let submit = self.submit.lock();
+        let submit = self.core.submit.lock();
         let tx = submit
             .as_ref()
             .expect("submit on a CompiledGraph that is shutting down");
@@ -578,6 +653,7 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
             ticket,
             input,
             reply,
+            attempt: 0,
         })
         .expect("dispatchers outlive the submit sender");
         Submission::Accepted(JobHandle { id, rx })
@@ -673,7 +749,9 @@ impl<I: Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
 impl<I: Send + 'static, O: Send + 'static> Drop for CompiledGraph<I, O> {
     fn drop(&mut self) {
         // Close the channel; dispatchers finish queued jobs, then exit.
-        drop(self.submit.lock().take());
+        // (A retry racing this shutdown finds the sender gone and fails
+        // its job terminally instead of re-queueing.)
+        drop(self.core.submit.lock().take());
         for t in self.dispatchers.get_mut().drain(..) {
             let _ = t.join();
         }
@@ -789,20 +867,29 @@ impl<I> std::fmt::Display for SubmitError<I> {
     }
 }
 
-/// Why a job failed (a stage or the job scope panicked).
+/// Why a job failed (a stage or the job scope panicked), after how many
+/// execution attempts.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JobError {
     message: String,
+    attempts: u32,
 }
 
 impl JobError {
-    fn from_panic(payload: Box<dyn Any + Send>) -> Self {
+    fn from_panic(payload: Box<dyn Any + Send>, attempts: u32) -> Self {
         let message = payload
             .downcast_ref::<&str>()
             .map(|s| s.to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "job panicked".to_string());
-        JobError { message }
+        JobError { message, attempts }
+    }
+
+    /// Total execution attempts the job consumed before failing
+    /// terminally (1 with retries disabled; 0 only for the synthetic
+    /// "service shut down" error, which never ran the job).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
     }
 }
 
@@ -835,6 +922,7 @@ impl<O> JobHandle<O> {
         self.rx.recv().unwrap_or_else(|_| {
             Err(JobError {
                 message: "service shut down before the job completed".to_string(),
+                attempts: 0,
             })
         })
     }
@@ -1023,6 +1111,79 @@ mod tests {
             .expect_accepted()
             .join();
         assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn flaky_job_succeeds_within_retry_budget() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let failures_left = Arc::new(AtomicU32::new(2));
+        let gate = Arc::clone(&failures_left);
+        let rt = Arc::new(Runtime::with_workers(2));
+        let graph = GraphSpec::<u64, u64>::new()
+            .map(move |x| {
+                // Input 13 panics until the counter drains — a job that
+                // fails twice, then succeeds on its third attempt.
+                if x == 13 {
+                    let left = gate.load(Ordering::Acquire);
+                    if left > 0 {
+                        gate.store(left - 1, Ordering::Release);
+                        panic!("transient failure ({left} left)");
+                    }
+                }
+                x + 1
+            })
+            .compile(
+                rt,
+                ServiceConfig {
+                    retry: swan::RetryPolicy::retries(3),
+                    ..ServiceConfig::default()
+                },
+            );
+        let out = graph
+            .submit(vec![12, 13, 14], Admission::Unbounded)
+            .expect_accepted()
+            .join();
+        assert_eq!(out, vec![13, 14, 15]);
+        let js = graph.job_stats();
+        assert_eq!(js.retries, 2, "two failed attempts were re-admitted");
+        assert_eq!(js.failed, 0);
+        // Untouched jobs still run fine alongside.
+        let ok = graph
+            .submit(vec![1, 2], Admission::Unbounded)
+            .expect_accepted()
+            .join();
+        assert_eq!(ok, vec![2, 3]);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_terminally_with_attempt_count() {
+        let rt = Arc::new(Runtime::with_workers(2));
+        let graph = GraphSpec::<u64, u64>::new()
+            .map(|x| {
+                assert!(x != 13, "always unlucky");
+                x + 1
+            })
+            .compile(
+                rt,
+                ServiceConfig {
+                    retry: swan::RetryPolicy::retries(2),
+                    ..ServiceConfig::default()
+                },
+            );
+        let err = graph
+            .submit(vec![13], Admission::Unbounded)
+            .expect_accepted()
+            .wait()
+            .expect_err("a deterministic panic must exhaust the budget");
+        assert_eq!(err.attempts(), 3, "initial run + 2 retries");
+        let js = graph.job_stats();
+        assert_eq!((js.retries, js.failed), (2, 1));
+        // The dispatcher pool survives: later jobs run normally.
+        let ok = graph
+            .submit(vec![1], Admission::Unbounded)
+            .expect_accepted()
+            .join();
+        assert_eq!(ok, vec![2]);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! assert_eq!(table.stats().completed, 2);
 //! ```
 
+use std::time::Duration;
+
 use parking_lot::{Condvar, Mutex};
 
 /// Counters reported by [`JobTable::stats`].
@@ -47,6 +49,93 @@ pub struct JobTableStats {
     pub high_water_in_flight: usize,
     /// The configured bound.
     pub max_in_flight: usize,
+    /// Failed executions that were re-admitted per [`RetryPolicy`].
+    pub retries: u64,
+    /// Jobs that exhausted their retry budget and failed terminally.
+    pub failed: u64,
+}
+
+/// What [`RetryPolicy::on_failure`] decided about a failed execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Re-admit the job after waiting `backoff`.
+    Retry {
+        /// How long to wait before the re-attempt.
+        backoff: Duration,
+    },
+    /// The retry budget is exhausted: fail the job terminally.
+    GiveUp {
+        /// Total execution attempts consumed (initial run + retries).
+        attempts: u32,
+    },
+}
+
+/// Bounded-exponential-backoff retry policy for failed jobs.
+///
+/// A job's first execution is attempt 0. After a failure on attempt `a`,
+/// [`RetryPolicy::on_failure`] allows a re-admission while `a <
+/// max_retries`, with a backoff of `base_backoff * 2^a` capped at
+/// `max_backoff` — so a job is executed at most `max_retries + 1` times.
+/// [`RetryPolicy::none`] (also [`Default`]) disables retries, which keeps
+/// the fail-fast behaviour existing services were built on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-admissions allowed after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub base_backoff: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: a failed job fails terminally at once.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `max_retries` re-admissions with a 1 ms base backoff capped
+    /// at 100 ms — the shape services and tests want by default.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+
+    /// The backoff before re-admitting a job that failed on `attempt`
+    /// (0-based): `base_backoff * 2^attempt`, saturating at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(factor)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
+    }
+
+    /// Decides what happens after a failure on `attempt` (0-based).
+    pub fn on_failure(&self, attempt: u32) -> RetryDecision {
+        if attempt < self.max_retries {
+            RetryDecision::Retry {
+                backoff: self.backoff(attempt),
+            }
+        } else {
+            RetryDecision::GiveUp {
+                attempts: attempt + 1,
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -56,6 +145,8 @@ struct TableState {
     in_flight: usize,
     completed: u64,
     high_water: usize,
+    retries: u64,
+    failed: u64,
 }
 
 /// Bounded FIFO admission gate for jobs on a persistent runtime (see
@@ -175,6 +266,18 @@ impl JobTable {
         AdmitGuard { table: self }
     }
 
+    /// Records that a failed execution was re-admitted per the service's
+    /// [`RetryPolicy`] (surfaced as [`JobTableStats::retries`]).
+    pub fn note_retry(&self) {
+        self.state.lock().retries += 1;
+    }
+
+    /// Records a terminal job failure — the retry budget (if any) is
+    /// exhausted (surfaced as [`JobTableStats::failed`]).
+    pub fn note_failed(&self) {
+        self.state.lock().failed += 1;
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> JobTableStats {
         let st = self.state.lock();
@@ -185,6 +288,8 @@ impl JobTable {
             queued: (st.next_ticket - st.next_admit) as usize,
             high_water_in_flight: st.high_water,
             max_in_flight: self.max_in_flight,
+            retries: st.retries,
+            failed: st.failed,
         }
     }
 }
@@ -284,6 +389,50 @@ mod tests {
     #[test]
     fn bound_is_clamped_to_one() {
         assert_eq!(JobTable::new(0).max_in_flight(), 1);
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially_and_gives_up() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+        };
+        assert_eq!(
+            p.on_failure(0),
+            RetryDecision::Retry {
+                backoff: Duration::from_millis(2)
+            }
+        );
+        assert_eq!(
+            p.on_failure(1),
+            RetryDecision::Retry {
+                backoff: Duration::from_millis(4)
+            }
+        );
+        // 2 ms * 2^2 = 8 ms, then the cap bites.
+        assert_eq!(
+            p.on_failure(2),
+            RetryDecision::Retry {
+                backoff: Duration::from_millis(8)
+            }
+        );
+        assert_eq!(p.on_failure(3), RetryDecision::GiveUp { attempts: 4 });
+        assert_eq!(p.backoff(40), Duration::from_millis(10), "cap saturates");
+        assert_eq!(
+            RetryPolicy::none().on_failure(0),
+            RetryDecision::GiveUp { attempts: 1 }
+        );
+    }
+
+    #[test]
+    fn retry_counters_surface_in_stats() {
+        let table = JobTable::new(1);
+        table.note_retry();
+        table.note_retry();
+        table.note_failed();
+        let s = table.stats();
+        assert_eq!((s.retries, s.failed), (2, 1));
     }
 
     #[test]

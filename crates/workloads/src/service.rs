@@ -97,6 +97,7 @@ impl ServiceWorkloadConfig {
             dispatchers: 0,
             segment_capacity: self.segment_capacity,
             io_batch: self.io_batch,
+            ..ServiceConfig::default()
         }
     }
 
@@ -269,7 +270,7 @@ pub fn run_closed_loop<I, O>(
     check: impl Fn(usize, &[O]) + Sync,
 ) -> ServiceReport
 where
-    I: Send + 'static,
+    I: Clone + Send + 'static,
     O: Send + 'static,
 {
     let allocs_before = graph.storage_stats().segments_allocated;
@@ -363,7 +364,7 @@ fn warm_up<I, O>(
     cfg: &ServiceWorkloadConfig,
     make_input: impl Fn(usize) -> Vec<I>,
 ) where
-    I: Send + 'static,
+    I: Clone + Send + 'static,
     O: Send + 'static,
 {
     graph

@@ -16,21 +16,30 @@
 //!     [--run-secs N]         serve for N seconds, then drain and exit;
 //!                            0 (default) = serve until stdin closes or
 //!                            a "quit" line arrives
+//!     [--journal-dir DIR]    enable durable jobs: write-ahead journal in DIR,
+//!                            crash recovery replays it on the next start
+//!     [--max-retries N]      re-admit failed jobs up to N times with
+//!                            exponential backoff, default 0 (fail fast)
+//!     [--fsync-batch N]      records per group-commit fsync, default 64
 //! ```
 //!
 //! Shutdown is always graceful: stop accepting, finish every accepted
-//! job, drain the dispatchers, quiesce the runtime, then exit.
+//! job, drain the dispatchers, quiesce the runtime, then exit. Durability
+//! (`--journal-dir`) covers the *un*-graceful exits: SIGKILL the daemon
+//! mid-burst, restart it on the same journal dir, and every unacked job
+//! is replayed to a byte-identical result (see DESIGN.md §6.4).
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use pipelines::graph::ServiceConfig;
 use pipelines::ingress::{IngressConfig, IngressServer};
-use swan::{Runtime, RuntimeConfig, SchedulerPolicy};
+use pipelines::journal::{Journal, JournalConfig};
+use swan::{RetryPolicy, Runtime, RuntimeConfig, SchedulerPolicy};
 use workloads::service::{logstream_digest_spec, wordcount_spec};
 use workloads::wire::{LogstreamCodec, WordcountCodec};
 
-const KNOWN_FLAGS: [&str; 8] = [
+const KNOWN_FLAGS: [&str; 11] = [
     "--addr",
     "--workload",
     "--workers",
@@ -39,6 +48,9 @@ const KNOWN_FLAGS: [&str; 8] = [
     "--max-queued",
     "--degree",
     "--run-secs",
+    "--journal-dir",
+    "--max-retries",
+    "--fsync-batch",
 ];
 
 /// Rejects unknown flags and flags without values up front: a daemon
@@ -86,6 +98,9 @@ fn main() {
     let max_queued = flag_usize(&args, "--max-queued", 64);
     let degree = flag_usize(&args, "--degree", 4);
     let run_secs = flag_usize(&args, "--run-secs", 0);
+    let max_retries = flag_usize(&args, "--max-retries", 0);
+    let fsync_batch = flag_usize(&args, "--fsync-batch", 64);
+    let journal_dir = flag(&args, "--journal-dir");
 
     // --scheduler overrides HQ_SCHED, which overrides help-first.
     let scheduler = match flag(&args, "--scheduler") {
@@ -112,6 +127,7 @@ fn main() {
     ));
     let service_cfg = ServiceConfig {
         max_in_flight,
+        retry: RetryPolicy::retries(max_retries.min(u32::MAX as usize) as u32),
         ..ServiceConfig::default()
     };
     let ingress_cfg = IngressConfig {
@@ -119,24 +135,62 @@ fn main() {
         ..IngressConfig::default()
     };
 
+    // Open (and replay) the journal before binding, so recovery finishes
+    // rebuilding the durable table before any client can connect.
+    let journal = journal_dir.as_ref().map(|dir| {
+        let mut jcfg = JournalConfig::at(dir);
+        jcfg.fsync_batch = fsync_batch.max(1);
+        match Journal::open(jcfg) {
+            Ok(opened) => opened,
+            Err(e) => {
+                eprintln!("hqd: cannot open journal {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+
     // The graph type differs per workload, so each arm owns its server.
     let server = match workload.as_str() {
         "wordcount" => {
             let graph = Arc::new(wordcount_spec(degree, 32).compile(Arc::clone(&rt), service_cfg));
-            IngressServer::bind(&addr, graph, Arc::new(WordcountCodec), ingress_cfg)
+            let codec = Arc::new(WordcountCodec);
+            match &journal {
+                Some((j, replay)) => IngressServer::bind_durable(
+                    &addr,
+                    graph,
+                    codec,
+                    ingress_cfg,
+                    Arc::clone(j),
+                    replay,
+                )
+                .map(|(s, report)| (s, Some(report))),
+                None => IngressServer::bind(&addr, graph, codec, ingress_cfg).map(|s| (s, None)),
+            }
         }
         "logstream" => {
             let graph = Arc::new(
                 logstream_digest_spec(degree, 32, 40).compile(Arc::clone(&rt), service_cfg),
             );
-            IngressServer::bind(&addr, graph, Arc::new(LogstreamCodec), ingress_cfg)
+            let codec = Arc::new(LogstreamCodec);
+            match &journal {
+                Some((j, replay)) => IngressServer::bind_durable(
+                    &addr,
+                    graph,
+                    codec,
+                    ingress_cfg,
+                    Arc::clone(j),
+                    replay,
+                )
+                .map(|(s, report)| (s, Some(report))),
+                None => IngressServer::bind(&addr, graph, codec, ingress_cfg).map(|s| (s, None)),
+            }
         }
         other => {
             eprintln!("hqd: unknown --workload {other} (wordcount|logstream)");
             std::process::exit(2);
         }
     };
-    let server = match server {
+    let (server, recovery) = match server {
         Ok(s) => s,
         Err(e) => {
             eprintln!("hqd: cannot bind {addr}: {e}");
@@ -144,12 +198,28 @@ fn main() {
         }
     };
 
+    if let Some(report) = recovery {
+        println!(
+            "hqd: journal replayed {} jobs (resubmitted {}, restored results {}, \
+             failures {}, acked {}, corrupt records {})",
+            report.journaled_jobs,
+            report.resubmitted,
+            report.restored_results,
+            report.restored_failures,
+            report.restored_acked,
+            report.corrupt_records,
+        );
+    }
     println!(
         "hqd: serving {workload} on {} ({} workers, {:?}, \
-         max_in_flight {max_in_flight}, max_queued {max_queued})",
+         max_in_flight {max_in_flight}, max_queued {max_queued}{})",
         server.local_addr(),
         rt.active_workers(),
         rt.scheduler(),
+        match &journal_dir {
+            Some(dir) => format!(", journal {dir}, max_retries {max_retries}"),
+            None => String::new(),
+        },
     );
 
     if run_secs > 0 {
@@ -174,11 +244,19 @@ fn main() {
     rt.quiesce();
     println!(
         "hqd: drained. connections {}, jobs accepted {}, completed {}, \
-         retries {}, protocol errors {}",
+         retries {}, protocol errors {}, results dropped {}",
         stats.connections,
         stats.jobs_accepted,
         stats.jobs_completed,
         stats.retries_sent,
         stats.protocol_errors,
+        stats.results_dropped,
     );
+    if let Some((j, _)) = &journal {
+        let js = j.stats();
+        println!(
+            "hqd: journal appends {}, fsyncs {}, bytes {}, segments created {}, deleted {}",
+            js.appends, js.fsyncs, js.bytes_written, js.segments_created, js.segments_deleted,
+        );
+    }
 }

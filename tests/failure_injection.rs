@@ -156,3 +156,184 @@ fn consumer_quitting_early_leaves_consistent_state() {
         assert_eq!(drained, (7..40).collect::<Vec<_>>());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Service-level failure injection: a persistent CompiledGraph must treat a
+// panicking stage as one job's problem — retried per policy, never a
+// wedged dispatcher or a leaked admission slot.
+// ---------------------------------------------------------------------------
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hyperqueues::pipelines::graph::{Admission, GraphSpec, ServiceConfig};
+use hyperqueues::swan::RetryPolicy;
+
+#[test]
+fn panicking_stage_fails_only_its_own_job() {
+    let rt = Arc::new(Runtime::with_workers(2));
+    let graph = GraphSpec::<u64, u64>::new()
+        .map(|x: u64| {
+            if x == 13 {
+                panic!("injected failure on 13");
+            }
+            x * 2
+        })
+        .compile(
+            Arc::clone(&rt),
+            ServiceConfig {
+                max_in_flight: 2,
+                ..ServiceConfig::default()
+            },
+        );
+    let handles: Vec<_> = (0..20u64)
+        .map(|j| {
+            graph
+                .submit(vec![j], Admission::Unbounded)
+                .expect_accepted()
+        })
+        .collect();
+    for (j, h) in handles.into_iter().enumerate() {
+        match h.wait() {
+            Ok(out) => {
+                assert_ne!(j, 13, "the poisoned job must not succeed");
+                assert_eq!(out, vec![j as u64 * 2]);
+            }
+            Err(e) => {
+                assert_eq!(j, 13, "only the poisoned job may fail: {e}");
+                assert!(e.to_string().contains("injected failure"), "{e}");
+                assert_eq!(e.attempts(), 1, "retries disabled: exactly one attempt");
+            }
+        }
+    }
+    let stats = graph.job_stats();
+    assert_eq!((stats.retries, stats.failed), (0, 1));
+    assert_eq!(
+        (stats.in_flight, stats.queued),
+        (0, 0),
+        "failed job leaked its admission slot: {stats:?}"
+    );
+    // The dispatchers are alive and the slot is reusable: a fresh batch
+    // (larger than max_in_flight) drains completely.
+    let handles: Vec<_> = (100..108u64)
+        .map(|j| {
+            graph
+                .submit(vec![j], Admission::Unbounded)
+                .expect_accepted()
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join(), vec![(100 + i as u64) * 2]);
+    }
+    drop(graph);
+    rt.quiesce();
+    assert_eq!(rt.open_scopes(), 0);
+}
+
+#[test]
+fn flaky_stage_is_retried_per_policy() {
+    // Each value panics on its first two executions and succeeds on the
+    // third: within a 3-retry budget every job must come back Ok, with
+    // the retraversals visible in the stats.
+    let seen: Arc<Mutex<HashMap<u64, u32>>> = Arc::new(Mutex::new(HashMap::new()));
+    let seen2 = Arc::clone(&seen);
+    let rt = Arc::new(Runtime::with_workers(2));
+    let graph = GraphSpec::<u64, u64>::new()
+        .map(move |x: u64| {
+            // Release the lock before panicking: a poisoned test mutex
+            // would turn every later attempt into a different failure.
+            let attempts = {
+                let mut seen = seen2.lock().unwrap_or_else(|e| e.into_inner());
+                let slot = seen.entry(x).or_insert(0);
+                *slot += 1;
+                *slot
+            };
+            if attempts <= 2 {
+                panic!("flaky: value {x} attempt {attempts}");
+            }
+            x + 1
+        })
+        .compile(
+            Arc::clone(&rt),
+            ServiceConfig {
+                max_in_flight: 2,
+                retry: RetryPolicy {
+                    max_retries: 3,
+                    base_backoff: Duration::from_micros(100),
+                    max_backoff: Duration::from_millis(2),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+    let handles: Vec<_> = (0..6u64)
+        .map(|j| {
+            graph
+                .submit(vec![j], Admission::Unbounded)
+                .expect_accepted()
+        })
+        .collect();
+    for (j, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.wait().expect("within retry budget"), vec![j as u64 + 1]);
+    }
+    let stats = graph.job_stats();
+    assert_eq!(
+        (stats.retries, stats.failed),
+        (12, 0),
+        "2 re-admissions per job, none terminal: {stats:?}"
+    );
+    drop(graph);
+    rt.quiesce();
+}
+
+#[test]
+fn exhausted_retries_fail_terminally_without_wedging_the_service() {
+    let rt = Arc::new(Runtime::with_workers(2));
+    let graph = GraphSpec::<u64, u64>::new()
+        .map(|x: u64| {
+            if x == 7 {
+                panic!("permanently broken input");
+            }
+            x
+        })
+        .compile(
+            Arc::clone(&rt),
+            ServiceConfig {
+                max_in_flight: 2,
+                retry: RetryPolicy::retries(2),
+                ..ServiceConfig::default()
+            },
+        );
+    // The doomed job and a crowd of healthy ones, interleaved.
+    let doomed = graph
+        .submit(vec![7], Admission::Unbounded)
+        .expect_accepted();
+    let healthy: Vec<_> = (0..10u64)
+        .filter(|&j| j != 7)
+        .map(|j| {
+            graph
+                .submit(vec![j], Admission::Unbounded)
+                .expect_accepted()
+        })
+        .collect();
+    let err = doomed.wait().expect_err("budget of 2 retries must exhaust");
+    assert_eq!(err.attempts(), 3, "initial run + 2 retries");
+    assert!(err.to_string().contains("permanently broken"), "{err}");
+    for h in healthy {
+        h.join(); // every healthy job still completes
+    }
+    let stats = graph.job_stats();
+    assert_eq!((stats.retries, stats.failed), (2, 1));
+    assert_eq!(
+        (stats.in_flight, stats.queued),
+        (0, 0),
+        "terminal failure leaked admission state: {stats:?}"
+    );
+    assert!(
+        stats.high_water_in_flight <= 2,
+        "retries must reuse slots, not mint new ones: {stats:?}"
+    );
+    drop(graph);
+    rt.quiesce();
+    assert_eq!(rt.open_scopes(), 0);
+}

@@ -12,8 +12,11 @@ use std::time::{Duration, Instant};
 
 use pipelines::graph::{GraphSpec, ServiceConfig};
 use pipelines::ingress::{
-    FrameKind, IngressClient, IngressConfig, IngressServer, JobCodec, JobOutcome,
+    FrameKind, IngressClient, IngressConfig, IngressServer, JobCodec, JobOutcome, QueryStatus,
+    RecoveryReport,
 };
+use pipelines::journal::{replay_dir, JobReplayStatus, Journal, JournalConfig, RecordKind};
+use proptest::prelude::*;
 use swan::Runtime;
 use workloads::service::{job_lines, logstream_digest_spec, wordcount_spec, ServiceWorkloadConfig};
 use workloads::wire::{
@@ -291,13 +294,21 @@ fn client_disconnect_mid_job_still_drains_the_job() {
         "abandoned job did not drain: {:?}",
         server.stats()
     );
+    // The orphaned result is *counted*, not silently discarded.
+    assert!(
+        poll_until(Duration::from_secs(5), || server.stats().results_dropped
+            == 1),
+        "dead-socket result drop not counted: {:?}",
+        server.stats()
+    );
     // No worker/dispatcher leaked: the service still serves new clients.
     let mut next = IngressClient::connect(addr).unwrap();
     match next.submit_and_wait(9, b"hello", BACKOFF).unwrap() {
         JobOutcome::Result(bytes) => assert_eq!(bytes, b"hello\n"),
         JobOutcome::Failed(m) => panic!("{m}"),
     }
-    server.shutdown();
+    let stats = server.shutdown();
+    assert_eq!(stats.results_dropped, 1, "only the abandoned job dropped");
 }
 
 #[test]
@@ -379,5 +390,302 @@ fn responses_are_byte_identical_across_1_2_8_workers() {
         }
         server.shutdown();
         rt.quiesce();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable frames: SubmitDurable / Ack / Query over a journal-backed server.
+// ---------------------------------------------------------------------------
+
+fn journal_temp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("hq-ingress-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A wordcount server with durable submissions enabled over a fresh (or
+/// recovered) journal in `dir`.
+fn durable_wordcount_server(
+    workers: usize,
+    dir: &std::path::Path,
+) -> (Arc<Runtime>, IngressServer, RecoveryReport) {
+    let rt = Arc::new(Runtime::with_workers(workers));
+    let graph = Arc::new(wordcount_spec(3, 16).compile(
+        Arc::clone(&rt),
+        ServiceConfig {
+            max_in_flight: 2,
+            segment_capacity: 16,
+            ..ServiceConfig::default()
+        },
+    ));
+    let (journal, replay) = Journal::open(JournalConfig::at(dir)).expect("open journal");
+    let (server, report) = IngressServer::bind_durable(
+        "127.0.0.1:0",
+        graph,
+        Arc::new(WordcountCodec),
+        IngressConfig::default(),
+        journal,
+        &replay,
+    )
+    .expect("bind durable");
+    (rt, server, report)
+}
+
+#[test]
+fn durable_lifecycle_dedupes_acks_and_queries() {
+    let cfg = ServiceWorkloadConfig::small();
+    let dir = journal_temp_dir("lifecycle");
+    let (rt, server, report) = durable_wordcount_server(2, &dir);
+    assert_eq!(report.journaled_jobs, 0, "fresh journal replays nothing");
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+
+    // Unknown before anything is submitted.
+    assert_eq!(client.query(1).unwrap(), (QueryStatus::Unknown, Vec::new()));
+
+    let payload = encode_lines(&job_lines(&cfg, 0));
+    let want = expected_wordcount_bytes(&job_lines(&cfg, 0));
+    let got = client
+        .submit_durable_and_wait(1, &payload, BACKOFF)
+        .unwrap();
+    assert_eq!(got, JobOutcome::Result(want.clone()));
+
+    // Duplicate submit returns the journaled result instead of re-running.
+    let dup = client
+        .submit_durable_and_wait(1, &payload, BACKOFF)
+        .unwrap();
+    assert_eq!(dup, JobOutcome::Result(want.clone()));
+    assert_eq!(client.query(1).unwrap(), (QueryStatus::Done, want));
+    let stats = server.stats();
+    assert_eq!(
+        (stats.durable_jobs, stats.durable_dupes),
+        (1, 1),
+        "one run, one dedupe"
+    );
+
+    // Ack retires the result; re-ack is idempotent (fire-and-forget: the
+    // follow-up query round-trip proves no error frame was queued).
+    client.ack(1).unwrap();
+    assert_eq!(client.query(1).unwrap(), (QueryStatus::Acked, Vec::new()));
+    client.ack(1).unwrap();
+    assert_eq!(client.query(1).unwrap(), (QueryStatus::Acked, Vec::new()));
+
+    // Submitting an acked id is an error, not a silent re-run.
+    match client
+        .submit_durable_and_wait(1, &payload, BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Failed(msg) => assert!(msg.contains("already acknowledged"), "{msg}"),
+        other => panic!("acked resubmit must fail, got {other:?}"),
+    }
+    server.shutdown();
+    rt.quiesce();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_results_resume_across_reconnects() {
+    let cfg = ServiceWorkloadConfig::small();
+    let dir = journal_temp_dir("reconnect");
+    let (rt, server, _) = durable_wordcount_server(2, &dir);
+    let payload = encode_lines(&job_lines(&cfg, 3));
+    let want = expected_wordcount_bytes(&job_lines(&cfg, 3));
+
+    let mut first = IngressClient::connect(server.local_addr()).unwrap();
+    let got = first.submit_durable_and_wait(7, &payload, BACKOFF).unwrap();
+    assert_eq!(got, JobOutcome::Result(want.clone()));
+    drop(first); // connection gone; the durable result must not be
+
+    let mut second = IngressClient::connect(server.local_addr()).unwrap();
+    assert_eq!(second.query(7).unwrap(), (QueryStatus::Done, want.clone()));
+    let resumed = second
+        .submit_durable_and_wait(7, &payload, BACKOFF)
+        .unwrap();
+    assert_eq!(
+        resumed,
+        JobOutcome::Result(want),
+        "resume across connections"
+    );
+    server.shutdown();
+    rt.quiesce();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_misuse_is_rejected_without_killing_the_connection() {
+    let cfg = ServiceWorkloadConfig::small();
+    let dir = journal_temp_dir("misuse");
+    let (rt, server, _) = durable_wordcount_server(2, &dir);
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+
+    // Durable job id 0 is reserved for connection-level errors.
+    client.submit_durable(0, b"x").unwrap();
+    let r = client.recv().unwrap();
+    assert_eq!((r.kind, r.req_id), (FrameKind::Error, 0));
+    assert!(String::from_utf8_lossy(&r.body).contains("non-zero"));
+
+    // Ack and Query carry no body; a non-empty one is a per-request error.
+    client.send(FrameKind::Ack, 1, b"junk").unwrap();
+    let r = client.recv().unwrap();
+    assert_eq!((r.kind, r.req_id), (FrameKind::Error, 1));
+    client.send(FrameKind::Query, 1, b"junk").unwrap();
+    let r = client.recv().unwrap();
+    assert_eq!((r.kind, r.req_id), (FrameKind::Error, 1));
+
+    // Acking an unknown id, or one still unresolved, is an error too.
+    client.ack(42).unwrap();
+    let r = client.recv().unwrap();
+    assert_eq!((r.kind, r.req_id), (FrameKind::Error, 42));
+
+    // None of that killed the connection: real work still goes through.
+    let payload = encode_lines(&job_lines(&cfg, 0));
+    let got = client
+        .submit_durable_and_wait(5, &payload, BACKOFF)
+        .unwrap();
+    assert_eq!(
+        got,
+        JobOutcome::Result(expected_wordcount_bytes(&job_lines(&cfg, 0)))
+    );
+
+    // A client speaking server-only kinds is cut off (stream offset no
+    // longer trustworthy), and the server keeps serving others.
+    let mut rogue = IngressClient::connect(server.local_addr()).unwrap();
+    rogue.send(FrameKind::QueryOk, 9, &[1]).unwrap();
+    let r = rogue.recv().unwrap();
+    assert_eq!((r.kind, r.req_id), (FrameKind::Error, 0));
+    assert!(rogue.recv().is_err(), "connection closed after QueryOk");
+
+    // A truncated SubmitDurable (header promises more body than ever
+    // arrives) must not run a job; the abandoned connection just closes.
+    let mut torn = IngressClient::connect(server.local_addr()).unwrap();
+    torn.send_raw(&100u32.to_le_bytes()).unwrap();
+    torn.send_raw(&[FrameKind::SubmitDurable as u8]).unwrap();
+    torn.send_raw(&6u64.to_le_bytes()).unwrap();
+    torn.send_raw(b"only-this").unwrap();
+    drop(torn);
+    assert!(
+        poll_until(Duration::from_secs(2), || server.stats().connections == 3),
+        "torn connection not reaped"
+    );
+    assert_eq!(
+        server.stats().durable_jobs,
+        1,
+        "truncated SubmitDurable must not start a job"
+    );
+    server.shutdown();
+    rt.quiesce();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_frames_on_a_plain_server_fail_cleanly() {
+    let (rt, server) = wordcount_server(2, IngressConfig::default());
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    match client
+        .submit_durable_and_wait(1, b"irrelevant", BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Failed(msg) => assert!(msg.contains("disabled"), "{msg}"),
+        other => panic!("durable submit on plain server must fail, got {other:?}"),
+    }
+    client.ack(1).unwrap();
+    let r = client.recv().unwrap();
+    assert_eq!(r.kind, FrameKind::Error);
+    assert!(client.query(1).is_err(), "query must surface the error");
+    server.shutdown();
+    rt.quiesce();
+}
+
+// ---------------------------------------------------------------------------
+// Journal corruption: CRC framing must reject bit rot on replay.
+// ---------------------------------------------------------------------------
+
+/// Writes a known journal (submits, results, a failure, an ack), returns
+/// the clean replay for comparison.
+fn journal_fixture(dir: &std::path::Path) -> pipelines::journal::Replay {
+    let (journal, replay) = Journal::open(JournalConfig::at(dir)).expect("open");
+    assert!(replay.jobs.is_empty());
+    for id in 1..=8u64 {
+        journal.append(RecordKind::Submit, id, format!("payload-{id}").as_bytes());
+    }
+    for id in 1..=6u64 {
+        journal.append(RecordKind::Result, id, format!("result-{id}").as_bytes());
+    }
+    journal.append(
+        RecordKind::Failed,
+        7,
+        &pipelines::journal::encode_failed_body(2, "stage panicked"),
+    );
+    journal.append_sync(RecordKind::Ack, 1, &[]);
+    drop(journal);
+    let clean = replay_dir(dir).expect("clean replay");
+    assert_eq!(clean.jobs.len(), 8);
+    assert_eq!(clean.corrupt_records, 0);
+    assert_eq!(clean.jobs[&1].status, JobReplayStatus::Acked);
+    assert_eq!(clean.jobs[&8].status, JobReplayStatus::Pending);
+    assert_eq!(
+        clean.jobs[&7].status,
+        JobReplayStatus::Failed {
+            attempts: 2,
+            message: "stage panicked".to_string(),
+        }
+    );
+    clean
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48, ..ProptestConfig::default()
+    })]
+
+    /// Flip one byte anywhere in a journal segment: replay must never
+    /// panic, never error, and — the CRC guarantee — never *alter* a
+    /// record. Corruption may only drop records (and is visible as a
+    /// shorter record count or a corrupt-record count), never change
+    /// payloads, results, or failure messages.
+    #[test]
+    fn corrupted_journal_records_are_rejected_not_misread(
+        offset_seed in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let dir = journal_temp_dir("crc");
+        let clean = journal_fixture(&dir);
+        let segment = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| Some(e.ok()?.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .expect("one segment file");
+        let mut bytes = std::fs::read(&segment).unwrap();
+        let offset = (offset_seed % bytes.len() as u64) as usize;
+        bytes[offset] ^= flip; // flip != 0, so the byte really changes
+        std::fs::write(&segment, &bytes).unwrap();
+
+        let replayed = replay_dir(&dir).expect("replay over corruption");
+        // Detected: either a record failed its CRC, or the scan stopped
+        // early at a mis-framed length (fewer records).
+        prop_assert!(
+            replayed.corrupt_records >= 1 || replayed.records < clean.records,
+            "byte flip at {offset} went unnoticed"
+        );
+        // Never misread: a dropped record may regress a job to an
+        // *earlier* lifecycle stage (e.g. Acked back to Done), but any
+        // byte that survives CRC must be exactly what was written.
+        for (id, job) in &replayed.jobs {
+            if !job.payload.is_empty() {
+                prop_assert_eq!(&job.payload, &format!("payload-{id}").into_bytes());
+            }
+            match &job.status {
+                JobReplayStatus::Done(bytes) => {
+                    prop_assert_eq!(bytes, &format!("result-{id}").into_bytes());
+                }
+                JobReplayStatus::Failed { attempts, message } => {
+                    prop_assert_eq!((*id, *attempts, message.as_str()), (7, 2, "stage panicked"));
+                }
+                JobReplayStatus::Pending | JobReplayStatus::Acked => {}
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
