@@ -79,7 +79,7 @@
 //!   the writers, and joins every thread — the graceful path.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -354,6 +354,14 @@ pub struct IngressConfig {
     /// How often blocked reads and the acceptor re-check the shutdown
     /// flag. Default 25 ms.
     pub poll_interval: Duration,
+    /// How many acknowledged durable ids the table remembers (for
+    /// idempotent re-acks and `Acked` query answers) before evicting the
+    /// oldest. Eviction is what bounds a long-running daemon's durable
+    /// table: an evicted id queries as `Unknown` again and a resubmit of
+    /// it re-runs the job — sound, because the client only acks after
+    /// consuming the result, and a re-run is byte-identical anyway.
+    /// Clamped to at least 1. Default 4096.
+    pub max_retired_ids: usize,
 }
 
 impl Default for IngressConfig {
@@ -362,6 +370,7 @@ impl Default for IngressConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             max_queued: 64,
             poll_interval: Duration::from_millis(25),
+            max_retired_ids: 4096,
         }
     }
 }
@@ -464,12 +473,42 @@ enum DurableEntry {
     Acked,
 }
 
+/// The in-memory durable job table: entries by id, plus the retirement
+/// queue that bounds how many [`DurableEntry::Acked`] tombstones are
+/// kept. Without the bound every id ever acked would live in the map
+/// forever — the on-disk journal compacts, but the table would not.
+#[derive(Default)]
+struct DurableTable {
+    entries: HashMap<u64, DurableEntry>,
+    /// Acked ids, oldest first; beyond
+    /// [`IngressConfig::max_retired_ids`] the oldest are evicted from
+    /// `entries`.
+    retired: VecDeque<u64>,
+}
+
+impl DurableTable {
+    /// Marks `job_id`'s entry (already set to [`DurableEntry::Acked`] by
+    /// the caller) retired, evicting the oldest retired ids beyond
+    /// `max_retired_ids`. Acked is terminal, so eviction can never
+    /// discard a state some other path still mutates.
+    fn retire(&mut self, job_id: u64, max_retired_ids: usize) {
+        self.retired.push_back(job_id);
+        while self.retired.len() > max_retired_ids.max(1) {
+            if let Some(old) = self.retired.pop_front() {
+                if matches!(self.entries.get(&old), Some(DurableEntry::Acked)) {
+                    self.entries.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 /// The durable half of a server bound with
 /// [`IngressServer::bind_durable`]: the journal plus the in-memory job
 /// table the journal is the write-ahead log *of*.
 struct DurableState {
     journal: Arc<Journal>,
-    table: Mutex<HashMap<u64, DurableEntry>>,
+    table: Mutex<DurableTable>,
 }
 
 /// What [`IngressServer::bind_durable`] found in the journal and did
@@ -534,19 +573,24 @@ fn complete_durable<C: JobCodec>(
     let waiters = {
         let mut table = durable.table.lock();
         let entry = table
+            .entries
             .entry(job_id)
             .or_insert(DurableEntry::InFlight(Vec::new()));
-        let waiters = match entry {
-            DurableEntry::InFlight(waiters) => std::mem::take(waiters),
-            // Already resolved (e.g. replay restored it); keep the first
-            // journaled outcome authoritative.
+        match entry {
+            DurableEntry::InFlight(waiters) => {
+                let waiters = std::mem::take(waiters);
+                *entry = match &outcome {
+                    Ok(bytes) => DurableEntry::Done(Arc::clone(bytes)),
+                    Err(msg) => DurableEntry::Failed(msg.clone()),
+                };
+                waiters
+            }
+            // Already resolved (e.g. replay restored it, or the client
+            // acked a restored result while a re-run was in flight); keep
+            // the first journaled outcome authoritative — in particular
+            // never regress an Acked entry back to Done.
             _ => Vec::new(),
-        };
-        *entry = match &outcome {
-            Ok(bytes) => DurableEntry::Done(Arc::clone(bytes)),
-            Err(msg) => DurableEntry::Failed(msg.clone()),
-        };
-        waiters
+        }
     };
     for w in waiters {
         let _ = w.send(outcome.clone());
@@ -614,7 +658,7 @@ impl IngressServer {
         let durable_state = durable.as_ref().map(|(journal, _)| {
             Arc::new(DurableState {
                 journal: Arc::clone(journal),
-                table: Mutex::new(HashMap::new()),
+                table: Mutex::new(DurableTable::default()),
             })
         });
         let shared = Arc::new(Shared {
@@ -743,15 +787,20 @@ fn recover_from_replay<C: JobCodec>(
         match &job.status {
             JobReplayStatus::Acked => {
                 report.restored_acked += 1;
-                table.insert(id, DurableEntry::Acked);
+                table.entries.insert(id, DurableEntry::Acked);
+                table.retire(id, shared.cfg.max_retired_ids);
             }
             JobReplayStatus::Done(bytes) => {
                 report.restored_results += 1;
-                table.insert(id, DurableEntry::Done(Arc::new(bytes.clone())));
+                table
+                    .entries
+                    .insert(id, DurableEntry::Done(Arc::new(bytes.clone())));
             }
             JobReplayStatus::Failed { message, .. } => {
                 report.restored_failures += 1;
-                table.insert(id, DurableEntry::Failed(message.clone()));
+                table
+                    .entries
+                    .insert(id, DurableEntry::Failed(message.clone()));
             }
             JobReplayStatus::Pending => match shared.codec.decode_job(&job.payload) {
                 Ok(input) => {
@@ -759,13 +808,13 @@ fn recover_from_replay<C: JobCodec>(
                         .graph
                         .submit(input, Admission::Unbounded)
                         .expect_accepted();
-                    table.insert(id, DurableEntry::InFlight(Vec::new()));
+                    table.entries.insert(id, DurableEntry::InFlight(Vec::new()));
                     report.resubmitted += 1;
                     pending.push((id, handle));
                 }
                 Err(msg) => {
                     report.restored_failures += 1;
-                    table.insert(
+                    table.entries.insert(
                         id,
                         DurableEntry::Failed(format!(
                             "journaled payload undecodable on replay: {msg}"
@@ -1057,7 +1106,7 @@ fn handle_submit_durable<C: JobCodec>(shared: &Shared<C>, frame: &Frame) -> Opti
         });
     }
     let mut table = durable.table.lock();
-    match table.entry(frame.req_id) {
+    match table.entries.entry(frame.req_id) {
         Entry::Occupied(mut entry) => {
             // At-least-once dedupe: never re-run a known id.
             shared
@@ -1142,9 +1191,10 @@ fn handle_ack<C: JobCodec>(shared: &Shared<C>, job_id: u64, body: &[u8]) -> Opti
         return Some(format!("Ack body must be empty, got {} bytes", body.len()));
     }
     let mut table = durable.table.lock();
-    match table.get_mut(&job_id) {
+    match table.entries.get_mut(&job_id) {
         Some(entry @ (DurableEntry::Done(_) | DurableEntry::Failed(_))) => {
             *entry = DurableEntry::Acked;
+            table.retire(job_id, shared.cfg.max_retired_ids);
             durable.journal.append(RecordKind::Ack, job_id, &[]);
             durable.journal.note_acked(job_id);
             shared.counters.acks.fetch_add(1, Ordering::Relaxed);
@@ -1178,7 +1228,7 @@ fn handle_query<C: JobCodec>(
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
     let table = durable.table.lock();
     let mut out = Vec::new();
-    match table.get(&job_id) {
+    match table.entries.get(&job_id) {
         None => out.push(QueryStatus::Unknown as u8),
         Some(DurableEntry::InFlight(_)) => out.push(QueryStatus::InFlight as u8),
         Some(DurableEntry::Done(bytes)) => {
@@ -1190,6 +1240,16 @@ fn handle_query<C: JobCodec>(
             out.extend_from_slice(message.as_bytes());
         }
         Some(DurableEntry::Acked) => out.push(QueryStatus::Acked as u8),
+    }
+    // Same degrade as encode_result_frame: the server must never emit a
+    // frame its own protocol limit calls oversized — a Done entry can
+    // hold result bytes that never fit a QueryOk frame.
+    if FRAME_FIXED_LEN + out.len() > shared.cfg.max_frame_len as usize {
+        return Err(format!(
+            "result too large for the {}-byte frame limit ({} bytes)",
+            shared.cfg.max_frame_len,
+            out.len() - 1
+        ));
     }
     Ok(out)
 }

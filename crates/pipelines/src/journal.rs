@@ -554,8 +554,15 @@ impl Journal {
     /// (pass to [`Journal::sync`] to wait for durability). Cheap: one
     /// mutexed buffer append, no I/O.
     pub fn append(&self, kind: RecordKind, job_id: u64, body: &[u8]) -> u64 {
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let mut staged = self.staged.lock();
+        // Seq assignment happens under the staged lock so staging order
+        // equals seq order: take_batch publishes the *last* staged
+        // entry's seq as the durable watermark, which only covers every
+        // flushed record if the entries are seq-sorted. Assigning seq
+        // before taking the lock would let a concurrent appender stage a
+        // higher seq first, and a sync() on it could then wait past the
+        // fsync that actually made it durable.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         encode_record(kind, job_id, body, &mut staged.buf);
         let end = staged.buf.len();
         staged.entries.push((seq, end));
@@ -814,6 +821,41 @@ mod tests {
             stats.fsyncs < stats.appends,
             "no group commit happened: {stats:?}"
         );
+        drop(journal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: seq numbers must be assigned under the staged lock.
+    /// When they were assigned before it, concurrent appenders could
+    /// stage out of seq order, the flusher's watermark (the *last*
+    /// staged entry's seq) could land below an already-flushed record,
+    /// and that record's sync() waiter hung forever once traffic
+    /// stopped. Tiny batches maximize watermark publishes to make any
+    /// such gap fatal here rather than latent.
+    #[test]
+    fn concurrent_append_sync_never_strands_a_waiter() {
+        let dir = temp_dir("order");
+        let mut cfg = JournalConfig::at(&dir);
+        cfg.fsync_batch = 2;
+        let (journal, _) = Journal::open(cfg).unwrap();
+        let threads = 16;
+        let per_thread = 50;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let journal = &journal;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let id = (t * per_thread + i) as u64;
+                        journal.append_sync(RecordKind::Submit, id, b"ordered");
+                    }
+                });
+            }
+        });
+        let total = (threads * per_thread) as u64;
+        assert_eq!(journal.stats().appends, total);
+        // Every waiter returned, and the published watermark covers the
+        // highest assigned seq — no stranded durability.
+        assert_eq!(*journal.durable.lock(), total);
         drop(journal);
         let _ = std::fs::remove_dir_all(&dir);
     }

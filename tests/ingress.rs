@@ -412,6 +412,15 @@ fn durable_wordcount_server(
     workers: usize,
     dir: &std::path::Path,
 ) -> (Arc<Runtime>, IngressServer, RecoveryReport) {
+    durable_wordcount_server_with(workers, dir, IngressConfig::default())
+}
+
+/// [`durable_wordcount_server`] with explicit ingress knobs.
+fn durable_wordcount_server_with(
+    workers: usize,
+    dir: &std::path::Path,
+    cfg: IngressConfig,
+) -> (Arc<Runtime>, IngressServer, RecoveryReport) {
     let rt = Arc::new(Runtime::with_workers(workers));
     let graph = Arc::new(wordcount_spec(3, 16).compile(
         Arc::clone(&rt),
@@ -426,7 +435,7 @@ fn durable_wordcount_server(
         "127.0.0.1:0",
         graph,
         Arc::new(WordcountCodec),
-        IngressConfig::default(),
+        cfg,
         journal,
         &replay,
     )
@@ -596,6 +605,96 @@ fn durable_frames_on_a_plain_server_fail_cleanly() {
     assert!(client.query(1).is_err(), "query must surface the error");
     server.shutdown();
     rt.quiesce();
+}
+
+#[test]
+fn oversized_queried_result_degrades_to_an_error_frame() {
+    // Same degrade discipline as the Result path: a Done entry whose
+    // journaled bytes exceed max_frame_len must come back as an Error
+    // frame from Query too, never as an oversized QueryOk.
+    let dir = journal_temp_dir("query-oversize");
+    let rt = Arc::new(Runtime::with_workers(2));
+    let graph =
+        Arc::new(logstream_digest_spec(2, 8, 0).compile(Arc::clone(&rt), ServiceConfig::default()));
+    let (journal, replay) = Journal::open(JournalConfig::at(&dir)).expect("open journal");
+    let (server, _) = IngressServer::bind_durable(
+        "127.0.0.1:0",
+        graph,
+        Arc::new(LogstreamCodec),
+        IngressConfig {
+            max_frame_len: 32,
+            ..IngressConfig::default()
+        },
+        journal,
+        &replay,
+    )
+    .expect("bind durable");
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    // Three lines → 51-byte result body: the submit reply degrades…
+    match client
+        .submit_durable_and_wait(1, b"a\nb\nc\n", BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Failed(msg) => assert!(msg.contains("result too large"), "{msg}"),
+        other => panic!("oversized durable result must degrade, got {other:?}"),
+    }
+    // …and so must the query of the journaled Done entry.
+    let err = client.query(1).expect_err("query must degrade too");
+    assert!(err.to_string().contains("result too large"), "{err}");
+    // The connection survives, and a fitting result still queries fine.
+    match client.submit_durable_and_wait(2, b"a\n", BACKOFF).unwrap() {
+        JobOutcome::Result(bytes) => assert_eq!(bytes.len(), 17),
+        other => panic!("small job must succeed, got {other:?}"),
+    }
+    let (status, bytes) = client.query(2).unwrap();
+    assert_eq!((status, bytes.len()), (QueryStatus::Done, 17));
+    server.shutdown();
+    rt.quiesce();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn acked_ids_beyond_the_retention_cap_are_evicted() {
+    let cfg = ServiceWorkloadConfig::small();
+    let dir = journal_temp_dir("evict");
+    let (rt, server, _) = durable_wordcount_server_with(
+        2,
+        &dir,
+        IngressConfig {
+            max_retired_ids: 2,
+            ..IngressConfig::default()
+        },
+    );
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    for id in 1..=3u64 {
+        let payload = encode_lines(&job_lines(&cfg, id as usize));
+        let got = client
+            .submit_durable_and_wait(id, &payload, BACKOFF)
+            .unwrap();
+        assert_eq!(
+            got,
+            JobOutcome::Result(expected_wordcount_bytes(&job_lines(&cfg, id as usize)))
+        );
+        client.ack(id).unwrap();
+    }
+    // Retention cap 2: acking id 3 evicted id 1 from the table, so the
+    // daemon's memory stays bounded no matter how many ids retire.
+    assert_eq!(client.query(1).unwrap(), (QueryStatus::Unknown, Vec::new()));
+    assert_eq!(client.query(2).unwrap(), (QueryStatus::Acked, Vec::new()));
+    assert_eq!(client.query(3).unwrap(), (QueryStatus::Acked, Vec::new()));
+    // An evicted id is simply a fresh id again: resubmitting re-runs the
+    // job (byte-identical, and the client already consumed the original).
+    let payload = encode_lines(&job_lines(&cfg, 1));
+    let got = client
+        .submit_durable_and_wait(1, &payload, BACKOFF)
+        .unwrap();
+    assert_eq!(
+        got,
+        JobOutcome::Result(expected_wordcount_bytes(&job_lines(&cfg, 1)))
+    );
+    server.shutdown();
+    rt.quiesce();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------------
