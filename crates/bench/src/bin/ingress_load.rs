@@ -7,9 +7,13 @@
 //!   `--jobs` wordcount + logstream jobs at it over `--connections`
 //!   concurrent client connections, verify every response byte-for-byte
 //!   against the job's serial elision, and check the full response byte
-//!   stream is **identical across all three worker counts**. Emits
-//!   `BENCH_ingress.json` (throughput + p50/p95/p99 from the final
-//!   phase) for CI's `bench_check` gate.
+//!   stream is **identical across all three worker counts**. Then a
+//!   **connection sweep** drives wordcount at 64/512/4096 concurrent
+//!   connections (the C10K shape the epoll ingress exists for) — at the
+//!   top count the phase matrix spans {1,2,8} workers × both scheduler
+//!   policies, all byte-identical. Emits `BENCH_ingress.json`
+//!   (throughput + p50/p95/p99, plus throughput/p99 vs connections) for
+//!   CI's `bench_check` gate.
 //! * **Live-daemon mode** (`--addr host:port`): the same closed loop
 //!   against an already-running `hqd` (started with matching defaults:
 //!   wordcount or logstream, parse-work 40). Verifies responses, prints
@@ -24,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use pipelines::graph::ServiceConfig;
 use pipelines::ingress::{IngressClient, IngressConfig, IngressServer, JobOutcome};
-use swan::Runtime;
+use swan::{Runtime, RuntimeConfig, SchedulerPolicy};
 use workloads::service::{
     job_lines, logstream_digest_spec, percentile, wordcount_spec, ServiceWorkloadConfig,
 };
@@ -85,45 +89,50 @@ fn run_phase(
         for c in 0..connections.max(1) {
             let (next, failures, latencies, hashes, expected, cfg) =
                 (&next, &failures, &latencies, &hashes, &expected, cfg);
-            s.spawn(move || {
-                let mut client = match IngressClient::connect(addr) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("ingress_load: connection {c} failed: {e}");
-                        failures.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                };
-                let mut local = Vec::new();
-                loop {
-                    let j = next.fetch_add(1, Ordering::Relaxed);
-                    if j >= jobs {
-                        break;
-                    }
-                    let payload = encode_lines(&job_lines(cfg, j));
-                    let submit = Instant::now();
-                    match client.submit_and_wait(j as u64, &payload, RETRY_BACKOFF) {
-                        Ok(JobOutcome::Result(bytes)) => {
-                            local.push(submit.elapsed().as_secs_f64() * 1e6);
-                            if bytes != expected(j) {
-                                eprintln!("ingress_load: job {j}: response != serial elision");
-                                failures.fetch_add(1, Ordering::Relaxed);
-                            }
-                            hashes[j].store(fnv1a(&bytes), Ordering::Relaxed);
-                        }
-                        Ok(JobOutcome::Failed(msg)) => {
-                            eprintln!("ingress_load: job {j} failed server-side: {msg}");
-                            failures.fetch_add(1, Ordering::Relaxed);
-                        }
+            // Small stacks: the 4096-connection phases spawn thousands of
+            // these, and each needs only a socket loop.
+            let spawned = std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .spawn_scoped(s, move || {
+                    let mut client = match IngressClient::connect(addr) {
+                        Ok(c) => c,
                         Err(e) => {
-                            eprintln!("ingress_load: job {j} transport error: {e}");
+                            eprintln!("ingress_load: connection {c} failed: {e}");
                             failures.fetch_add(1, Ordering::Relaxed);
                             return;
                         }
+                    };
+                    let mut local = Vec::new();
+                    loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs {
+                            break;
+                        }
+                        let payload = encode_lines(&job_lines(cfg, j));
+                        let submit = Instant::now();
+                        match client.submit_and_wait(j as u64, &payload, RETRY_BACKOFF) {
+                            Ok(JobOutcome::Result(bytes)) => {
+                                local.push(submit.elapsed().as_secs_f64() * 1e6);
+                                if bytes != expected(j) {
+                                    eprintln!("ingress_load: job {j}: response != serial elision");
+                                    failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                                hashes[j].store(fnv1a(&bytes), Ordering::Relaxed);
+                            }
+                            Ok(JobOutcome::Failed(msg)) => {
+                                eprintln!("ingress_load: job {j} failed server-side: {msg}");
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("ingress_load: job {j} transport error: {e}");
+                                failures.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
                     }
-                }
-                latencies.lock().expect("no poisoned lock").extend(local);
-            });
+                    latencies.lock().expect("no poisoned lock").extend(local);
+                });
+            spawned.expect("spawn client thread");
         }
     });
     let elapsed = t0.elapsed();
@@ -221,6 +230,109 @@ fn sweep_workload(
     last.expect("three phases ran")
 }
 
+/// One connection-sweep phase: `connections` closed-loop clients against
+/// a wordcount server with `workers` workers under `policy`, admission
+/// sized to the connection count (`max_queued ≈ C` — the sweep measures
+/// multiplexing capacity, not retry storms).
+fn connection_phase(
+    cfg: &ServiceWorkloadConfig,
+    connections: usize,
+    jobs: usize,
+    workers: usize,
+    policy: SchedulerPolicy,
+) -> PhaseReport {
+    let rt = Arc::new(Runtime::new(
+        RuntimeConfig::new()
+            .workers(workers..=workers)
+            .scheduler(policy),
+    ));
+    let service_cfg = ServiceConfig {
+        max_in_flight: cfg.max_in_flight,
+        segment_capacity: cfg.segment_capacity,
+        io_batch: cfg.io_batch,
+        ..ServiceConfig::default()
+    };
+    let graph =
+        Arc::new(wordcount_spec(cfg.degree, cfg.window).compile(Arc::clone(&rt), service_cfg));
+    let server = IngressServer::bind(
+        "127.0.0.1:0",
+        graph,
+        Arc::new(WordcountCodec),
+        IngressConfig {
+            max_queued: connections.max(64),
+            ..IngressConfig::default()
+        },
+    )
+    .expect("bind loopback ingress");
+    let report = run_phase(server.local_addr(), cfg, connections, jobs, |j| {
+        expected_wordcount_bytes(&job_lines(cfg, j))
+    });
+    let stats = server.shutdown();
+    rt.quiesce();
+    assert_eq!(
+        stats.jobs_accepted, stats.jobs_completed,
+        "every accepted job must drain"
+    );
+    report
+}
+
+/// The connection sweep: wordcount at 64/512/4096 concurrent
+/// connections. The lower counts are single measured phases (2 workers,
+/// default policy); the top count runs the full determinism matrix —
+/// {1,2,8} workers × both scheduler policies — and every phase's
+/// responses must hash byte-identical. Returns one report per count.
+fn sweep_connections(cfg: &ServiceWorkloadConfig, jobs: usize) -> Vec<(usize, PhaseReport)> {
+    let steal_batch = SchedulerPolicy::DEFAULT_STEAL_BATCH;
+    let mut out = Vec::new();
+    for connections in [64usize, 512, 4096] {
+        let jobs_c = jobs.max(connections); // at least one job per connection
+        let report = if connections == 4096 {
+            let mut reference: Option<Vec<u64>> = None;
+            let mut last: Option<PhaseReport> = None;
+            for policy in [
+                SchedulerPolicy::HelpFirst,
+                SchedulerPolicy::StealFirst { steal_batch },
+            ] {
+                for workers in [1usize, 2, 8] {
+                    let r = connection_phase(cfg, connections, jobs_c, workers, policy);
+                    match &reference {
+                        None => reference = Some(r.response_hashes.clone()),
+                        Some(h) => {
+                            if *h != r.response_hashes {
+                                eprintln!(
+                                    "ingress_load: FAILED — responses at {connections} \
+                                     connections / {workers} workers / {policy:?} are not \
+                                     byte-identical to the first phase"
+                                );
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                    last = Some(r);
+                }
+            }
+            println!(
+                "ingress_load: wordcount @ {connections} connections: byte-identical \
+                 across 1/2/8 workers × both scheduler policies ✓"
+            );
+            last.expect("six phases ran")
+        } else {
+            connection_phase(cfg, connections, jobs_c, 2, SchedulerPolicy::HelpFirst)
+        };
+        println!(
+            "ingress_load: wordcount @ {connections} connections: {} jobs in {:.2}s \
+             ({:.0} jobs/s, p50 {:.0}µs, p99 {:.0}µs)",
+            jobs_c,
+            report.elapsed.as_secs_f64(),
+            report.jobs_per_sec(),
+            percentile(&report.latencies, 50.0),
+            percentile(&report.latencies, 99.0),
+        );
+        out.push((connections, report));
+    }
+    out
+}
+
 fn report_block(name: &str, r: &PhaseReport) -> String {
     format!(
         "  \"{name}\": {{\n    \"jobs_per_sec\": {:.1},\n    \"p95_us\": {:.1},\n    \
@@ -237,6 +349,9 @@ fn main() {
     let connections = args.get_usize("connections", 4);
     let jobs = args.get_usize("jobs", if args.is_small() { 200 } else { 1000 });
     let cfg = ServiceWorkloadConfig::bench(jobs);
+    // The 4096-connection phases need ~2 fds per connection in this one
+    // process; default soft limits (1024 on stock runners) are far short.
+    let _ = epoll::raise_nofile_limit(16 * 1024);
 
     if let Some(addr) = args.get("addr") {
         // Live-daemon mode: one phase against an external hqd.
@@ -274,19 +389,45 @@ fn main() {
     // In-process sweep: both workloads, 1/2/8 workers, JSON for bench_check.
     let wc = sweep_workload(Workload::Wordcount, &cfg, connections, jobs);
     let ls = sweep_workload(Workload::Logstream, &cfg, connections, jobs);
+    // Connection sweep: throughput and p99 vs concurrent connections.
+    let by_conns = sweep_connections(&cfg, jobs);
 
+    let medians: String = by_conns
+        .iter()
+        .map(|(c, r)| {
+            format!(
+                ",\n    \"wordcount_p50_c{c}\": {:.1}",
+                percentile(&r.latencies, 50.0)
+            )
+        })
+        .collect();
+    let sweep_blocks: String = by_conns
+        .iter()
+        .map(|(c, r)| {
+            format!(
+                "\n    \"c{c}\": {{ \"jobs_per_sec\": {:.1}, \"p99_us\": {:.1} }}",
+                r.jobs_per_sec(),
+                percentile(&r.latencies, 99.0)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let out_path = args.get("out").unwrap_or("BENCH_ingress.json");
     let json = format!(
         "{{\n  \"bench\": \"ingress\",\n  \"jobs\": {jobs},\n  \"connections\": \
          {connections},\n  \"job_lines\": {},\n  \"degree\": {},\n  \"machine_cores\": {},\n  \
          \"worker_phases\": [1, 2, 8],\n  \"byte_identical_phases\": true,\n  \
-         \"median_us\": {{\n    \"wordcount_p50\": {:.1},\n    \"logstream_p50\": {:.1}\n  }},\n\
-         {},\n{}\n}}\n",
+         \"connection_phases\": [64, 512, 4096],\n  \
+         \"byte_identical_connection_phases\": true,\n  \
+         \"median_us\": {{\n    \"wordcount_p50\": {:.1},\n    \"logstream_p50\": {:.1}{}\n  }},\n  \
+         \"connection_sweep\": {{{}\n  }},\n{},\n{}\n}}\n",
         cfg.job_lines,
         cfg.degree,
         bench::machine_cores(),
         percentile(&wc.latencies, 50.0),
         percentile(&ls.latencies, 50.0),
+        medians,
+        sweep_blocks,
         report_block("wordcount", &wc),
         report_block("logstream", &ls),
     );

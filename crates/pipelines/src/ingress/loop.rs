@@ -1,0 +1,567 @@
+//! The event-driven server mode (Linux): N loop threads multiplex every
+//! connection over epoll, and a small completion pump pool turns blocking
+//! [`JobHandle::wait`] calls into eventfd-woken [`Completion`] postings.
+//!
+//! Thread anatomy, replacing the fallback's two threads per connection:
+//!
+//! * `hqd-accept` blocks on epoll over the listener plus a shutdown
+//!   eventfd, accepting until `WouldBlock` and dealing connections to
+//!   loops round-robin.
+//! * `hqd-loop-N` owns a slab of [`Conn`] state machines. Each epoll wait
+//!   returns readable sockets (parse frames, dispatch), writable sockets
+//!   (resume partial writes), or the loop's own eventfd (drain the inbox:
+//!   new connections from the acceptor, completions from the pumps).
+//! * `hqd-pump-N` threads block on [`JobHandle::wait`] — the one blocking
+//!   operation the loops must never perform — then journal (durable path)
+//!   and post the encoded reply back to the owning loop. The pool is
+//!   sound at a small fixed size because outstanding handles are bounded
+//!   by graph admission (`max_in_flight + max_queued`), not by connection
+//!   count; duplicate durable submits never occupy a pump (their waiters
+//!   are posted directly by `complete_durable`), so pumps cannot deadlock
+//!   waiting on each other.
+//!
+//! Connection slots carry a generation counter; completions are
+//! addressed by `(conn, gen, slot)` so a slot reused after a disconnect
+//! can never receive a predecessor's reply. A connection that dies with
+//! jobs in flight keeps its slab entry (deregistered from epoll) until
+//! every completion has been accounted as `results_dropped`.
+
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use epoll::{Epoll, EventFd};
+use parking_lot::Mutex;
+
+use super::conn::{encode_outcome, Conn, LoopCore, ReplyAddr, PENDING_CAP};
+use super::wire::{encode_frame, Frame, FrameKind, JobCodec};
+use super::{
+    admit_durable, admit_submit, complete_durable, encode_result_frame, sleep_with_shutdown,
+    stats_json, AcceptBackoff, DurableAction, Shared, SubmitAction, Waiter,
+};
+use crate::service::JobHandle;
+
+/// Token of each loop's own eventfd (connection tokens are slab indices,
+/// which can never reach this).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// A blocking join delegated to the pump pool, with the reply slot it
+/// must fill when the job resolves.
+pub(crate) enum PumpTask<O> {
+    Plain {
+        addr: ReplyAddr,
+        req_id: u64,
+        handle: JobHandle<O>,
+    },
+    Durable {
+        addr: ReplyAddr,
+        job_id: u64,
+        handle: JobHandle<O>,
+    },
+}
+
+/// The event-mode thread ensemble, joined at shutdown in dependency
+/// order: acceptor first (no new connections), then loops (drain every
+/// pending reply), then pumps (their senders are gone once the loops
+/// exit).
+pub(crate) struct EventMode {
+    pub cores: Vec<Arc<LoopCore>>,
+    pub accept_wake: Arc<EventFd>,
+    pub loops: Vec<JoinHandle<()>>,
+    pub pumps: Vec<JoinHandle<()>>,
+}
+
+/// Spawns the loop threads, pump pool, and epoll acceptor. Returns the
+/// ensemble plus the acceptor handle (stored where the fallback acceptor
+/// would be).
+pub(crate) fn spawn_event_mode<C: JobCodec>(
+    listener: TcpListener,
+    shared: &Arc<Shared<C>>,
+    n_loops: usize,
+    n_pumps: usize,
+) -> std::io::Result<(EventMode, JoinHandle<()>)> {
+    let mut cores = Vec::with_capacity(n_loops);
+    for _ in 0..n_loops {
+        let core = LoopCore::new()?;
+        core.epoll
+            .add(core.wake.raw_fd(), WAKE_TOKEN, epoll::interest::READ)?;
+        cores.push(core);
+    }
+    let accept_wake = Arc::new(EventFd::new()?);
+    let accept_epoll = Epoll::new()?;
+    accept_epoll.add(listener.as_raw_fd(), 0, epoll::interest::READ)?;
+    accept_epoll.add(accept_wake.raw_fd(), 1, epoll::interest::READ)?;
+
+    let (pump_tx, pump_rx) = mpsc::channel::<PumpTask<C::Out>>();
+    let pump_rx = Arc::new(Mutex::new(pump_rx));
+    let mut pumps = Vec::with_capacity(n_pumps);
+    for i in 0..n_pumps {
+        let shared = Arc::clone(shared);
+        let rx = Arc::clone(&pump_rx);
+        pumps.push(
+            std::thread::Builder::new()
+                .name(format!("hqd-pump-{i}"))
+                .spawn(move || pump_loop(shared, rx))
+                .expect("failed to spawn completion pump thread"),
+        );
+    }
+    let mut loops = Vec::with_capacity(n_loops);
+    for (i, core) in cores.iter().enumerate() {
+        let shared = Arc::clone(shared);
+        let core = Arc::clone(core);
+        let tx = pump_tx.clone();
+        loops.push(
+            std::thread::Builder::new()
+                .name(format!("hqd-loop-{i}"))
+                .spawn(move || event_loop(shared, core, tx))
+                .expect("failed to spawn event-loop thread"),
+        );
+    }
+    drop(pump_tx); // pumps exit once every loop has dropped its sender
+    let acceptor = {
+        let shared = Arc::clone(shared);
+        let cores = cores.clone();
+        let wake = Arc::clone(&accept_wake);
+        std::thread::Builder::new()
+            .name("hqd-accept".to_string())
+            .spawn(move || accept_loop_event(listener, shared, cores, accept_epoll, wake))
+            .expect("failed to spawn acceptor thread")
+    };
+    Ok((
+        EventMode {
+            cores,
+            accept_wake,
+            loops,
+            pumps,
+        },
+        acceptor,
+    ))
+}
+
+/// The epoll acceptor: accepts until `WouldBlock`, then sleeps in the
+/// kernel until the listener or the shutdown eventfd fires — no polling.
+/// Accept errors go through the shared [`AcceptBackoff`] classifier; a
+/// resource error (EMFILE/ENFILE) backs off exponentially instead of
+/// spinning on the forever-readable listener.
+fn accept_loop_event<C: JobCodec>(
+    listener: TcpListener,
+    shared: Arc<Shared<C>>,
+    cores: Vec<Arc<LoopCore>>,
+    ep: Epoll,
+    wake: Arc<EventFd>,
+) {
+    let mut rr = 0usize;
+    let mut backoff = AcceptBackoff::new(shared.cfg.poll_interval);
+    let mut events = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff.on_success();
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                cores[rr % cores.len()].push_conn(stream);
+                rr += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                events.clear();
+                let _ = ep.wait(&mut events, -1);
+                wake.drain();
+            }
+            Err(e) => {
+                let delay = backoff.on_error(&e, &shared.counters);
+                sleep_with_shutdown(delay, &shared.shutdown);
+            }
+        }
+    }
+}
+
+/// The pump pool body: take a task, block on the handle, journal if
+/// durable, post the encoded reply to the owning loop. Exits when every
+/// loop has dropped its sender.
+fn pump_loop<C: JobCodec>(
+    shared: Arc<Shared<C>>,
+    rx: Arc<Mutex<mpsc::Receiver<PumpTask<C::Out>>>>,
+) {
+    loop {
+        // Hold the lock across recv (Receiver is !Sync); contention is
+        // irrelevant because a parked pump holds it only while idle.
+        let task = rx.lock().recv();
+        let Ok(task) = task else { return };
+        match task {
+            PumpTask::Plain {
+                addr,
+                req_id,
+                handle,
+            } => {
+                let result = handle.wait();
+                shared
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut out = Vec::new();
+                match result {
+                    Ok(vals) => {
+                        let mut body = Vec::new();
+                        shared.codec.encode_result(&vals, &mut body);
+                        encode_result_frame(
+                            &shared.counters,
+                            shared.cfg.max_frame_len,
+                            req_id,
+                            Ok(&body),
+                            &mut out,
+                        );
+                    }
+                    Err(e) => encode_result_frame(
+                        &shared.counters,
+                        shared.cfg.max_frame_len,
+                        req_id,
+                        Err(&e.to_string()),
+                        &mut out,
+                    ),
+                }
+                addr.post(out, true);
+            }
+            PumpTask::Durable {
+                addr,
+                job_id,
+                handle,
+            } => {
+                let result = handle.wait();
+                shared
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                // Journal + publish even for a dead socket: the client
+                // will reconnect and resume exactly because this ran.
+                // append_sync happens here, on a pump thread — the loops
+                // never touch the disk.
+                let durable = shared
+                    .durable
+                    .as_ref()
+                    .expect("durable pump tasks only exist on durable servers");
+                let outcome = complete_durable(&shared, durable, job_id, result);
+                let mut out = Vec::new();
+                encode_outcome(&shared, job_id, &outcome, &mut out);
+                addr.post(out, true);
+            }
+        }
+    }
+}
+
+/// One event loop: epoll over its slab of connections plus its eventfd.
+fn event_loop<C: JobCodec>(
+    shared: Arc<Shared<C>>,
+    core: Arc<LoopCore>,
+    pump_tx: mpsc::Sender<PumpTask<C::Out>>,
+) {
+    let mut slab: Vec<(u32, Option<Conn>)> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<epoll::Event> = Vec::with_capacity(256);
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut draining = false;
+    loop {
+        events.clear();
+        if core.epoll.wait(&mut events, -1).is_err() {
+            return; // unrecoverable (the epoll fd itself is broken)
+        }
+        core.wakeups.fetch_add(1, Ordering::Relaxed);
+        shared.counters.loop_wakeups.fetch_add(1, Ordering::Relaxed);
+        touched.clear();
+        let mut woken = false;
+        for ev in events.iter().copied() {
+            if ev.token == WAKE_TOKEN {
+                woken = true;
+                continue;
+            }
+            let idx = ev.token as usize;
+            let Some((_, Some(conn))) = slab.get_mut(idx) else {
+                continue;
+            };
+            if ev.readable() {
+                on_readable(&shared, &core, &pump_tx, conn, idx, &mut chunk);
+            }
+            touched.push(idx);
+        }
+        if woken {
+            // Drain the eventfd *before* taking the inbox: a post that
+            // races in after the take re-rings and is seen next wait.
+            core.wake.drain();
+            let inbox = core.take_inbox();
+            for stream in inbox.conns {
+                if draining {
+                    continue; // acceptor raced shutdown; drop the socket
+                }
+                let idx = free.pop().unwrap_or_else(|| {
+                    slab.push((0, None));
+                    slab.len() - 1
+                });
+                if stream.set_nonblocking(true).is_err() {
+                    free.push(idx);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let gen = slab[idx].0;
+                let mut conn = Conn::new(stream, gen, shared.cfg.max_frame_len);
+                conn.interest = epoll::interest::READ;
+                if core
+                    .epoll
+                    .add(conn.stream.as_raw_fd(), idx as u64, conn.interest)
+                    .is_err()
+                {
+                    free.push(idx);
+                    continue;
+                }
+                conn.registered = true;
+                slab[idx].1 = Some(conn);
+                touched.push(idx);
+            }
+            for completion in inbox.completions {
+                let idx = completion.conn as usize;
+                if let Some((gen, Some(conn))) = slab.get_mut(idx) {
+                    if *gen == completion.gen {
+                        conn.apply_completion(completion);
+                        touched.push(idx);
+                    }
+                }
+            }
+        }
+        if !draining && shared.shutdown.load(Ordering::Acquire) {
+            draining = true;
+            for (idx, (_, slot)) in slab.iter_mut().enumerate() {
+                if let Some(conn) = slot {
+                    conn.closing = true;
+                    touched.push(idx);
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &idx in &touched {
+            let (gen, slot) = &mut slab[idx];
+            let Some(conn) = slot else { continue };
+            conn.pump_out(&shared.counters, shared.cfg.write_buf_limit);
+            if (conn.dead || conn.closing) && conn.drained() {
+                // Dropping the stream closes the fd, which the kernel
+                // auto-removes from the epoll set.
+                *slot = None;
+                *gen = gen.wrapping_add(1);
+                free.push(idx);
+                continue;
+            }
+            let want = conn.desired_interest(shared.cfg.write_buf_limit);
+            if want == 0 {
+                // Deregister entirely: with zero interest a closed peer
+                // would still storm EPOLLHUP at a level-triggered epoll.
+                if conn.registered {
+                    let _ = core.epoll.delete(conn.stream.as_raw_fd());
+                    conn.registered = false;
+                }
+            } else if !conn.registered {
+                if core
+                    .epoll
+                    .add(conn.stream.as_raw_fd(), idx as u64, want)
+                    .is_ok()
+                {
+                    conn.registered = true;
+                    conn.interest = want;
+                }
+            } else if want != conn.interest {
+                let _ = core.epoll.modify(conn.stream.as_raw_fd(), idx as u64, want);
+                conn.interest = want;
+            }
+        }
+        if draining && slab.iter().all(|(_, s)| s.is_none()) {
+            return;
+        }
+    }
+}
+
+/// Reads until `WouldBlock` (or a fairness cap — level-triggered epoll
+/// re-reports leftovers), parsing and dispatching every completed frame.
+fn on_readable<C: JobCodec>(
+    shared: &Arc<Shared<C>>,
+    core: &Arc<LoopCore>,
+    pump_tx: &mpsc::Sender<PumpTask<C::Out>>,
+    conn: &mut Conn,
+    idx: usize,
+    chunk: &mut [u8],
+) {
+    use std::io::Read;
+    for _ in 0..16 {
+        if conn.closing || conn.dead {
+            return;
+        }
+        if conn.pending.len() >= PENDING_CAP || conn.unflushed() >= shared.cfg.write_buf_limit {
+            return; // backpressure: the interest update drops READ
+        }
+        match conn.stream.read(chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                conn.dec.extend(&chunk[..n]);
+                loop {
+                    match conn.dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                            dispatch_frame(shared, core, pump_tx, conn, idx, frame);
+                            if conn.closing {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            shared
+                                .counters
+                                .protocol_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            push_error(shared, conn, 0, format!("protocol error: {e}"));
+                            conn.closing = true; // flush replies, then close
+                            return;
+                        }
+                    }
+                }
+                if n < chunk.len() {
+                    return; // short read: socket almost certainly drained
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Queues an Error reply in FIFO position (counted like the fallback
+/// writer's Error path).
+fn push_error<C: JobCodec>(shared: &Shared<C>, conn: &mut Conn, req_id: u64, message: String) {
+    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+    let mut out = Vec::new();
+    encode_frame(FrameKind::Error, req_id, message.as_bytes(), &mut out);
+    conn.push_ready(out, false);
+}
+
+/// Loop-mode frame dispatch: the same decisions as the fallback's
+/// `handle_frame`, but replies land in the connection's slot FIFO and
+/// blocking joins go to the pump pool.
+fn dispatch_frame<C: JobCodec>(
+    shared: &Arc<Shared<C>>,
+    core: &Arc<LoopCore>,
+    pump_tx: &mpsc::Sender<PumpTask<C::Out>>,
+    conn: &mut Conn,
+    idx: usize,
+    frame: Frame,
+) {
+    match frame.kind {
+        FrameKind::Submit => match admit_submit(shared, &frame.body) {
+            SubmitAction::Accepted(handle) => {
+                let addr = ReplyAddr {
+                    core: Arc::clone(core),
+                    conn: idx as u32,
+                    gen: conn.gen,
+                    slot: conn.alloc_waiting_slot(),
+                };
+                let _ = pump_tx.send(PumpTask::Plain {
+                    addr,
+                    req_id: frame.req_id,
+                    handle,
+                });
+            }
+            SubmitAction::Rejected { queued } => push_retry(conn, frame.req_id, queued),
+            SubmitAction::Bad(message) => push_error(shared, conn, frame.req_id, message),
+        },
+        FrameKind::Stats => {
+            let mut out = Vec::new();
+            encode_frame(
+                FrameKind::StatsOk,
+                frame.req_id,
+                stats_json(shared).as_bytes(),
+                &mut out,
+            );
+            conn.push_ready(out, false);
+        }
+        FrameKind::SubmitDurable => {
+            // The waiter's address is the slot this frame will reserve;
+            // the completion cannot arrive before the slot exists because
+            // only this thread applies its own inbox.
+            let addr = ReplyAddr {
+                core: Arc::clone(core),
+                conn: idx as u32,
+                gen: conn.gen,
+                slot: conn.next_slot,
+            };
+            match admit_durable(shared, &frame, Waiter::Loop(addr.clone())) {
+                DurableAction::Fresh(handle) => {
+                    let slot = conn.alloc_waiting_slot();
+                    debug_assert_eq!(slot, addr.slot);
+                    let _ = pump_tx.send(PumpTask::Durable {
+                        addr,
+                        job_id: frame.req_id,
+                        handle,
+                    });
+                }
+                DurableAction::Wait => {
+                    // Registered as a table waiter; complete_durable will
+                    // post straight to this slot — no pump occupied.
+                    let slot = conn.alloc_waiting_slot();
+                    debug_assert_eq!(slot, addr.slot);
+                }
+                DurableAction::Done(outcome) => {
+                    let mut out = Vec::new();
+                    encode_outcome(shared, frame.req_id, &outcome, &mut out);
+                    conn.push_ready(out, true);
+                }
+                DurableAction::Rejected { queued } => push_retry(conn, frame.req_id, queued),
+                DurableAction::Refuse { req_id, message } => {
+                    push_error(shared, conn, req_id, message)
+                }
+            }
+        }
+        FrameKind::Ack => {
+            if let Some(message) = super::handle_ack(shared, frame.req_id, &frame.body) {
+                push_error(shared, conn, frame.req_id, message);
+            }
+        }
+        FrameKind::Query => match super::handle_query(shared, frame.req_id, &frame.body) {
+            Ok(body) => {
+                let mut out = Vec::new();
+                encode_frame(FrameKind::QueryOk, frame.req_id, &body, &mut out);
+                conn.push_ready(out, false);
+            }
+            Err(message) => push_error(shared, conn, frame.req_id, message),
+        },
+        FrameKind::Result
+        | FrameKind::Retry
+        | FrameKind::Error
+        | FrameKind::StatsOk
+        | FrameKind::QueryOk => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            push_error(
+                shared,
+                conn,
+                0,
+                format!("protocol error: client sent a {:?} frame", frame.kind),
+            );
+            conn.closing = true;
+        }
+    }
+}
+
+fn push_retry(conn: &mut Conn, req_id: u64, queued: u32) {
+    let mut out = Vec::new();
+    encode_frame(FrameKind::Retry, req_id, &queued.to_le_bytes(), &mut out);
+    conn.push_ready(out, false);
+}

@@ -1,0 +1,1397 @@
+//! Network ingress for the service layer: the `hqd` daemon's engine.
+//!
+//! [`crate::service`] made pipeline graphs persistent, but jobs could only
+//! be submitted in-process. This module puts a TCP front door on a
+//! [`CompiledGraph`] (std::net plus the vendored `epoll` syscall shim —
+//! no dependencies): a length-prefixed framed protocol, an event-driven
+//! readiness-loop server, and — crucially — **backpressure that reaches
+//! the client**. A submit is accepted only through the graph's bounded
+//! admission queue; past the bound the client gets an explicit
+//! [`FrameKind::Retry`] frame instead of the server buffering without
+//! limit. See DESIGN.md §6.3 for the architecture discussion.
+//!
+//! # Server architecture
+//!
+//! On Linux the server runs **event-driven** by default
+//! ([`IngressConfig::event_loops`] > 0): a nonblocking epoll acceptor
+//! deals connections round-robin to N event-loop threads, each
+//! multiplexing its share of connections as nonblocking state machines —
+//! parse with [`FrameDecoder`], reserve a reply slot per request, write
+//! through a bounded per-connection buffer with partial-write
+//! resumption. Blocking job joins happen on a small completion-pump
+//! pool whose results come back to the owning loop over an
+//! eventfd-woken queue, so an *idle* connection costs zero wakeups and
+//! thread count is independent of connection count (C10K and beyond).
+//! Everywhere else — and with `event_loops: 0` — the portable fallback
+//! serves each connection with a reader/writer thread pair.
+//! Module layout mirrors the split: `wire` (frames/codec), `conn`
+//! (per-connection state machine + fallback), `loop` (event loops,
+//! pumps, epoll acceptor).
+//!
+//! # Wire format
+//!
+//! Every frame is:
+//!
+//! ```text
+//! offset  size     field
+//! 0       4        len: u32 LE — byte length of everything after this field
+//! 4       1        kind (see FrameKind)
+//! 5       8        req_id: u64 LE — client-chosen correlation id
+//! 13      len - 9  body (kind-specific)
+//! ```
+//!
+//! | kind | name          | direction | body                                  |
+//! |------|---------------|-----------|---------------------------------------|
+//! | 1    | Submit        | c → s     | job payload ([`JobCodec::decode_job`])|
+//! | 2    | Result        | s → c     | job output ([`JobCodec::encode_result`]) |
+//! | 3    | Retry         | s → c     | u32 LE: waiting-line depth at refusal |
+//! | 4    | Error         | s → c     | UTF-8 message (`req_id` 0 = connection-level) |
+//! | 5    | Stats         | c → s     | empty                                 |
+//! | 6    | StatsOk       | s → c     | UTF-8 JSON snapshot                   |
+//! | 7    | SubmitDurable | c → s     | job payload; `req_id` = durable job id |
+//! | 8    | Ack           | c → s     | empty — confirm receipt of `req_id`'s result |
+//! | 9    | Query         | c → s     | empty — ask `req_id`'s durable status |
+//! | 10   | QueryOk       | s → c     | status byte (see [`QueryStatus`]) · payload |
+//!
+//! # Durable jobs
+//!
+//! A server bound with [`IngressServer::bind_durable`] additionally
+//! accepts `SubmitDurable` frames, whose `req_id` is a **client-assigned
+//! durable job id** (non-zero, unique per journal): the job is journaled
+//! to a [`crate::journal::Journal`] before execution, its result is
+//! journaled *before* the Result frame is written, and the whole thing
+//! survives a daemon crash — on restart, [`IngressServer::bind_durable`]
+//! replays the journal, restores completed results, and re-runs
+//! still-pending jobs through the graph (determinism makes the re-run
+//! byte-identical). A duplicate `SubmitDurable` of an in-flight or
+//! completed id never re-runs the job: it waits for / returns the
+//! journaled result. `Ack` retires an id (fire-and-forget; its segments
+//! become compactable), and `Query` reports an id's status without
+//! side effects. See DESIGN.md §6.4 for the durability design.
+//!
+//! # Ordering and determinism
+//!
+//! Every reply — Result, Retry, Error, StatsOk, QueryOk — flows through
+//! one per-connection FIFO: a slot is reserved the moment its request is
+//! parsed, and only a contiguous run of completed slots at the front may
+//! reach the socket (in the fallback, the same invariant is carried by
+//! the reader→writer channel). So **responses arrive in exactly the
+//! order the requests were sent**, and each job's result bytes are the
+//! encoding of its deterministic serial-elision output: the whole
+//! response stream of a connection is byte-identical at any worker
+//! count, any loop count, and either server mode.
+//!
+//! # Failure containment
+//!
+//! * A malformed or oversized *frame* is a protocol error: the server
+//!   sends `Error` (req_id 0) and stops reading from that connection,
+//!   after draining replies already in flight.
+//! * An undecodable *job payload* is an application error: `Error` with
+//!   the submit's req_id, connection stays open. Likewise a job whose
+//!   *result* would exceed `max_frame_len`: the server never emits a
+//!   frame its own limit calls oversized — the job ran, but the client
+//!   gets an `Error` instead of the result.
+//! * A client that disconnects mid-job never leaks work: every accepted
+//!   job's handle is joined whether or not the socket can still be
+//!   written, so the job drains through the graph normally (undelivered
+//!   results count as `results_dropped`).
+//! * `accept()` errors are classified: resource exhaustion (EMFILE/
+//!   ENFILE/ENOMEM) backs off exponentially instead of spinning, and
+//!   every failure counts toward `accept_errors`.
+//! * [`IngressServer::shutdown`] stops the acceptor, lets every
+//!   connection stop at the next frame boundary, drains all accepted
+//!   jobs, and joins every thread — the graceful path.
+
+mod conn;
+#[cfg(target_os = "linux")]
+#[path = "loop.rs"]
+mod evloop;
+mod wire;
+
+pub use wire::{
+    encode_frame, retry_delay, Frame, FrameDecoder, FrameError, FrameKind, JobCodec, QueryStatus,
+    DEFAULT_MAX_FRAME_LEN,
+};
+
+pub(crate) use wire::FRAME_FIXED_LEN;
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::journal::{encode_failed_body, JobReplayStatus, Journal, RecordKind, Replay};
+use crate::service::{Admission, CompiledGraph, JobError, JobHandle, Submission};
+
+// ---------------------------------------------------------------------------
+// Server configuration and counters.
+// ---------------------------------------------------------------------------
+
+/// The default [`IngressConfig::event_loops`]: `min(4, cores)` where the
+/// epoll shim is available, 0 (thread-pair fallback) elsewhere.
+pub fn default_event_loops() -> usize {
+    if epoll::supported() {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    } else {
+        0
+    }
+}
+
+/// Knobs of an [`IngressServer`].
+#[derive(Clone, Debug)]
+pub struct IngressConfig {
+    /// Upper bound on a frame's `len` field; larger frames are protocol
+    /// errors. Default [`DEFAULT_MAX_FRAME_LEN`].
+    pub max_frame_len: u32,
+    /// Admission-queue bound per graph (jobs accepted but not yet
+    /// admitted); beyond it submits get [`FrameKind::Retry`]. Clamped to
+    /// at least 1. Default 64.
+    pub max_queued: usize,
+    /// How often blocked fallback reads re-check the shutdown flag, and
+    /// the base unit of the acceptor's error backoff. Default 25 ms.
+    pub poll_interval: Duration,
+    /// How many acknowledged durable ids the table remembers (for
+    /// idempotent re-acks and `Acked` query answers) before evicting the
+    /// oldest. Eviction is what bounds a long-running daemon's durable
+    /// table: an evicted id queries as `Unknown` again and a resubmit of
+    /// it re-runs the job — sound, because the client only acks after
+    /// consuming the result, and a re-run is byte-identical anyway.
+    /// Clamped to at least 1. Default 4096.
+    pub max_retired_ids: usize,
+    /// Event-loop threads multiplexing all connections. 0 selects the
+    /// portable thread-pair-per-connection fallback (always the case
+    /// where the epoll shim is unsupported). Default
+    /// [`default_event_loops`].
+    pub event_loops: usize,
+    /// Per-connection cap on reply bytes buffered for a slow reader
+    /// (event mode). Past it the loop stops reading from that connection
+    /// until the buffer drains — flow control per connection, not per
+    /// server. A single reply larger than the cap still goes out (the
+    /// true bound is `write_buf_limit` + one frame). Default 256 KiB,
+    /// clamped to at least 4 KiB.
+    pub write_buf_limit: usize,
+    /// Completion-pump threads joining job handles in event mode. Sound
+    /// at a small fixed size: outstanding handles are bounded by graph
+    /// admission, not by connections. Clamped to at least 1. Default 4.
+    pub completion_threads: usize,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_queued: 64,
+            poll_interval: Duration::from_millis(25),
+            max_retired_ids: 4096,
+            event_loops: default_event_loops(),
+            write_buf_limit: 256 * 1024,
+            completion_threads: 4,
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub connections: AtomicU64,
+    pub frames_in: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub jobs_accepted: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    pub retries_sent: AtomicU64,
+    pub errors_sent: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub results_dropped: AtomicU64,
+    pub durable_jobs: AtomicU64,
+    pub durable_dupes: AtomicU64,
+    pub acks: AtomicU64,
+    pub queries: AtomicU64,
+    pub accept_errors: AtomicU64,
+    pub loop_wakeups: AtomicU64,
+}
+
+/// Counter snapshot of an [`IngressServer`] (monotonic unless noted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames successfully parsed off client connections.
+    pub frames_in: u64,
+    /// Raw bytes read from clients.
+    pub bytes_in: u64,
+    /// Raw bytes written to clients.
+    pub bytes_out: u64,
+    /// Submits accepted into the graph's admission queue.
+    pub jobs_accepted: u64,
+    /// Accepted jobs whose handle has been joined (drained) — equals
+    /// `jobs_accepted` once traffic stops, even for dead clients.
+    pub jobs_completed: u64,
+    /// Submits refused with a Retry frame (admission queue full).
+    pub retries_sent: u64,
+    /// Error frames sent (bad payloads, failed jobs, protocol errors).
+    pub errors_sent: u64,
+    /// Connections dropped for malformed/oversized frames.
+    pub protocol_errors: u64,
+    /// Job results that could not be delivered because the client's
+    /// socket was already dead when the reply got to them. The job still
+    /// completed (and, for durable jobs, its result is journaled); this
+    /// counter is what makes the drop visible instead of silent.
+    pub results_dropped: u64,
+    /// Durable submissions accepted (fresh ids journaled and run).
+    pub durable_jobs: u64,
+    /// Duplicate durable submissions answered from the journal/table
+    /// instead of re-running (the at-least-once dedupe hits).
+    pub durable_dupes: u64,
+    /// Durable jobs acknowledged by clients.
+    pub acks: u64,
+    /// Query frames answered.
+    pub queries: u64,
+    /// `accept()` calls that failed (excluding the nonblocking
+    /// would-block poll). Resource exhaustion — EMFILE/ENFILE — lands
+    /// here while the acceptor backs off exponentially.
+    pub accept_errors: u64,
+    /// Times an event loop woke from `epoll_wait` (0 in fallback mode).
+    /// The scale-free claim in numbers: idle connections do not advance
+    /// this, no matter how many are connected.
+    pub loop_wakeups: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> IngressStats {
+        IngressStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            jobs_accepted: self.jobs_accepted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            retries_sent: self.retries_sent.load(Ordering::Relaxed),
+            errors_sent: self.errors_sent.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            results_dropped: self.results_dropped.load(Ordering::Relaxed),
+            durable_jobs: self.durable_jobs.load(Ordering::Relaxed),
+            durable_dupes: self.durable_dupes.load(Ordering::Relaxed),
+            acks: self.acks.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable job table.
+// ---------------------------------------------------------------------------
+
+/// What a waiter on a duplicate in-flight durable submit receives once
+/// the job resolves: the journaled result bytes or the failure message.
+pub(crate) type DurableOutcome = Result<Arc<Vec<u8>>, String>;
+
+/// A duplicate submitter waiting on an in-flight durable id. The
+/// fallback's writer thread blocks on a channel; an event loop must
+/// never block, so its waiter is the reply-slot address that
+/// [`complete_durable`] posts the encoded frame to directly — which is
+/// also what keeps duplicate submits from ever occupying a completion
+/// pump (the pump-pool soundness argument).
+pub(crate) enum Waiter {
+    Channel(mpsc::Sender<DurableOutcome>),
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    Loop(conn::ReplyAddr),
+}
+
+/// One durable job id's server-side state.
+enum DurableEntry {
+    /// Accepted and executing; the waiters are duplicate submitters
+    /// waiting for the same result.
+    InFlight(Vec<Waiter>),
+    /// Completed; result bytes are journaled and retained until ack.
+    Done(Arc<Vec<u8>>),
+    /// Failed terminally (retry budget exhausted); message retained.
+    Failed(String),
+    /// Acknowledged: retired, result bytes released, compactable.
+    Acked,
+}
+
+/// The in-memory durable job table: entries by id, plus the retirement
+/// queue that bounds how many [`DurableEntry::Acked`] tombstones are
+/// kept. Without the bound every id ever acked would live in the map
+/// forever — the on-disk journal compacts, but the table would not.
+#[derive(Default)]
+struct DurableTable {
+    entries: HashMap<u64, DurableEntry>,
+    /// Acked ids, oldest first; beyond
+    /// [`IngressConfig::max_retired_ids`] the oldest are evicted from
+    /// `entries`.
+    retired: VecDeque<u64>,
+}
+
+impl DurableTable {
+    /// Marks `job_id`'s entry (already set to [`DurableEntry::Acked`] by
+    /// the caller) retired, evicting the oldest retired ids beyond
+    /// `max_retired_ids`. Acked is terminal, so eviction can never
+    /// discard a state some other path still mutates.
+    fn retire(&mut self, job_id: u64, max_retired_ids: usize) {
+        self.retired.push_back(job_id);
+        while self.retired.len() > max_retired_ids.max(1) {
+            if let Some(old) = self.retired.pop_front() {
+                if matches!(self.entries.get(&old), Some(DurableEntry::Acked)) {
+                    self.entries.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// The durable half of a server bound with
+/// [`IngressServer::bind_durable`]: the journal plus the in-memory job
+/// table the journal is the write-ahead log *of*.
+pub(crate) struct DurableState {
+    journal: Arc<Journal>,
+    table: Mutex<DurableTable>,
+}
+
+/// What [`IngressServer::bind_durable`] found in the journal and did
+/// about it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Durable jobs reconstructed from the journal.
+    pub journaled_jobs: u64,
+    /// Jobs found pending (submitted, never completed) and re-run.
+    pub resubmitted: u64,
+    /// Completed-but-unacked results restored into the table.
+    pub restored_results: u64,
+    /// Terminal failures restored into the table.
+    pub restored_failures: u64,
+    /// Acknowledged ids restored (retired, awaiting compaction).
+    pub restored_acked: u64,
+    /// Journal records rejected on replay (CRC mismatch / torn tail).
+    pub corrupt_records: u64,
+}
+
+pub(crate) struct Shared<C: JobCodec> {
+    pub graph: Arc<CompiledGraph<C::In, C::Out>>,
+    pub codec: Arc<C>,
+    pub cfg: IngressConfig,
+    pub counters: Arc<Counters>,
+    pub shutdown: Arc<AtomicBool>,
+    /// `Some` only on servers bound with [`IngressServer::bind_durable`];
+    /// plain `bind` servers reject durable frames with an Error.
+    pub durable: Option<Arc<DurableState>>,
+}
+
+/// Journals a durable job's terminal state (Result/Failed record,
+/// fsync-durable before returning), publishes it in the table, and wakes
+/// every duplicate submitter waiting on the id — channel waiters get the
+/// outcome, loop waiters get the fully encoded frame posted straight to
+/// their reply slot. The returned outcome is what the caller should
+/// encode into its own reply frame — the Result frame therefore never
+/// precedes the record that makes it replayable.
+pub(crate) fn complete_durable<C: JobCodec>(
+    shared: &Shared<C>,
+    durable: &DurableState,
+    job_id: u64,
+    result: Result<Vec<C::Out>, JobError>,
+) -> DurableOutcome {
+    let outcome: DurableOutcome = match result {
+        Ok(vals) => {
+            let mut body = Vec::new();
+            shared.codec.encode_result(&vals, &mut body);
+            durable
+                .journal
+                .append_sync(RecordKind::Result, job_id, &body);
+            Ok(Arc::new(body))
+        }
+        Err(e) => {
+            let message = e.to_string();
+            durable.journal.append_sync(
+                RecordKind::Failed,
+                job_id,
+                &encode_failed_body(e.attempts(), &message),
+            );
+            Err(message)
+        }
+    };
+    let waiters = {
+        let mut table = durable.table.lock();
+        let entry = table
+            .entries
+            .entry(job_id)
+            .or_insert(DurableEntry::InFlight(Vec::new()));
+        match entry {
+            DurableEntry::InFlight(waiters) => {
+                let waiters = std::mem::take(waiters);
+                *entry = match &outcome {
+                    Ok(bytes) => DurableEntry::Done(Arc::clone(bytes)),
+                    Err(msg) => DurableEntry::Failed(msg.clone()),
+                };
+                waiters
+            }
+            // Already resolved (e.g. replay restored it, or the client
+            // acked a restored result while a re-run was in flight); keep
+            // the first journaled outcome authoritative — in particular
+            // never regress an Acked entry back to Done.
+            _ => Vec::new(),
+        }
+    };
+    for w in waiters {
+        match w {
+            Waiter::Channel(tx) => {
+                let _ = tx.send(outcome.clone());
+            }
+            Waiter::Loop(addr) => {
+                let mut frame = Vec::new();
+                match &outcome {
+                    Ok(bytes) => encode_result_frame(
+                        &shared.counters,
+                        shared.cfg.max_frame_len,
+                        job_id,
+                        Ok(bytes),
+                        &mut frame,
+                    ),
+                    Err(msg) => encode_result_frame(
+                        &shared.counters,
+                        shared.cfg.max_frame_len,
+                        job_id,
+                        Err(msg),
+                        &mut frame,
+                    ),
+                }
+                addr.post(frame, true);
+            }
+        }
+    }
+    outcome
+}
+
+// ---------------------------------------------------------------------------
+// Frame decisions shared by both server modes.
+// ---------------------------------------------------------------------------
+
+/// Outcome of one Submit frame's admission decision.
+pub(crate) enum SubmitAction<O> {
+    Accepted(JobHandle<O>),
+    Rejected { queued: u32 },
+    Bad(String),
+}
+
+/// Decodes and admits one Submit body (counters included): the single
+/// admission path both server modes go through.
+pub(crate) fn admit_submit<C: JobCodec>(shared: &Shared<C>, body: &[u8]) -> SubmitAction<C::Out> {
+    match shared.codec.decode_job(body) {
+        Ok(input) => {
+            let admission = Admission::Bounded {
+                max_queued: shared.cfg.max_queued.max(1),
+            };
+            match shared.graph.submit(input, admission) {
+                Submission::Accepted(handle) => {
+                    shared
+                        .counters
+                        .jobs_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    SubmitAction::Accepted(handle)
+                }
+                Submission::Rejected { depth, .. } => {
+                    shared.counters.retries_sent.fetch_add(1, Ordering::Relaxed);
+                    SubmitAction::Rejected {
+                        queued: depth.min(u32::MAX as usize) as u32,
+                    }
+                }
+            }
+        }
+        Err(msg) => SubmitAction::Bad(format!("bad job payload: {msg}")),
+    }
+}
+
+/// Outcome of one SubmitDurable frame's decision.
+pub(crate) enum DurableAction<O> {
+    /// Fresh id: journaled and admitted; join the handle, then
+    /// [`complete_durable`], then reply.
+    Fresh(JobHandle<O>),
+    /// Duplicate of an in-flight id: the passed-in [`Waiter`] was
+    /// registered and will be resolved by the original's completion.
+    Wait,
+    /// Duplicate of a resolved id: reply straight from the table.
+    Done(DurableOutcome),
+    /// Admission queue full.
+    Rejected { queued: u32 },
+    /// Error reply (durability disabled, zero id, acked id, bad
+    /// payload); the connection stays open.
+    Refuse { req_id: u64, message: String },
+}
+
+/// One SubmitDurable frame. The whole decision — duplicate detection,
+/// admission, journaling, table insertion — happens under the table lock,
+/// so two connections racing the same id cannot both run the job.
+pub(crate) fn admit_durable<C: JobCodec>(
+    shared: &Shared<C>,
+    frame: &Frame,
+    waiter: Waiter,
+) -> DurableAction<C::Out> {
+    let Some(durable) = &shared.durable else {
+        return DurableAction::Refuse {
+            req_id: frame.req_id,
+            message: "durable submissions disabled (start the server with a journal)".to_string(),
+        };
+    };
+    if frame.req_id == 0 {
+        return DurableAction::Refuse {
+            req_id: 0,
+            message: "durable job id must be non-zero (0 is the connection-level id)".to_string(),
+        };
+    }
+    let mut table = durable.table.lock();
+    match table.entries.entry(frame.req_id) {
+        Entry::Occupied(mut entry) => {
+            // At-least-once dedupe: never re-run a known id.
+            shared
+                .counters
+                .durable_dupes
+                .fetch_add(1, Ordering::Relaxed);
+            match entry.get_mut() {
+                DurableEntry::InFlight(waiters) => {
+                    waiters.push(waiter);
+                    DurableAction::Wait
+                }
+                DurableEntry::Done(bytes) => DurableAction::Done(Ok(Arc::clone(bytes))),
+                DurableEntry::Failed(message) => DurableAction::Done(Err(message.clone())),
+                DurableEntry::Acked => DurableAction::Refuse {
+                    req_id: frame.req_id,
+                    message: format!(
+                        "durable job {} already acknowledged; its result was released",
+                        frame.req_id
+                    ),
+                },
+            }
+        }
+        Entry::Vacant(slot) => match shared.codec.decode_job(&frame.body) {
+            Ok(input) => {
+                let admission = Admission::Bounded {
+                    max_queued: shared.cfg.max_queued.max(1),
+                };
+                match shared.graph.submit(input, admission) {
+                    Submission::Accepted(handle) => {
+                        // Journal before the client can observe the
+                        // acceptance. No explicit sync here: the WAL is
+                        // sequential, so the Result record's sync (which
+                        // gates the Result frame) covers this record too.
+                        durable
+                            .journal
+                            .append(RecordKind::Submit, frame.req_id, &frame.body);
+                        slot.insert(DurableEntry::InFlight(Vec::new()));
+                        shared.counters.durable_jobs.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .jobs_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        DurableAction::Fresh(handle)
+                    }
+                    Submission::Rejected { depth, .. } => {
+                        shared.counters.retries_sent.fetch_add(1, Ordering::Relaxed);
+                        DurableAction::Rejected {
+                            queued: depth.min(u32::MAX as usize) as u32,
+                        }
+                    }
+                }
+            }
+            Err(msg) => DurableAction::Refuse {
+                req_id: frame.req_id,
+                message: format!("bad job payload: {msg}"),
+            },
+        },
+    }
+}
+
+/// One Ack frame. `None` = success (fire-and-forget, no reply); `Some` =
+/// the error message to send back.
+pub(crate) fn handle_ack<C: JobCodec>(
+    shared: &Shared<C>,
+    job_id: u64,
+    body: &[u8],
+) -> Option<String> {
+    let Some(durable) = &shared.durable else {
+        return Some("durable acks disabled (start the server with a journal)".to_string());
+    };
+    if !body.is_empty() {
+        return Some(format!("Ack body must be empty, got {} bytes", body.len()));
+    }
+    let mut table = durable.table.lock();
+    match table.entries.get_mut(&job_id) {
+        Some(entry @ (DurableEntry::Done(_) | DurableEntry::Failed(_))) => {
+            *entry = DurableEntry::Acked;
+            table.retire(job_id, shared.cfg.max_retired_ids);
+            durable.journal.append(RecordKind::Ack, job_id, &[]);
+            durable.journal.note_acked(job_id);
+            shared.counters.acks.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        // Re-acking is idempotent — at-least-once clients resend acks.
+        Some(DurableEntry::Acked) => None,
+        Some(DurableEntry::InFlight(_)) => Some(format!(
+            "durable job {job_id} is still in flight; await its result before acking"
+        )),
+        None => Some(format!("unknown durable job {job_id}")),
+    }
+}
+
+/// One Query frame: status byte plus status-specific bytes, or an error
+/// message.
+pub(crate) fn handle_query<C: JobCodec>(
+    shared: &Shared<C>,
+    job_id: u64,
+    body: &[u8],
+) -> Result<Vec<u8>, String> {
+    let Some(durable) = &shared.durable else {
+        return Err("durable queries disabled (start the server with a journal)".to_string());
+    };
+    if !body.is_empty() {
+        return Err(format!(
+            "Query body must be empty, got {} bytes",
+            body.len()
+        ));
+    }
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    let table = durable.table.lock();
+    let mut out = Vec::new();
+    match table.entries.get(&job_id) {
+        None => out.push(QueryStatus::Unknown as u8),
+        Some(DurableEntry::InFlight(_)) => out.push(QueryStatus::InFlight as u8),
+        Some(DurableEntry::Done(bytes)) => {
+            out.push(QueryStatus::Done as u8);
+            out.extend_from_slice(bytes);
+        }
+        Some(DurableEntry::Failed(message)) => {
+            out.push(QueryStatus::Failed as u8);
+            out.extend_from_slice(message.as_bytes());
+        }
+        Some(DurableEntry::Acked) => out.push(QueryStatus::Acked as u8),
+    }
+    // Same degrade as encode_result_frame: the server must never emit a
+    // frame its own protocol limit calls oversized — a Done entry can
+    // hold result bytes that never fit a QueryOk frame.
+    if FRAME_FIXED_LEN + out.len() > shared.cfg.max_frame_len as usize {
+        return Err(format!(
+            "result too large for the {}-byte frame limit ({} bytes)",
+            shared.cfg.max_frame_len,
+            out.len() - 1
+        ));
+    }
+    Ok(out)
+}
+
+pub(crate) fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
+    let js = shared.graph.job_stats();
+    let is = shared.counters.snapshot();
+    let ss = shared.graph.scheduler_stats();
+    format!(
+        "{{\"in_flight\": {}, \"queued\": {}, \"submitted\": {}, \"completed\": {}, \
+         \"max_in_flight\": {}, \"jobs_accepted\": {}, \"jobs_completed\": {}, \
+         \"retries_sent\": {}, \"connections\": {}, \
+         \"results_dropped\": {}, \"durable_jobs\": {}, \"durable_dupes\": {}, \
+         \"acks\": {}, \"queries\": {}, \"accept_errors\": {}, \"loop_wakeups\": {}, \
+         \"job_retries\": {}, \"jobs_failed\": {}, \
+         \"tasks_executed\": {}, \"steals\": {}, \"steal_batch_items\": {}, \
+         \"steal_failures\": {}, \"parks\": {}, \
+         \"edge_lock_acquisitions\": {}, \"edge_pool_draws\": {}, \
+         \"segments_allocated\": {}, \"segments_pooled\": {}}}",
+        js.in_flight,
+        js.queued,
+        js.submitted,
+        js.completed,
+        js.max_in_flight,
+        is.jobs_accepted,
+        is.jobs_completed,
+        is.retries_sent,
+        is.connections,
+        is.results_dropped,
+        is.durable_jobs,
+        is.durable_dupes,
+        is.acks,
+        is.queries,
+        is.accept_errors,
+        is.loop_wakeups,
+        js.retries,
+        js.failed,
+        ss.sched.tasks_executed,
+        ss.sched.steals,
+        ss.sched.steal_batch_items,
+        ss.sched.steal_failures,
+        ss.sched.parks,
+        ss.queues.lock_acquisitions,
+        ss.queues.pool_draws,
+        ss.storage.segments_allocated,
+        ss.storage.segments_pooled,
+    )
+}
+
+/// Encodes a job result (or failure) as the response frame for `req_id`,
+/// degrading an oversized result to a job error: the server must never
+/// emit a frame its own protocol limit calls oversized (a conforming peer
+/// would have to drop the connection).
+pub(crate) fn encode_result_frame(
+    counters: &Counters,
+    max_frame_len: u32,
+    req_id: u64,
+    body: Result<&[u8], &str>,
+    out: &mut Vec<u8>,
+) {
+    match body {
+        Ok(body) => {
+            if FRAME_FIXED_LEN + body.len() > max_frame_len as usize {
+                counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                encode_frame(
+                    FrameKind::Error,
+                    req_id,
+                    format!(
+                        "result too large for the {}-byte frame limit ({} bytes)",
+                        max_frame_len,
+                        body.len()
+                    )
+                    .as_bytes(),
+                    out,
+                );
+            } else {
+                encode_frame(FrameKind::Result, req_id, body, out);
+            }
+        }
+        Err(message) => {
+            counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            encode_frame(
+                FrameKind::Error,
+                req_id,
+                format!("job failed: {message}").as_bytes(),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept-error classification.
+// ---------------------------------------------------------------------------
+
+/// Longest delay between accept retries under persistent errors.
+const MAX_ACCEPT_BACKOFF: Duration = Duration::from_secs(1);
+
+/// True for errors that mean the *process* is out of a resource —
+/// EMFILE, ENFILE, ENOMEM — rather than one doomed connection
+/// (ECONNABORTED and friends). A resource error will hit every
+/// subsequent accept too, so retrying at full speed just spins; a
+/// transient error clears with the connection that caused it.
+fn is_resource_error(e: &std::io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(12 | 23 | 24)) // ENOMEM, ENFILE, EMFILE
+}
+
+/// Accept-error state machine shared by both acceptor flavors:
+/// classifies each failure, doubles the retry delay up to
+/// [`MAX_ACCEPT_BACKOFF`] while the same class persists, logs once per
+/// state change (enter / class change / recover), and counts every
+/// failure in `accept_errors`.
+pub(crate) struct AcceptBackoff {
+    base: Duration,
+    /// `(is_resource_class, current_delay)` while failing, `None` while
+    /// healthy.
+    state: Option<(bool, Duration)>,
+}
+
+impl AcceptBackoff {
+    pub fn new(base: Duration) -> AcceptBackoff {
+        AcceptBackoff {
+            base: base.max(Duration::from_millis(1)),
+            state: None,
+        }
+    }
+
+    /// Records a failed accept; returns how long to back off.
+    pub fn on_error(&mut self, e: &std::io::Error, counters: &Counters) -> Duration {
+        counters.accept_errors.fetch_add(1, Ordering::Relaxed);
+        let resource = is_resource_error(e);
+        match &mut self.state {
+            Some((class, delay)) if *class == resource => {
+                *delay = delay.saturating_mul(2).min(MAX_ACCEPT_BACKOFF);
+                *delay
+            }
+            _ => {
+                eprintln!(
+                    "hqd: accept() failing ({e}){}",
+                    if resource {
+                        " — fd/resource exhaustion, backing off exponentially"
+                    } else {
+                        ""
+                    }
+                );
+                self.state = Some((resource, self.base));
+                self.base
+            }
+        }
+    }
+
+    /// Records a successful accept (logs recovery if we were failing).
+    pub fn on_success(&mut self) {
+        if self.state.take().is_some() {
+            eprintln!("hqd: accept() recovered");
+        }
+    }
+}
+
+/// Sleeps up to `total`, waking early if the shutdown flag flips — a
+/// long accept backoff must never delay a graceful shutdown.
+pub(crate) fn sleep_with_shutdown(total: Duration, shutdown: &AtomicBool) {
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !shutdown.load(Ordering::Acquire) {
+        let step = remaining.min(Duration::from_millis(25));
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------------
+
+/// A TCP ingress daemon fronting one [`CompiledGraph`] (see module docs).
+/// Bind with [`IngressServer::bind`]; stop with
+/// [`IngressServer::shutdown`] (graceful: drains all accepted jobs) or by
+/// dropping (same path).
+pub struct IngressServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    #[cfg(target_os = "linux")]
+    event: Option<evloop::EventMode>,
+}
+
+impl IngressServer {
+    /// Binds `addr` and starts serving `graph` through `codec`. Pass port
+    /// 0 to let the OS choose (see [`IngressServer::local_addr`]).
+    pub fn bind<C: JobCodec>(
+        addr: impl ToSocketAddrs,
+        graph: Arc<CompiledGraph<C::In, C::Out>>,
+        codec: Arc<C>,
+        cfg: IngressConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, graph, codec, cfg, None).map(|(server, _)| server)
+    }
+
+    /// [`bind`](IngressServer::bind) plus durability: accepts
+    /// `SubmitDurable`/`Ack`/`Query` frames backed by `journal`, and
+    /// **recovers** whatever `replay` (the [`crate::journal::Journal::open`]
+    /// scan of that journal) found from a previous daemon life —
+    /// completed results are restored for re-delivery, and jobs that were
+    /// submitted but never completed are re-run through the graph (their
+    /// deterministic output is byte-identical to the run the crash ate).
+    /// The returned [`RecoveryReport`] says what was restored; recovered
+    /// jobs complete on a background thread that is joined at shutdown.
+    pub fn bind_durable<C: JobCodec>(
+        addr: impl ToSocketAddrs,
+        graph: Arc<CompiledGraph<C::In, C::Out>>,
+        codec: Arc<C>,
+        cfg: IngressConfig,
+        journal: Arc<Journal>,
+        replay: &Replay,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        Self::bind_inner(addr, graph, codec, cfg, Some((journal, replay)))
+    }
+
+    fn bind_inner<C: JobCodec>(
+        addr: impl ToSocketAddrs,
+        graph: Arc<CompiledGraph<C::In, C::Out>>,
+        codec: Arc<C>,
+        cfg: IngressConfig,
+        durable: Option<(Arc<Journal>, &Replay)>,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let durable_state = durable.as_ref().map(|(journal, _)| {
+            Arc::new(DurableState {
+                journal: Arc::clone(journal),
+                table: Mutex::new(DurableTable::default()),
+            })
+        });
+        // Event mode exists only where the epoll shim does.
+        let event_loops = if epoll::supported() {
+            cfg.event_loops
+        } else {
+            0
+        };
+        let shared = Arc::new(Shared {
+            graph,
+            codec,
+            cfg,
+            counters: Arc::clone(&counters),
+            shutdown: Arc::clone(&shutdown),
+            durable: durable_state.clone(),
+        });
+        let mut report = RecoveryReport::default();
+        if let (Some(state), Some((_, replay))) = (&durable_state, &durable) {
+            let recovery = recover_from_replay(&shared, state, replay, &mut report);
+            if !recovery.is_empty() {
+                let shared = Arc::clone(&shared);
+                let state = Arc::clone(state);
+                let handle = std::thread::Builder::new()
+                    .name("hqd-recover".to_string())
+                    .spawn(move || {
+                        for (job_id, handle) in recovery {
+                            let result = handle.wait();
+                            shared
+                                .counters
+                                .jobs_completed
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = complete_durable(&shared, &state, job_id, result);
+                        }
+                    })
+                    .expect("failed to spawn recovery thread");
+                conns.lock().push(handle);
+            }
+        }
+        let mut server = IngressServer {
+            addr,
+            shutdown: Arc::clone(&shutdown),
+            counters,
+            acceptor: None,
+            conns: Arc::clone(&conns),
+            #[cfg(target_os = "linux")]
+            event: None,
+        };
+        #[cfg(target_os = "linux")]
+        if event_loops > 0 {
+            let pumps = shared.cfg.completion_threads.max(1);
+            let (event, acceptor) =
+                evloop::spawn_event_mode(listener, &shared, event_loops, pumps)?;
+            server.event = Some(event);
+            server.acceptor = Some(acceptor);
+            return Ok((server, report));
+        }
+        let _ = event_loops; // read on linux only
+        let accept_shutdown = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("hqd-accept".to_string())
+            .spawn(move || accept_loop(listener, shared, conns, accept_shutdown))
+            .expect("failed to spawn acceptor thread");
+        server.acceptor = Some(acceptor);
+        Ok((server, report))
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IngressStats {
+        self.counters.snapshot()
+    }
+
+    /// Graceful shutdown: stops accepting, lets every connection finish
+    /// the frames it already read, drains every accepted job, and joins
+    /// all threads. Jobs the graph admitted are never abandoned.
+    pub fn shutdown(mut self) -> IngressStats {
+        self.stop_and_join();
+        self.counters.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Event mode blocks in the kernel, not on a poll interval: ring
+        // every eventfd so the flag is observed immediately.
+        #[cfg(target_os = "linux")]
+        if let Some(event) = &self.event {
+            event.accept_wake.notify();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        #[cfg(target_os = "linux")]
+        if let Some(mut event) = self.event.take() {
+            for core in &event.cores {
+                core.wake.notify();
+            }
+            for h in event.loops.drain(..) {
+                let _ = h.join();
+            }
+            // The loops dropped their pump senders on exit.
+            for h in event.pumps.drain(..) {
+                let _ = h.join();
+            }
+        }
+        for c in self.conns.lock().drain(..) {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for IngressServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Joins the connection threads that have already finished, keeping the
+/// live ones registered. A long-lived daemon churns through many
+/// short-lived connections; without this the handle list (and each dead
+/// thread's retained exit state) would grow without bound.
+fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut live = conns.lock();
+        let mut done = Vec::new();
+        let mut keep = Vec::with_capacity(live.len());
+        for h in live.drain(..) {
+            if h.is_finished() {
+                done.push(h);
+            } else {
+                keep.push(h);
+            }
+        }
+        *live = keep;
+        done
+    };
+    for h in finished {
+        let _ = h.join(); // immediate: the thread already exited
+    }
+}
+
+/// Rebuilds the durable table from a journal replay. Terminal states are
+/// restored verbatim; pending jobs are resubmitted (Unbounded — they
+/// already passed admission in their previous life) and returned for the
+/// recovery thread to complete. Called before the acceptor starts, so no
+/// client can race the rebuild.
+fn recover_from_replay<C: JobCodec>(
+    shared: &Shared<C>,
+    state: &DurableState,
+    replay: &Replay,
+    report: &mut RecoveryReport,
+) -> Vec<(u64, JobHandle<C::Out>)> {
+    let mut pending = Vec::new();
+    let mut table = state.table.lock();
+    for (&id, job) in &replay.jobs {
+        report.journaled_jobs += 1;
+        match &job.status {
+            JobReplayStatus::Acked => {
+                report.restored_acked += 1;
+                table.entries.insert(id, DurableEntry::Acked);
+                table.retire(id, shared.cfg.max_retired_ids);
+            }
+            JobReplayStatus::Done(bytes) => {
+                report.restored_results += 1;
+                table
+                    .entries
+                    .insert(id, DurableEntry::Done(Arc::new(bytes.clone())));
+            }
+            JobReplayStatus::Failed { message, .. } => {
+                report.restored_failures += 1;
+                table
+                    .entries
+                    .insert(id, DurableEntry::Failed(message.clone()));
+            }
+            JobReplayStatus::Pending => match shared.codec.decode_job(&job.payload) {
+                Ok(input) => {
+                    let handle = shared
+                        .graph
+                        .submit(input, Admission::Unbounded)
+                        .expect_accepted();
+                    table.entries.insert(id, DurableEntry::InFlight(Vec::new()));
+                    report.resubmitted += 1;
+                    pending.push((id, handle));
+                }
+                Err(msg) => {
+                    report.restored_failures += 1;
+                    table.entries.insert(
+                        id,
+                        DurableEntry::Failed(format!(
+                            "journaled payload undecodable on replay: {msg}"
+                        )),
+                    );
+                }
+            },
+        }
+    }
+    report.corrupt_records = replay.corrupt_records;
+    pending
+}
+
+/// The fallback acceptor: a nonblocking accept poll at `poll_interval`,
+/// one reader/writer thread pair per connection. Accept errors go
+/// through the same [`AcceptBackoff`] classification as the epoll
+/// acceptor — fd exhaustion must back off, not spin at the poll rate.
+fn accept_loop<C: JobCodec>(
+    listener: TcpListener,
+    shared: Arc<Shared<C>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut next_conn = 0u64;
+    let mut backoff = AcceptBackoff::new(shared.cfg.poll_interval);
+    while !shutdown.load(Ordering::Acquire) {
+        reap_finished(&conns);
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff.on_success();
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                let id = next_conn;
+                next_conn += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("hqd-conn-{id}"))
+                    .spawn(move || conn::connection_loop(shared, stream))
+                    .expect("failed to spawn connection thread");
+                conns.lock().push(handle);
+            }
+            // The nonblocking idle poll: not an error, just no client.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+            Err(e) => {
+                let delay = backoff.on_error(&e, &shared.counters);
+                sleep_with_shutdown(delay, &shutdown);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking client.
+// ---------------------------------------------------------------------------
+
+/// What [`IngressClient::submit_and_wait`] resolved to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job's result bytes.
+    Result(Vec<u8>),
+    /// The server reported a failure for this job.
+    Failed(String),
+}
+
+/// A blocking client for the ingress protocol (std::net). One client =
+/// one connection; submissions and responses interleave freely, but
+/// responses always arrive in submission order.
+pub struct IngressClient {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    chunk: Vec<u8>,
+}
+
+impl IngressClient {
+    /// Connects to an [`IngressServer`], accepting response frames up to
+    /// [`DEFAULT_MAX_FRAME_LEN`]. A server configured with a larger
+    /// `max_frame_len` may legally emit larger Result frames — talk to it
+    /// with [`IngressClient::connect_with_limit`] instead.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with_limit(addr, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// [`IngressClient::connect`] with an explicit inbound frame-length
+    /// cap; match it to the server's [`IngressConfig::max_frame_len`].
+    pub fn connect_with_limit(
+        addr: impl ToSocketAddrs,
+        max_frame_len: u32,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(IngressClient {
+            stream,
+            dec: FrameDecoder::new(max_frame_len),
+            chunk: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Sends one frame. Exposed raw (any kind, any body) so tests can
+    /// speak the protocol incorrectly on purpose.
+    pub fn send(&mut self, kind: FrameKind, req_id: u64, body: &[u8]) -> std::io::Result<()> {
+        let mut out = Vec::with_capacity(4 + FRAME_FIXED_LEN + body.len());
+        encode_frame(kind, req_id, body, &mut out);
+        self.stream.write_all(&out)
+    }
+
+    /// Sends raw pre-encoded bytes (for malformed-frame tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Submits a job payload under `req_id` without waiting.
+    pub fn submit(&mut self, req_id: u64, payload: &[u8]) -> std::io::Result<()> {
+        self.send(FrameKind::Submit, req_id, payload)
+    }
+
+    /// Blocks until the server's next frame arrives.
+    pub fn recv(&mut self) -> std::io::Result<Frame> {
+        loop {
+            if let Some(frame) = self
+                .dec
+                .next_frame()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut self.chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.dec.extend(&self.chunk[..n]);
+        }
+    }
+
+    /// The closed-loop convenience: submits `payload`, transparently
+    /// resubmitting on [`FrameKind::Retry`], until the job resolves to a
+    /// result or an error. Between attempts it sleeps
+    /// [`retry_delay`]`(retry_backoff, req_id, attempt)` — capped
+    /// exponential backoff with deterministic per-request jitter, so a
+    /// herd of refused clients spreads out instead of resubmitting in
+    /// lockstep forever.
+    pub fn submit_and_wait(
+        &mut self,
+        req_id: u64,
+        payload: &[u8],
+        retry_backoff: Duration,
+    ) -> std::io::Result<JobOutcome> {
+        let mut attempt = 0u32;
+        loop {
+            self.submit(req_id, payload)?;
+            let frame = self.recv()?;
+            if frame.req_id != req_id {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response for {} while awaiting {req_id}", frame.req_id),
+                ));
+            }
+            match frame.kind {
+                FrameKind::Result => return Ok(JobOutcome::Result(frame.body)),
+                FrameKind::Error => {
+                    return Ok(JobOutcome::Failed(
+                        String::from_utf8_lossy(&frame.body).into_owned(),
+                    ))
+                }
+                FrameKind::Retry => {
+                    std::thread::sleep(retry_delay(retry_backoff, req_id, attempt));
+                    attempt = attempt.saturating_add(1);
+                }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected {other:?} frame for submit {req_id}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Submits a durable job under client-assigned id `job_id` (non-zero)
+    /// without waiting. Requires a server bound with
+    /// [`IngressServer::bind_durable`].
+    pub fn submit_durable(&mut self, job_id: u64, payload: &[u8]) -> std::io::Result<()> {
+        self.send(FrameKind::SubmitDurable, job_id, payload)
+    }
+
+    /// Acknowledges receipt of durable job `job_id`'s result, releasing
+    /// it for journal compaction. Fire-and-forget: the server replies
+    /// only on error.
+    pub fn ack(&mut self, job_id: u64) -> std::io::Result<()> {
+        self.send(FrameKind::Ack, job_id, &[])
+    }
+
+    /// Asks the durable status of `job_id`. Returns the status plus its
+    /// payload (result bytes for [`QueryStatus::Done`], failure message
+    /// bytes for [`QueryStatus::Failed`], empty otherwise).
+    pub fn query(&mut self, job_id: u64) -> std::io::Result<(QueryStatus, Vec<u8>)> {
+        self.send(FrameKind::Query, job_id, &[])?;
+        let mut frame = self.recv()?;
+        match frame.kind {
+            FrameKind::QueryOk => {
+                if frame.body.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "empty QueryOk body",
+                    ));
+                }
+                let status = QueryStatus::from_byte(frame.body[0]).ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unknown query status byte {:#04x}", frame.body[0]),
+                    )
+                })?;
+                frame.body.remove(0);
+                Ok((status, frame.body))
+            }
+            FrameKind::Error => Err(std::io::Error::other(
+                String::from_utf8_lossy(&frame.body).into_owned(),
+            )),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected {other:?} reply to a query"),
+            )),
+        }
+    }
+
+    /// The durable closed loop: submits `payload` under `job_id`,
+    /// transparently resubmitting on [`FrameKind::Retry`] (with the same
+    /// jittered [`retry_delay`] schedule as
+    /// [`IngressClient::submit_and_wait`], seeded by `job_id`) until the
+    /// job resolves. Safe to call again on a fresh connection after a
+    /// crash — a duplicate id returns the journaled result instead of
+    /// re-running.
+    pub fn submit_durable_and_wait(
+        &mut self,
+        job_id: u64,
+        payload: &[u8],
+        retry_backoff: Duration,
+    ) -> std::io::Result<JobOutcome> {
+        let mut attempt = 0u32;
+        loop {
+            self.submit_durable(job_id, payload)?;
+            let frame = self.recv()?;
+            if frame.req_id != job_id {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response for {} while awaiting {job_id}", frame.req_id),
+                ));
+            }
+            match frame.kind {
+                FrameKind::Result => return Ok(JobOutcome::Result(frame.body)),
+                FrameKind::Error => {
+                    return Ok(JobOutcome::Failed(
+                        String::from_utf8_lossy(&frame.body).into_owned(),
+                    ))
+                }
+                FrameKind::Retry => {
+                    std::thread::sleep(retry_delay(retry_backoff, job_id, attempt));
+                    attempt = attempt.saturating_add(1);
+                }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected {other:?} frame for durable submit {job_id}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Requests and returns the server's stats JSON.
+    pub fn stats(&mut self, req_id: u64) -> std::io::Result<String> {
+        self.send(FrameKind::Stats, req_id, &[])?;
+        let frame = self.recv()?;
+        match frame.kind {
+            FrameKind::StatsOk => Ok(String::from_utf8_lossy(&frame.body).into_owned()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected {other:?} reply to a stats request"),
+            )),
+        }
+    }
+}

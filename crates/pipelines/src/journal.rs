@@ -284,6 +284,12 @@ pub struct JournalStats {
     pub segments_created: u64,
     /// Sealed segments deleted by compaction.
     pub segments_deleted: u64,
+    /// fsyncs of the journal *directory* itself — one per segment
+    /// create/delete. Without these a power cut can forget the directory
+    /// entry of a fully-fsynced segment file (the classic WAL hole):
+    /// `sync_data` on the file makes its *contents* durable, but the
+    /// name→inode link lives in the directory, which is its own file.
+    pub dir_syncs: u64,
 }
 
 /// What replay learned about one durable job.
@@ -401,6 +407,16 @@ fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("journal-{index:08}.log"))
 }
 
+/// Fsyncs the journal directory itself, making segment creations and
+/// deletions durable. `sync_data` on a segment file covers its
+/// *contents*; the name→inode link is an entry in the directory file,
+/// and only an fsync of the directory makes that durable. Skipping it is
+/// the classic WAL hole: after a power cut, a fully-synced segment
+/// simply isn't there (and a compacted one is back).
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 fn segment_index(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     let digits = name.strip_prefix("journal-")?.strip_suffix(".log")?;
@@ -472,6 +488,7 @@ struct Counters {
     bytes_written: AtomicU64,
     segments_created: AtomicU64,
     segments_deleted: AtomicU64,
+    dir_syncs: AtomicU64,
 }
 
 /// The write-ahead job journal (see module docs). Open with
@@ -515,6 +532,7 @@ impl Journal {
             .last()
             .map_or(0, |(idx, _)| idx + 1);
         let file = File::create(segment_path(&cfg.dir, next_index))?;
+        sync_dir(&cfg.dir)?;
         let acked: HashSet<u64> = replay
             .jobs
             .iter()
@@ -539,6 +557,7 @@ impl Journal {
                 bytes_written: AtomicU64::new(0),
                 segments_created: AtomicU64::new(1),
                 segments_deleted: AtomicU64::new(0),
+                dir_syncs: AtomicU64::new(1),
             },
         });
         let j = Arc::clone(&journal);
@@ -623,6 +642,12 @@ impl Journal {
                 .fetch_add(1, Ordering::Relaxed);
             deleted += 1;
         }
+        if deleted > 0 {
+            // Make the unlinks durable, or a power cut resurrects the
+            // compacted segments and replay re-reads retired jobs.
+            sync_dir(&self.cfg.dir)?;
+            self.counters.dir_syncs.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(deleted)
     }
 
@@ -634,6 +659,7 @@ impl Journal {
             bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
             segments_created: self.counters.segments_created.load(Ordering::Relaxed),
             segments_deleted: self.counters.segments_deleted.load(Ordering::Relaxed),
+            dir_syncs: self.counters.dir_syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -707,6 +733,12 @@ fn flusher_loop(journal: Arc<Journal>, mut file: File, mut index: u64) {
                 Ok(next) => {
                     file = next;
                     active_len = 0;
+                    // The new segment's directory entry must be durable
+                    // before records land in it: replay trusts the
+                    // directory listing to find every segment.
+                    if sync_dir(&journal.cfg.dir).is_ok() {
+                        journal.counters.dir_syncs.fetch_add(1, Ordering::Relaxed);
+                    }
                     journal.active_index.store(index, Ordering::Release);
                     journal
                         .counters
@@ -911,6 +943,43 @@ mod tests {
             .jobs
             .values()
             .all(|j| j.status == JobReplayStatus::Acked));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_syncs_cover_create_rotate_and_compact() {
+        let dir = temp_dir("dirsync");
+        let mut cfg = JournalConfig::at(&dir);
+        cfg.rotate_bytes = 256; // tiny segments
+        let (journal, _) = Journal::open(cfg).unwrap();
+        // Opening created the first segment: its directory entry must
+        // already be durable before any record lands in it.
+        assert_eq!(journal.stats().dir_syncs, 1);
+        for id in 0..20u64 {
+            journal.append_sync(RecordKind::Submit, id, &[0x41; 64]);
+            journal.append_sync(RecordKind::Result, id, &[0x42; 16]);
+        }
+        let after_rotate = journal.stats();
+        assert!(after_rotate.segments_created > 1, "rotation never happened");
+        // Every rotation-created segment got its own directory sync.
+        assert!(
+            after_rotate.dir_syncs >= after_rotate.segments_created,
+            "rotation created segments without syncing the directory \
+             (created {}, dir_syncs {})",
+            after_rotate.segments_created,
+            after_rotate.dir_syncs,
+        );
+        for id in 0..20u64 {
+            journal.append_sync(RecordKind::Ack, id, &[]);
+            journal.note_acked(id);
+        }
+        let before = journal.stats().dir_syncs;
+        assert!(journal.compact().unwrap() > 0);
+        assert!(
+            journal.stats().dir_syncs > before,
+            "compaction unlinked segments without syncing the directory"
+        );
+        drop(journal);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

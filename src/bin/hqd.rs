@@ -21,6 +21,9 @@
 //!     [--max-retries N]      re-admit failed jobs up to N times with
 //!                            exponential backoff, default 0 (fail fast)
 //!     [--fsync-batch N]      records per group-commit fsync, default 64
+//!     [--event-loops N]      epoll event-loop threads multiplexing all
+//!                            connections; 0 = thread-pair-per-connection
+//!                            fallback; default min(4, cores) on Linux
 //! ```
 //!
 //! Shutdown is always graceful: stop accepting, finish every accepted
@@ -39,7 +42,7 @@ use swan::{RetryPolicy, Runtime, RuntimeConfig, SchedulerPolicy};
 use workloads::service::{logstream_digest_spec, wordcount_spec};
 use workloads::wire::{LogstreamCodec, WordcountCodec};
 
-const KNOWN_FLAGS: [&str; 11] = [
+const KNOWN_FLAGS: [&str; 12] = [
     "--addr",
     "--workload",
     "--workers",
@@ -51,6 +54,7 @@ const KNOWN_FLAGS: [&str; 11] = [
     "--journal-dir",
     "--max-retries",
     "--fsync-batch",
+    "--event-loops",
 ];
 
 /// Rejects unknown flags and flags without values up front: a daemon
@@ -100,6 +104,11 @@ fn main() {
     let run_secs = flag_usize(&args, "--run-secs", 0);
     let max_retries = flag_usize(&args, "--max-retries", 0);
     let fsync_batch = flag_usize(&args, "--fsync-batch", 64);
+    let event_loops = flag_usize(
+        &args,
+        "--event-loops",
+        pipelines::ingress::default_event_loops(),
+    );
     let journal_dir = flag(&args, "--journal-dir");
 
     // --scheduler overrides HQ_SCHED, which overrides help-first.
@@ -132,6 +141,7 @@ fn main() {
     };
     let ingress_cfg = IngressConfig {
         max_queued,
+        event_loops,
         ..IngressConfig::default()
     };
 
@@ -212,7 +222,8 @@ fn main() {
     }
     println!(
         "hqd: serving {workload} on {} ({} workers, {:?}, \
-         max_in_flight {max_in_flight}, max_queued {max_queued}{})",
+         max_in_flight {max_in_flight}, max_queued {max_queued}, \
+         event_loops {event_loops}{})",
         server.local_addr(),
         rt.active_workers(),
         rt.scheduler(),

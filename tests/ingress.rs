@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 
 use pipelines::graph::{GraphSpec, ServiceConfig};
 use pipelines::ingress::{
-    FrameKind, IngressClient, IngressConfig, IngressServer, JobCodec, JobOutcome, QueryStatus,
-    RecoveryReport,
+    encode_frame, FrameKind, IngressClient, IngressConfig, IngressServer, JobCodec, JobOutcome,
+    QueryStatus, RecoveryReport,
 };
 use pipelines::journal::{replay_dir, JobReplayStatus, Journal, JournalConfig, RecordKind};
 use proptest::prelude::*;
@@ -692,6 +692,217 @@ fn acked_ids_beyond_the_retention_cap_are_evicted() {
         got,
         JobOutcome::Result(expected_wordcount_bytes(&job_lines(&cfg, 1)))
     );
+    server.shutdown();
+    rt.quiesce();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven ingress: slowloris, idle cost, fd exhaustion, fallback mode.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slowloris_submit_trickled_byte_by_byte_still_completes() {
+    let (rt, server) = wordcount_server(2, IngressConfig::default());
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    let lines = vec![
+        "slow and steady and slow".to_string(),
+        "steady wins the race".to_string(),
+    ];
+    let mut wire = Vec::new();
+    encode_frame(FrameKind::Submit, 42, &encode_lines(&lines), &mut wire);
+    // One byte per write with a pause: the server sees the frame arrive
+    // over dozens of reads and must parse it exactly as if it came whole.
+    for byte in wire {
+        client.send_raw(&[byte]).unwrap();
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    let frame = client.recv().expect("result for the trickled submit");
+    assert_eq!((frame.kind, frame.req_id), (FrameKind::Result, 42));
+    assert_eq!(frame.body, expected_wordcount_bytes(&lines));
+    server.shutdown();
+    rt.quiesce();
+}
+
+/// The C1M claim in a test: connected-but-silent clients must cost the
+/// event loops nothing. 512 idle connections, a half-second observation
+/// window, and the loop-wakeup counter must not move — there is no
+/// per-connection polling anywhere.
+#[test]
+#[cfg(target_os = "linux")]
+fn idle_connections_cost_no_event_loop_wakeups() {
+    let _ = epoll::raise_nofile_limit(4096);
+    let (rt, server) = wordcount_server(1, IngressConfig::default());
+    let addr = server.local_addr();
+    let idle: Vec<std::net::TcpStream> = (0..512)
+        .map(|_| std::net::TcpStream::connect(addr).expect("connect idle client"))
+        .collect();
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            server.stats().connections == 512
+        }),
+        "not all idle connections were accepted"
+    );
+    assert!(
+        server.stats().loop_wakeups > 0,
+        "event mode not active — this test measures the epoll path"
+    );
+    // Let the registration burst settle, then watch a quiet window.
+    std::thread::sleep(Duration::from_millis(100));
+    let before = server.stats().loop_wakeups;
+    std::thread::sleep(Duration::from_millis(500));
+    let woke = server.stats().loop_wakeups - before;
+    assert!(
+        woke <= 4,
+        "{woke} event-loop wakeups in an idle 500ms window with 512 \
+         silent connections — idle connections must be free"
+    );
+    // They are real connections: one of them still completes a job.
+    let mut client = IngressClient::connect(addr).unwrap();
+    let lines = vec!["still alive".to_string()];
+    match client
+        .submit_and_wait(1, &encode_lines(&lines), BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Result(bytes) => assert_eq!(bytes, expected_wordcount_bytes(&lines)),
+        JobOutcome::Failed(m) => panic!("job failed: {m}"),
+    }
+    drop(idle);
+    server.shutdown();
+    rt.quiesce();
+}
+
+/// Child-process body for `fd_exhaustion_backs_off_and_recovers`: runs
+/// with its own RLIMIT_NOFILE so the hoard cannot starve sibling tests.
+#[test]
+#[ignore = "helper: spawned by fd_exhaustion_backs_off_and_recovers"]
+#[cfg(target_os = "linux")]
+fn fd_exhaustion_helper() {
+    // Bind first: the server allocates every fd it needs (epoll, eventfds,
+    // listener) before the limit drops.
+    let (rt, server) = wordcount_server(2, IngressConfig::default());
+    let addr = server.local_addr();
+    epoll::set_nofile_limit(96).expect("lower RLIMIT_NOFILE");
+    // Hoard the remaining headroom so the *next* fd allocation fails...
+    let mut hoard = Vec::new();
+    while let Ok(f) = std::fs::File::open("/dev/null") {
+        hoard.push(f);
+    }
+    // ...then free exactly one slot for the client's socket. The TCP
+    // handshake completes in the backlog; the server's accept() still
+    // has zero fds and must fail with EMFILE.
+    hoard.pop();
+    let pending = std::net::TcpStream::connect(addr).expect("connect rides the backlog");
+    assert!(
+        poll_until(Duration::from_secs(10), || server.stats().accept_errors
+            >= 3),
+        "accept() never surfaced the fd exhaustion"
+    );
+    // Release the hoard: the backed-off acceptor must recover on its own
+    // and drain the backlog — the stranded connection finally gets
+    // accepted, and a fresh client completes a job end to end.
+    drop(hoard);
+    assert!(
+        poll_until(Duration::from_secs(10), || server.stats().connections >= 1),
+        "acceptor never recovered after fds were freed"
+    );
+    drop(pending);
+    let mut client = IngressClient::connect(addr).unwrap();
+    let lines = vec!["after the famine".to_string()];
+    match client
+        .submit_and_wait(9, &encode_lines(&lines), BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Result(bytes) => assert_eq!(bytes, expected_wordcount_bytes(&lines)),
+        JobOutcome::Failed(m) => panic!("job failed: {m}"),
+    }
+    let stats = server.shutdown();
+    assert!(stats.accept_errors >= 3, "EMFILE retries were not counted");
+    rt.quiesce();
+}
+
+/// Satellite check on the accept-error path: fd exhaustion must back off
+/// and count, not spin, and the acceptor must recover once fds return.
+/// Runs in a child process (via the test harness itself) because it
+/// lowers RLIMIT_NOFILE and hoards every file descriptor.
+#[test]
+#[cfg(target_os = "linux")]
+fn fd_exhaustion_backs_off_and_recovers() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "fd_exhaustion_helper",
+            "--ignored",
+            "--nocapture",
+            "--test-threads",
+            "1",
+        ])
+        .output()
+        .expect("spawn child test process");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success() && stdout.contains("1 passed"),
+        "child failed:\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The portable fallback (`event_loops: 0`) must speak the identical
+/// protocol: byte-identical results and a graceful drain, same as the
+/// epoll path the other tests exercise.
+#[test]
+fn fallback_mode_serves_byte_identically_and_drains() {
+    let cfg = ServiceWorkloadConfig::small();
+    let (rt, server) = wordcount_server(
+        2,
+        IngressConfig {
+            event_loops: 0,
+            ..IngressConfig::default()
+        },
+    );
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    for j in 0..8usize {
+        let payload = encode_lines(&job_lines(&cfg, j));
+        match client.submit_and_wait(j as u64, &payload, BACKOFF).unwrap() {
+            JobOutcome::Result(bytes) => {
+                assert_eq!(bytes, expected_wordcount_bytes(&job_lines(&cfg, j)))
+            }
+            JobOutcome::Failed(m) => panic!("job {j}: {m}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!((stats.jobs_accepted, stats.jobs_completed), (8, 8));
+    rt.quiesce();
+}
+
+/// Durable lifecycle over the fallback mode — the journal path must be
+/// mode-independent.
+#[test]
+fn fallback_mode_durable_roundtrip() {
+    let cfg = ServiceWorkloadConfig::small();
+    let dir = journal_temp_dir("fallback");
+    let (rt, server, _) = durable_wordcount_server_with(
+        2,
+        &dir,
+        IngressConfig {
+            event_loops: 0,
+            ..IngressConfig::default()
+        },
+    );
+    let mut client = IngressClient::connect(server.local_addr()).unwrap();
+    let payload = encode_lines(&job_lines(&cfg, 0));
+    let want = expected_wordcount_bytes(&job_lines(&cfg, 0));
+    let got = client
+        .submit_durable_and_wait(5, &payload, BACKOFF)
+        .unwrap();
+    assert_eq!(got, JobOutcome::Result(want.clone()));
+    let dup = client
+        .submit_durable_and_wait(5, &payload, BACKOFF)
+        .unwrap();
+    assert_eq!(dup, JobOutcome::Result(want));
+    client.ack(5).unwrap();
+    assert_eq!(client.query(5).unwrap(), (QueryStatus::Acked, Vec::new()));
     server.shutdown();
     rt.quiesce();
     let _ = std::fs::remove_dir_all(&dir);

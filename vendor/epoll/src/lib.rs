@@ -1,0 +1,446 @@
+//! Vendored readiness-syscall shim for the ingress event loop.
+//!
+//! The workspace builds fully offline (see `vendor/README.md`), so
+//! instead of depending on `libc`/`mio` this crate binds the handful of
+//! Linux syscalls the event-driven ingress needs — `epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`, and the `RLIMIT_NOFILE` pair —
+//! directly against the C library `std` already links. Everything is
+//! gated on `target_os = "linux"`; on other platforms
+//! [`supported`] returns `false` and the ingress layer falls back to its
+//! portable thread-per-connection implementation.
+//!
+//! The API is a deliberately tiny safe wrapper: [`Epoll`] owns the epoll
+//! instance, [`EventFd`] is the cross-thread wakeup primitive (writes
+//! increment a kernel counter, reads drain it), and the rlimit helpers
+//! exist so benchmarks can raise — and tests can *lower*, in a child
+//! process — the open-file limit that epoll servers live and die by.
+
+#![deny(missing_docs)]
+
+use std::io;
+
+/// True when this build has a real epoll implementation (Linux).
+pub const fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// Readiness interest / readiness result bits (a subset of `EPOLL*`).
+pub mod interest {
+    /// Readable (`EPOLLIN`).
+    pub const READ: u32 = 0x001;
+    /// Writable (`EPOLLOUT`).
+    pub const WRITE: u32 = 0x004;
+    /// Peer closed its write half (`EPOLLRDHUP`). Reported, never asked.
+    pub const RDHUP: u32 = 0x2000;
+    /// Error condition (`EPOLLERR`). Always reported, never asked.
+    pub const ERROR: u32 = 0x008;
+    /// Hangup (`EPOLLHUP`). Always reported, never asked.
+    pub const HANGUP: u32 = 0x010;
+}
+
+/// One readiness event out of [`Epoll::wait`]: which registration
+/// (`token`, the `u64` passed to [`Epoll::add`]) became ready for what
+/// (`readiness`, [`interest`] bits).
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    /// The readiness bits ([`interest`] constants).
+    pub readiness: u32,
+}
+
+impl Event {
+    /// Readable (or peer-closed / error — all of which a reader must
+    /// observe by reading).
+    pub fn readable(&self) -> bool {
+        self.readiness & (interest::READ | interest::RDHUP | interest::ERROR | interest::HANGUP)
+            != 0
+    }
+
+    /// Writable.
+    pub fn writable(&self) -> bool {
+        self.readiness & (interest::WRITE | interest::ERROR | interest::HANGUP) != 0
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // The kernel ABI packs epoll_event on x86-64 only.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o0004000;
+    const RLIMIT_NOFILE: c_int = 7;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An owned epoll instance.
+    #[derive(Debug)]
+    pub struct Epoll {
+        fd: RawFd,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, intr: u32) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: intr,
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add(&self, fd: RawFd, token: u64, intr: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, intr)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, intr: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, intr)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks up to `timeout_ms` (`-1` = forever) and appends ready
+        /// events to `out`. Returns how many arrived. `EINTR` reports as
+        /// zero events rather than an error.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; CAP];
+            let n = unsafe { epoll_wait(self.fd, buf.as_mut_ptr(), CAP as c_int, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for ev in buf.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct field by field.
+                let (events, data) = (ev.events, ev.data);
+                out.push(Event {
+                    token: data,
+                    readiness: events,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// An owned eventfd wakeup handle.
+    #[derive(Debug)]
+    pub struct EventFd {
+        fd: RawFd,
+    }
+
+    impl EventFd {
+        pub fn new() -> io::Result<EventFd> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            Ok(EventFd { fd })
+        }
+
+        pub fn raw_fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Wakes any epoll waiting on this fd (increments the counter).
+        pub fn notify(&self) {
+            let one: u64 = 1;
+            // A full counter (EAGAIN) already guarantees a pending wakeup.
+            unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Consumes pending wakeups so level-triggered epoll quiets down.
+        pub fn drain(&self) {
+            let mut buf: u64 = 0;
+            unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+        Ok((lim.cur, lim.max))
+    }
+
+    pub fn set_nofile_limit(soft: u64) -> io::Result<()> {
+        let (_, max) = nofile_limit()?;
+        let lim = RLimit {
+            cur: soft.min(max),
+            max,
+        };
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) }).map(|_| ())
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Stub implementation: every constructor reports `Unsupported`, so
+    //! callers gate on [`super::supported`] and fall back.
+    use super::Event;
+    use std::io;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll shim: not a linux build",
+        ))
+    }
+
+    /// Stub epoll instance (never constructible).
+    #[derive(Debug)]
+    pub struct Epoll {}
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            unsupported()
+        }
+        pub fn add(&self, _fd: i32, _token: u64, _intr: u32) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn modify(&self, _fd: i32, _token: u64, _intr: u32) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn wait(&self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    /// Stub eventfd handle (never constructible).
+    #[derive(Debug)]
+    pub struct EventFd {}
+
+    impl EventFd {
+        pub fn new() -> io::Result<EventFd> {
+            unsupported()
+        }
+        pub fn raw_fd(&self) -> i32 {
+            -1
+        }
+        pub fn notify(&self) {}
+        pub fn drain(&self) {}
+    }
+
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        unsupported()
+    }
+
+    pub fn set_nofile_limit(_soft: u64) -> io::Result<()> {
+        unsupported()
+    }
+}
+
+/// An epoll instance: register file descriptors under `u64` tokens, then
+/// [`wait`](Epoll::wait) for readiness. Level-triggered (the kernel
+/// default): a still-readable fd reports again on the next wait, so a
+/// handler may consume less than everything without losing the edge.
+#[derive(Debug)]
+pub struct Epoll(sys::Epoll);
+
+impl Epoll {
+    /// A fresh epoll instance (`epoll_create1(EPOLL_CLOEXEC)`).
+    pub fn new() -> io::Result<Epoll> {
+        sys::Epoll::new().map(Epoll)
+    }
+
+    /// Registers `fd` under `token` with [`interest`] bits `intr`.
+    pub fn add(&self, fd: i32, token: u64, intr: u32) -> io::Result<()> {
+        self.0.add(fd, token, intr)
+    }
+
+    /// Changes the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: i32, token: u64, intr: u32) -> io::Result<()> {
+        self.0.modify(fd, token, intr)
+    }
+
+    /// Removes `fd` from the interest list (idempotent on close: a closed
+    /// fd is auto-removed by the kernel, so failure here is not fatal).
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.0.delete(fd)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) and appends ready
+    /// events to `out`; returns how many. `EINTR` is reported as zero
+    /// events, not an error.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        self.0.wait(out, timeout_ms)
+    }
+}
+
+/// A cross-thread wakeup handle (`eventfd`, nonblocking): register
+/// [`raw_fd`](EventFd::raw_fd) in an [`Epoll`], [`notify`](EventFd::notify)
+/// from any thread, [`drain`](EventFd::drain) in the woken loop.
+#[derive(Debug)]
+pub struct EventFd(sys::EventFd);
+
+impl EventFd {
+    /// A fresh nonblocking eventfd.
+    pub fn new() -> io::Result<EventFd> {
+        sys::EventFd::new().map(EventFd)
+    }
+
+    /// The raw fd, for [`Epoll::add`].
+    pub fn raw_fd(&self) -> i32 {
+        self.0.raw_fd()
+    }
+
+    /// Wakes the epoll this fd is registered in. Never blocks; safe from
+    /// any thread.
+    pub fn notify(&self) {
+        self.0.notify()
+    }
+
+    /// Consumes pending notifications (call from the woken loop).
+    pub fn drain(&self) {
+        self.0.drain()
+    }
+}
+
+/// The process `RLIMIT_NOFILE` as `(soft, hard)`.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    sys::nofile_limit()
+}
+
+/// Sets the soft `RLIMIT_NOFILE` (clamped to the hard limit). Lowering
+/// needs no privilege — which is exactly how the accept-error tests
+/// provoke `EMFILE` in a child process — and raising up to the hard
+/// limit is what lets the connection-sweep bench open thousands of
+/// sockets.
+pub fn set_nofile_limit(soft: u64) -> io::Result<()> {
+    sys::set_nofile_limit(soft)
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to at least `need` (best effort,
+/// capped at the hard limit). Returns the resulting soft limit.
+pub fn raise_nofile_limit(need: u64) -> io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    if soft >= need {
+        return Ok(soft);
+    }
+    let target = need.min(hard);
+    set_nofile_limit(target)?;
+    Ok(target)
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains_quiet() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw_fd(), 7, interest::READ).unwrap();
+        // Nothing pending: a zero-timeout wait returns no events.
+        let mut out = Vec::new();
+        assert_eq!(ep.wait(&mut out, 0).unwrap(), 0);
+        ev.notify();
+        ev.notify();
+        assert_eq!(ep.wait(&mut out, 1000).unwrap(), 1);
+        assert_eq!(out[0].token, 7);
+        assert!(out[0].readable());
+        // Drained: level-triggered reporting stops.
+        ev.drain();
+        out.clear();
+        assert_eq!(ep.wait(&mut out, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readiness_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        use std::os::fd::AsRawFd;
+        ep.add(server.as_raw_fd(), 1, interest::READ).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(ep.wait(&mut out, 0).unwrap(), 0, "no bytes yet");
+        client.write_all(b"ping").unwrap();
+        assert!(ep.wait(&mut out, 1000).unwrap() >= 1);
+        assert!(out.iter().any(|e| e.token == 1 && e.readable()));
+        let mut buf = [0u8; 8];
+        let mut srv = &server;
+        assert_eq!(srv.read(&mut buf).unwrap(), 4);
+        // Write interest on an empty send buffer reports immediately.
+        ep.modify(server.as_raw_fd(), 1, interest::WRITE).unwrap();
+        out.clear();
+        assert!(ep.wait(&mut out, 1000).unwrap() >= 1);
+        assert!(out[0].writable());
+    }
+
+    #[test]
+    fn nofile_limit_reads_and_raises() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        // Raising to the current soft limit is a no-op that must succeed.
+        assert!(raise_nofile_limit(soft).unwrap() >= soft);
+    }
+}
