@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pipelines::graph::ServiceConfig;
-use pipelines::ingress::{IngressClient, IngressConfig, IngressServer, JobOutcome};
+use pipelines::ingress::{FrameKind, IngressClient, IngressConfig, IngressServer, JobOutcome};
 use swan::{Runtime, RuntimeConfig, SchedulerPolicy};
 use workloads::service::{
     job_lines, logstream_digest_spec, percentile, wordcount_spec, ServiceWorkloadConfig,
@@ -333,6 +333,83 @@ fn sweep_connections(cfg: &ServiceWorkloadConfig, jobs: usize) -> Vec<(usize, Ph
     out
 }
 
+/// Tick interval the overhead subscriber asks for. 100 ms is the hqtop
+/// refresh class; sub-10ms intervals measure encoder spin on starved
+/// runners, not the streaming cost a real dashboard imposes.
+const OVERHEAD_TICK_MS: u32 = 100;
+
+/// The telemetry-overhead phase: the same wordcount closed loop twice —
+/// once bare, once with a live `Subscribe(100ms)` stream being consumed
+/// on a side connection — so the cost of streaming stats shows up as a
+/// throughput delta between two back-to-back runs on the same machine.
+/// Returns (bare, subscribed, ticks consumed).
+fn telemetry_overhead_phases(
+    cfg: &ServiceWorkloadConfig,
+    connections: usize,
+    jobs: usize,
+) -> (PhaseReport, PhaseReport, u64) {
+    let run = |subscriber: bool| -> (PhaseReport, u64) {
+        let rt = Arc::new(Runtime::with_workers(2));
+        let service_cfg = ServiceConfig {
+            max_in_flight: cfg.max_in_flight,
+            segment_capacity: cfg.segment_capacity,
+            io_batch: cfg.io_batch,
+            ..ServiceConfig::default()
+        };
+        let graph =
+            Arc::new(wordcount_spec(cfg.degree, cfg.window).compile(Arc::clone(&rt), service_cfg));
+        let server = IngressServer::bind(
+            "127.0.0.1:0",
+            graph,
+            Arc::new(WordcountCodec),
+            IngressConfig::default(),
+        )
+        .expect("bind loopback ingress");
+        let addr = server.local_addr();
+        let ticks = AtomicU64::new(0);
+        let mut report = None;
+        std::thread::scope(|s| {
+            let watcher = subscriber.then(|| {
+                let ticks = &ticks;
+                s.spawn(move || {
+                    let mut client = IngressClient::connect(addr).expect("subscriber connects");
+                    client
+                        .subscribe(u64::MAX, OVERHEAD_TICK_MS)
+                        .expect("subscribe");
+                    // Consume ticks until the server closes the socket at
+                    // shutdown; an unread subscriber would measure
+                    // backpressure drops, not streaming cost.
+                    while let Ok(frame) = client.recv() {
+                        if frame.kind == FrameKind::StatsEvent {
+                            ticks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            });
+            report = Some(run_phase(addr, cfg, connections, jobs, |j| {
+                expected_wordcount_bytes(&job_lines(cfg, j))
+            }));
+            let stats = server.shutdown();
+            assert_eq!(
+                stats.jobs_accepted, stats.jobs_completed,
+                "every accepted job must drain"
+            );
+            if let Some(w) = watcher {
+                w.join().expect("subscriber thread");
+            }
+        });
+        rt.quiesce();
+        (report.expect("phase ran"), ticks.load(Ordering::Relaxed))
+    };
+    let (bare, _) = run(false);
+    let (subscribed, ticks) = run(true);
+    assert!(
+        ticks >= 1,
+        "telemetry_overhead: the subscriber consumed no StatsEvent ticks"
+    );
+    (bare, subscribed, ticks)
+}
+
 fn report_block(name: &str, r: &PhaseReport) -> String {
     format!(
         "  \"{name}\": {{\n    \"jobs_per_sec\": {:.1},\n    \"p95_us\": {:.1},\n    \
@@ -391,6 +468,21 @@ fn main() {
     let ls = sweep_workload(Workload::Logstream, &cfg, connections, jobs);
     // Connection sweep: throughput and p99 vs concurrent connections.
     let by_conns = sweep_connections(&cfg, jobs);
+    // Telemetry overhead: the same loop bare vs with a 100 ms subscriber.
+    let (bare, subscribed, ticks) = telemetry_overhead_phases(&cfg, connections, jobs);
+    let overhead_pct =
+        (bare.jobs_per_sec() - subscribed.jobs_per_sec()) / bare.jobs_per_sec() * 100.0;
+    println!(
+        "ingress_load: telemetry_overhead: bare {:.0} jobs/s, subscribed {:.0} jobs/s \
+         ({overhead_pct:+.1}%, {ticks} ticks consumed){}",
+        bare.jobs_per_sec(),
+        subscribed.jobs_per_sec(),
+        if overhead_pct > 3.0 {
+            " .. WARNING: streaming stats cost more than the 3% budget"
+        } else {
+            " ✓"
+        },
+    );
 
     let medians: String = by_conns
         .iter()
@@ -419,14 +511,22 @@ fn main() {
          \"worker_phases\": [1, 2, 8],\n  \"byte_identical_phases\": true,\n  \
          \"connection_phases\": [64, 512, 4096],\n  \
          \"byte_identical_connection_phases\": true,\n  \
-         \"median_us\": {{\n    \"wordcount_p50\": {:.1},\n    \"logstream_p50\": {:.1}{}\n  }},\n  \
+         \"median_us\": {{\n    \"wordcount_p50\": {:.1},\n    \"logstream_p50\": {:.1},\n    \
+         \"wordcount_p50_subscribed\": {:.1}{}\n  }},\n  \
+         \"telemetry_overhead\": {{\n    \"bare_jobs_per_sec\": {:.1},\n    \
+         \"subscribed_jobs_per_sec\": {:.1},\n    \"overhead_pct\": {:.2},\n    \
+         \"ticks_consumed\": {ticks}\n  }},\n  \
          \"connection_sweep\": {{{}\n  }},\n{},\n{}\n}}\n",
         cfg.job_lines,
         cfg.degree,
         bench::machine_cores(),
         percentile(&wc.latencies, 50.0),
         percentile(&ls.latencies, 50.0),
+        percentile(&subscribed.latencies, 50.0),
         medians,
+        bare.jobs_per_sec(),
+        subscribed.jobs_per_sec(),
+        overhead_pct,
         sweep_blocks,
         report_block("wordcount", &wc),
         report_block("logstream", &ls),

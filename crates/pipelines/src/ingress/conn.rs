@@ -19,6 +19,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use epoll::{Epoll, EventFd};
 use parking_lot::Mutex;
@@ -174,6 +175,9 @@ pub(crate) struct Conn {
     /// when the desired interest is empty: a level-triggered epoll would
     /// otherwise storm EPOLLHUP for a closed-but-unread peer.
     pub registered: bool,
+    /// Active telemetry subscription: (req_id, interval, next tick due).
+    /// Ticks bypass the reply FIFO (see [`Conn::push_tick`]).
+    pub sub: Option<(u64, std::time::Duration, std::time::Instant)>,
 }
 
 impl Conn {
@@ -192,6 +196,7 @@ impl Conn {
             dead: false,
             interest: 0,
             registered: false,
+            sub: None,
         }
     }
 
@@ -207,6 +212,20 @@ impl Conn {
             is_job_result,
         });
         self.next_slot += 1;
+    }
+
+    /// Appends an out-of-band frame (a subscription tick) whole to the
+    /// write buffer, bypassing the reply FIFO: the buffer only ever
+    /// grows by whole frames, so a tick lands *between* replies, never
+    /// inside one — the reply substream stays byte-identical. Returns
+    /// false (caller drops the tick) when the buffer is already at its
+    /// limit: the slow-consumer rule is drop, don't queue.
+    pub fn push_tick(&mut self, frame: &[u8], write_buf_limit: usize) -> bool {
+        if self.dead || self.closing || self.unflushed() >= write_buf_limit {
+            return false;
+        }
+        self.wbuf.extend_from_slice(frame);
+        true
     }
 
     /// Reserves the next FIFO position for an in-flight job and returns
@@ -369,6 +388,13 @@ enum Reply<O> {
         req_id: u64,
         body: Vec<u8>,
     },
+    /// A Subscribe frame: the writer owns the tick clock (it is the only
+    /// thread allowed to touch the socket), so the reader forwards the
+    /// parsed interval through the ordered channel.
+    Subscribe {
+        req_id: u64,
+        interval_ms: u32,
+    },
 }
 
 pub(crate) fn connection_loop<C: JobCodec>(shared: Arc<Shared<C>>, stream: TcpStream) {
@@ -518,6 +544,16 @@ fn handle_frame<C: JobCodec>(
                 },
             }
         }
+        FrameKind::Subscribe => match parse_subscribe_body(&frame.body) {
+            Ok(interval_ms) => Reply::Subscribe {
+                req_id: frame.req_id,
+                interval_ms,
+            },
+            Err(message) => Reply::Error {
+                req_id: frame.req_id,
+                message,
+            },
+        },
         FrameKind::Query => match super::handle_query(shared, frame.req_id, &frame.body) {
             Ok(body) => Reply::Query {
                 req_id: frame.req_id,
@@ -536,7 +572,8 @@ fn handle_frame<C: JobCodec>(
         | FrameKind::Retry
         | FrameKind::Error
         | FrameKind::StatsOk
-        | FrameKind::QueryOk => {
+        | FrameKind::QueryOk
+        | FrameKind::StatsEvent => {
             shared
                 .counters
                 .protocol_errors
@@ -550,6 +587,17 @@ fn handle_frame<C: JobCodec>(
     };
     // Send failure means the writer died (socket gone); stop reading.
     reply_tx.send(reply).is_ok()
+}
+
+/// Validates a Subscribe frame body: exactly 4 bytes, u32 LE interval.
+pub(crate) fn parse_subscribe_body(body: &[u8]) -> Result<u32, String> {
+    match <[u8; 4]>::try_from(body) {
+        Ok(bytes) => Ok(u32::from_le_bytes(bytes)),
+        Err(_) => Err(format!(
+            "Subscribe body must be 4 bytes (u32 LE interval_ms), got {}",
+            body.len()
+        )),
+    }
 }
 
 fn writer_loop<C: JobCodec>(
@@ -574,7 +622,50 @@ fn writer_loop<C: JobCodec>(
         }
         *alive
     };
-    for reply in replies {
+    // Active telemetry subscription: (req_id, interval, next tick due).
+    // Ticks interleave with replies at frame granularity only — a tick
+    // is written whole between two channel replies, never inside one —
+    // so the reply substream stays byte-identical. Blocking writes are
+    // this mode's backpressure: a slow consumer delays ticks instead of
+    // accumulating them (at most one fires per wakeup, and the next is
+    // scheduled from *now*, not from the missed deadline).
+    let mut sub: Option<(u64, Duration, Instant)> = None;
+    loop {
+        let reply = if let Some((sub_req_id, interval, next_due)) = sub {
+            let now = Instant::now();
+            if now >= next_due {
+                if sock_ok(&mut socket_alive) {
+                    out.clear();
+                    encode_frame(
+                        FrameKind::StatsEvent,
+                        sub_req_id,
+                        super::stats_text(&shared).as_bytes(),
+                        &mut out,
+                    );
+                    if stream.write_all(&out).is_err() {
+                        socket_alive = false;
+                    } else {
+                        shared
+                            .counters
+                            .bytes_out
+                            .fetch_add(out.len() as u64, Ordering::Relaxed);
+                        shared.counters.stats_events.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                sub = Some((sub_req_id, interval, Instant::now() + interval));
+                continue;
+            }
+            match replies.recv_timeout(next_due - now) {
+                Ok(reply) => reply,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue, // tick on re-entry
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match replies.recv() {
+                Ok(reply) => reply,
+                Err(_) => break,
+            }
+        };
         out.clear();
         // True for replies carrying a job's outcome: their loss is a
         // result drop, not just a connection hiccup.
@@ -689,6 +780,34 @@ fn writer_loop<C: JobCodec>(
                     continue;
                 }
                 encode_frame(FrameKind::QueryOk, req_id, &body, &mut out);
+            }
+            Reply::Subscribe {
+                req_id,
+                interval_ms,
+            } => {
+                if interval_ms == 0 {
+                    // One-shot: cancel any subscription and answer in
+                    // FIFO position like any other reply.
+                    sub = None;
+                    if !sock_ok(&mut socket_alive) {
+                        continue;
+                    }
+                    encode_frame(
+                        FrameKind::StatsEvent,
+                        req_id,
+                        super::stats_text(&shared).as_bytes(),
+                        &mut out,
+                    );
+                    shared.counters.stats_events.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // First tick due immediately; emitted at the loop head.
+                    sub = Some((
+                        req_id,
+                        Duration::from_millis(interval_ms as u64),
+                        Instant::now(),
+                    ));
+                    continue;
+                }
             }
         }
         if sock_ok(&mut socket_alive) {

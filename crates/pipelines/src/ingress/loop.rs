@@ -31,15 +31,16 @@ use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use epoll::{Epoll, EventFd};
 use parking_lot::Mutex;
 
-use super::conn::{encode_outcome, Conn, LoopCore, ReplyAddr, PENDING_CAP};
+use super::conn::{encode_outcome, parse_subscribe_body, Conn, LoopCore, ReplyAddr, PENDING_CAP};
 use super::wire::{encode_frame, Frame, FrameKind, JobCodec};
 use super::{
     admit_durable, admit_submit, complete_durable, encode_result_frame, sleep_with_shutdown,
-    stats_json, AcceptBackoff, DurableAction, Shared, SubmitAction, Waiter,
+    stats_json, stats_text, AcceptBackoff, DurableAction, Shared, SubmitAction, Waiter,
 };
 use crate::service::JobHandle;
 
@@ -263,7 +264,11 @@ fn event_loop<C: JobCodec>(
     let mut draining = false;
     loop {
         events.clear();
-        if core.epoll.wait(&mut events, -1).is_err() {
+        // Block forever unless a telemetry subscription needs a tick: the
+        // idle-costs-nothing property (no wakeups without work) is only
+        // traded away on connections that asked for a periodic stream.
+        let timeout_ms = subscription_timeout(&slab);
+        if core.epoll.wait(&mut events, timeout_ms).is_err() {
             return; // unrecoverable (the epoll fd itself is broken)
         }
         core.wakeups.fetch_add(1, Ordering::Relaxed);
@@ -336,6 +341,7 @@ fn event_loop<C: JobCodec>(
                 }
             }
         }
+        emit_due_ticks(&shared, &mut slab, &mut touched);
         touched.sort_unstable();
         touched.dedup();
         for &idx in &touched {
@@ -375,6 +381,75 @@ fn event_loop<C: JobCodec>(
         if draining && slab.iter().all(|(_, s)| s.is_none()) {
             return;
         }
+    }
+}
+
+/// The `epoll_wait` timeout this loop's subscriptions call for: -1
+/// (block forever) when no live connection is subscribed, otherwise the
+/// milliseconds until the earliest due tick (0 if overdue — an immediate
+/// pass). Rounds *up* so a tick is never scheduled a fraction of a
+/// millisecond early and re-spun at timeout 0.
+fn subscription_timeout(slab: &[(u32, Option<Conn>)]) -> i32 {
+    let mut timeout: Option<u128> = None;
+    let now = Instant::now();
+    for (_, slot) in slab {
+        let Some(conn) = slot else { continue };
+        if conn.dead || conn.closing {
+            continue;
+        }
+        if let Some((_, _, next_due)) = conn.sub {
+            let wait = next_due.saturating_duration_since(now);
+            let ms = wait.as_millis() + u128::from(wait.subsec_nanos() % 1_000_000 != 0);
+            timeout = Some(timeout.map_or(ms, |t| t.min(ms)));
+        }
+    }
+    match timeout {
+        Some(ms) => ms.min(i32::MAX as u128) as i32,
+        None => -1,
+    }
+}
+
+/// Pushes a StatsEvent tick on every subscribed connection whose
+/// interval has elapsed. At most one tick fires per pass, and the next
+/// is scheduled from *now* — a stalled loop catches up with one tick,
+/// not a burst. A tick that doesn't fit the connection's write-buffer
+/// budget is dropped (`stats_dropped`), never queued: slow consumers
+/// lose ticks, not reply bytes.
+fn emit_due_ticks<C: JobCodec>(
+    shared: &Arc<Shared<C>>,
+    slab: &mut [(u32, Option<Conn>)],
+    touched: &mut Vec<usize>,
+) {
+    let now = Instant::now();
+    for (idx, (_, slot)) in slab.iter_mut().enumerate() {
+        let Some(conn) = slot else { continue };
+        let Some((req_id, interval, next_due)) = conn.sub else {
+            continue;
+        };
+        if conn.dead || conn.closing {
+            conn.sub = None;
+            continue;
+        }
+        if now < next_due {
+            continue;
+        }
+        let mut frame = Vec::new();
+        encode_frame(
+            FrameKind::StatsEvent,
+            req_id,
+            stats_text(shared).as_bytes(),
+            &mut frame,
+        );
+        if conn.push_tick(&frame, shared.cfg.write_buf_limit) {
+            shared.counters.stats_events.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared
+                .counters
+                .stats_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        conn.sub = Some((req_id, interval, now + interval));
+        touched.push(idx);
     }
 }
 
@@ -540,11 +615,38 @@ fn dispatch_frame<C: JobCodec>(
             }
             Err(message) => push_error(shared, conn, frame.req_id, message),
         },
+        FrameKind::Subscribe => match parse_subscribe_body(&frame.body) {
+            Ok(0) => {
+                // One-shot: cancel any subscription and answer through
+                // the ordered reply path like any other request.
+                conn.sub = None;
+                let mut out = Vec::new();
+                encode_frame(
+                    FrameKind::StatsEvent,
+                    frame.req_id,
+                    stats_text(shared).as_bytes(),
+                    &mut out,
+                );
+                shared.counters.stats_events.fetch_add(1, Ordering::Relaxed);
+                conn.push_ready(out, false);
+            }
+            Ok(interval_ms) => {
+                // First tick due immediately (emitted by this wakeup's
+                // tick pass); a new Subscribe replaces the old clock.
+                conn.sub = Some((
+                    frame.req_id,
+                    Duration::from_millis(u64::from(interval_ms)),
+                    Instant::now(),
+                ));
+            }
+            Err(message) => push_error(shared, conn, frame.req_id, message),
+        },
         FrameKind::Result
         | FrameKind::Retry
         | FrameKind::Error
         | FrameKind::StatsOk
-        | FrameKind::QueryOk => {
+        | FrameKind::QueryOk
+        | FrameKind::StatsEvent => {
             shared
                 .counters
                 .protocol_errors

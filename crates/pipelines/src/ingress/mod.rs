@@ -52,6 +52,25 @@
 //! | 8    | Ack           | c → s     | empty — confirm receipt of `req_id`'s result |
 //! | 9    | Query         | c → s     | empty — ask `req_id`'s durable status |
 //! | 10   | QueryOk       | s → c     | status byte (see [`QueryStatus`]) · payload |
+//! | 11   | Subscribe     | c → s     | u32 LE: stats interval ms (0 = one-shot) |
+//! | 12   | StatsEvent    | s → c     | telemetry text encoding ([`crate::telemetry`]) |
+//!
+//! # Telemetry subscriptions
+//!
+//! A `Subscribe` frame with a non-zero interval asks the server to push a
+//! [`FrameKind::StatsEvent`] frame — the
+//! [`crate::telemetry::TelemetrySnapshot`] text encoding, `req_id`
+//! echoing the Subscribe's — every `interval_ms` on that connection. The
+//! ticks are **out of band**: they do not occupy a reply slot, so they
+//! interleave with the FIFO reply stream at frame granularity without
+//! perturbing it (filter out StatsEvent frames and the remaining reply
+//! substream is byte-identical to an unsubscribed connection's). A tick
+//! that would overflow the connection's bounded write buffer is dropped,
+//! not queued — a slow consumer loses stats ticks, never correctness
+//! (`stats_dropped` counts the drops). A new Subscribe replaces the
+//! previous subscription; interval 0 cancels it and sends exactly one
+//! StatsEvent through the ordered reply path (the one-shot the typed
+//! [`IngressClient::stats`] uses).
 //!
 //! # Durable jobs
 //!
@@ -128,6 +147,7 @@ use parking_lot::Mutex;
 
 use crate::journal::{encode_failed_body, JobReplayStatus, Journal, RecordKind, Replay};
 use crate::service::{Admission, CompiledGraph, JobError, JobHandle, Submission};
+use crate::telemetry::JournalTelemetry;
 
 // ---------------------------------------------------------------------------
 // Server configuration and counters.
@@ -217,6 +237,8 @@ pub(crate) struct Counters {
     pub queries: AtomicU64,
     pub accept_errors: AtomicU64,
     pub loop_wakeups: AtomicU64,
+    pub stats_events: AtomicU64,
+    pub stats_dropped: AtomicU64,
 }
 
 /// Counter snapshot of an [`IngressServer`] (monotonic unless noted).
@@ -263,27 +285,37 @@ pub struct IngressStats {
     /// The scale-free claim in numbers: idle connections do not advance
     /// this, no matter how many are connected.
     pub loop_wakeups: u64,
+    /// StatsEvent frames pushed to subscribed connections (ticks and
+    /// one-shots).
+    pub stats_events: u64,
+    /// Subscription ticks dropped because the connection's write buffer
+    /// was already at its limit — the slow-consumer rule: a subscriber
+    /// that can't keep up loses ticks, never reply bytes.
+    pub stats_dropped: u64,
 }
 
 impl Counters {
     fn snapshot(&self) -> IngressStats {
+        use crate::telemetry::read_counter;
         IngressStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            jobs_accepted: self.jobs_accepted.load(Ordering::Relaxed),
-            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
-            retries_sent: self.retries_sent.load(Ordering::Relaxed),
-            errors_sent: self.errors_sent.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            results_dropped: self.results_dropped.load(Ordering::Relaxed),
-            durable_jobs: self.durable_jobs.load(Ordering::Relaxed),
-            durable_dupes: self.durable_dupes.load(Ordering::Relaxed),
-            acks: self.acks.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            accept_errors: self.accept_errors.load(Ordering::Relaxed),
-            loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+            connections: read_counter(&self.connections),
+            frames_in: read_counter(&self.frames_in),
+            bytes_in: read_counter(&self.bytes_in),
+            bytes_out: read_counter(&self.bytes_out),
+            jobs_accepted: read_counter(&self.jobs_accepted),
+            jobs_completed: read_counter(&self.jobs_completed),
+            retries_sent: read_counter(&self.retries_sent),
+            errors_sent: read_counter(&self.errors_sent),
+            protocol_errors: read_counter(&self.protocol_errors),
+            results_dropped: read_counter(&self.results_dropped),
+            durable_jobs: read_counter(&self.durable_jobs),
+            durable_dupes: read_counter(&self.durable_dupes),
+            acks: read_counter(&self.acks),
+            queries: read_counter(&self.queries),
+            accept_errors: read_counter(&self.accept_errors),
+            loop_wakeups: read_counter(&self.loop_wakeups),
+            stats_events: read_counter(&self.stats_events),
+            stats_dropped: read_counter(&self.stats_dropped),
         }
     }
 }
@@ -687,10 +719,25 @@ pub(crate) fn handle_query<C: JobCodec>(
     Ok(out)
 }
 
+/// Builds the full [`TelemetrySnapshot`] for this server — the graph's
+/// snapshot plus the ingress and journal sections only the daemon can
+/// see — and returns its text encoding: the StatsEvent body.
+pub(crate) fn stats_text<C: JobCodec>(shared: &Shared<C>) -> String {
+    let mut t = shared.graph.telemetry();
+    t.ingress = Some(shared.counters.snapshot());
+    t.journal = shared.durable.as_ref().map(|d| JournalTelemetry {
+        stats: d.journal.stats(),
+        lag: d.journal.lag(),
+    });
+    t.encode_text()
+}
+
+/// The deprecated `Stats`/`StatsOk` JSON blob, kept one release for
+/// clients that still parse it; [`stats_text`] is the replacement.
 pub(crate) fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
-    let js = shared.graph.job_stats();
+    let t = shared.graph.telemetry();
+    let js = t.admission;
     let is = shared.counters.snapshot();
-    let ss = shared.graph.scheduler_stats();
     format!(
         "{{\"in_flight\": {}, \"queued\": {}, \"submitted\": {}, \"completed\": {}, \
          \"max_in_flight\": {}, \"jobs_accepted\": {}, \"jobs_completed\": {}, \
@@ -720,15 +767,15 @@ pub(crate) fn stats_json<C: JobCodec>(shared: &Shared<C>) -> String {
         is.loop_wakeups,
         js.retries,
         js.failed,
-        ss.sched.tasks_executed,
-        ss.sched.steals,
-        ss.sched.steal_batch_items,
-        ss.sched.steal_failures,
-        ss.sched.parks,
-        ss.queues.lock_acquisitions,
-        ss.queues.pool_draws,
-        ss.storage.segments_allocated,
-        ss.storage.segments_pooled,
+        t.sched.tasks_executed,
+        t.sched.steals,
+        t.sched.steal_batch_items,
+        t.sched.steal_failures,
+        t.sched.parks,
+        t.queues.lock_acquisitions,
+        t.queues.pool_draws,
+        t.storage.segments_allocated,
+        t.storage.segments_pooled,
     )
 }
 
@@ -1382,8 +1429,34 @@ impl IngressClient {
         }
     }
 
-    /// Requests and returns the server's stats JSON.
-    pub fn stats(&mut self, req_id: u64) -> std::io::Result<String> {
+    /// Requests one telemetry snapshot and parses it. On the wire this is
+    /// `Subscribe(0)` — the one-shot, which also cancels any active
+    /// subscription on this connection — so the reply flows through the
+    /// ordered reply path like any other request/response pair.
+    pub fn stats(&mut self, req_id: u64) -> std::io::Result<crate::telemetry::TelemetrySnapshot> {
+        self.subscribe(req_id, 0)?;
+        let frame = self.recv()?;
+        match frame.kind {
+            FrameKind::StatsEvent => {
+                let text = String::from_utf8_lossy(&frame.body);
+                crate::telemetry::TelemetrySnapshot::parse_text(&text)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            }
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected {other:?} reply to a stats request"),
+            )),
+        }
+    }
+
+    /// Requests and returns the server's stats JSON — the transitional
+    /// `Stats`/`StatsOk` frame pair.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use IngressClient::stats (typed TelemetrySnapshot); the JSON frame \
+                is kept one release for old clients"
+    )]
+    pub fn stats_raw(&mut self, req_id: u64) -> std::io::Result<String> {
         self.send(FrameKind::Stats, req_id, &[])?;
         let frame = self.recv()?;
         match frame.kind {
@@ -1393,5 +1466,14 @@ impl IngressClient {
                 format!("unexpected {other:?} reply to a stats request"),
             )),
         }
+    }
+
+    /// Sends a `Subscribe` frame: `interval_ms > 0` asks the server to
+    /// push a [`FrameKind::StatsEvent`] every `interval_ms` on this
+    /// connection (out of band — see the module docs for how ticks
+    /// interleave with replies); 0 cancels the subscription and requests
+    /// exactly one StatsEvent through the ordered reply path.
+    pub fn subscribe(&mut self, req_id: u64, interval_ms: u32) -> std::io::Result<()> {
+        self.send(FrameKind::Subscribe, req_id, &interval_ms.to_le_bytes())
     }
 }

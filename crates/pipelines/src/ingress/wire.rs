@@ -40,6 +40,18 @@ pub enum FrameKind {
     /// Server → client: reply to Query — one [`QueryStatus`] byte, then
     /// the result bytes (Done) or failure message (Failed).
     QueryOk = 10,
+    /// Client → server: body is exactly 4 bytes, u32 LE `interval_ms`.
+    /// Non-zero: push a [`FrameKind::StatsEvent`] every `interval_ms` on
+    /// this connection (replacing any previous subscription). Zero:
+    /// cancel the subscription and send one StatsEvent through the
+    /// ordered reply path.
+    Subscribe = 11,
+    /// Server → client: a telemetry snapshot in the
+    /// [`crate::telemetry::TelemetrySnapshot`] text encoding; `req_id`
+    /// echoes the Subscribe frame's. Periodic ticks are out of band
+    /// (they skip the reply FIFO and are dropped, not queued, when the
+    /// connection's write buffer is full).
+    StatsEvent = 12,
 }
 
 impl FrameKind {
@@ -55,6 +67,8 @@ impl FrameKind {
             8 => FrameKind::Ack,
             9 => FrameKind::Query,
             10 => FrameKind::QueryOk,
+            11 => FrameKind::Subscribe,
+            12 => FrameKind::StatsEvent,
             _ => return None,
         })
     }

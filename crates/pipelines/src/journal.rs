@@ -653,14 +653,25 @@ impl Journal {
 
     /// Counter snapshot.
     pub fn stats(&self) -> JournalStats {
+        use crate::telemetry::read_counter;
         JournalStats {
-            appends: self.counters.appends.load(Ordering::Relaxed),
-            fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
-            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
-            segments_created: self.counters.segments_created.load(Ordering::Relaxed),
-            segments_deleted: self.counters.segments_deleted.load(Ordering::Relaxed),
-            dir_syncs: self.counters.dir_syncs.load(Ordering::Relaxed),
+            appends: read_counter(&self.counters.appends),
+            fsyncs: read_counter(&self.counters.fsyncs),
+            bytes_written: read_counter(&self.counters.bytes_written),
+            segments_created: read_counter(&self.counters.segments_created),
+            segments_deleted: read_counter(&self.counters.segments_deleted),
+            dir_syncs: read_counter(&self.counters.dir_syncs),
         }
+    }
+
+    /// Records staged but not yet fsync-durable — the write-ahead lag a
+    /// crash right now would lose (and replay would re-run). 0 whenever
+    /// the flusher has caught up. Approximate under concurrency: the two
+    /// watermarks are read without a common lock.
+    pub fn lag(&self) -> u64 {
+        let staged = self.next_seq.load(Ordering::Relaxed).saturating_sub(1);
+        let durable = *self.durable.lock();
+        staged.saturating_sub(durable)
     }
 
     /// The journal directory.

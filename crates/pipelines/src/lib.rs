@@ -39,6 +39,7 @@ pub mod reorder;
 pub mod service;
 pub mod spsc;
 pub mod tbb;
+pub mod telemetry;
 
 pub use bounded::{channel, Receiver, Sender};
 pub use graph::{Fanout, GraphBuilder, Node, Partition, Shards};
@@ -56,3 +57,7 @@ pub use service::{
 };
 pub use spsc::{spsc, SpscReceiver, SpscRing, SpscSender};
 pub use tbb::{Item, TbbPipeline};
+pub use telemetry::{
+    ClassLatency, EdgeTelemetry, HistogramSnapshot, JournalTelemetry, LatencyHistogram,
+    TelemetrySnapshot, TelemetrySource, TELEMETRY_VERSION,
+};

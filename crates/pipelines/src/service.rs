@@ -19,7 +19,7 @@
 //!   segments back on teardown and job N+1's queues draw them out again,
 //!   so a warm graph sustains jobs with **zero segment allocations**
 //!   (asserted by `tests/service.rs`; observable via
-//!   [`CompiledGraph::storage_stats`]).
+//!   [`CompiledGraph::telemetry`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -50,6 +50,7 @@ use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use hyperqueue::{PoolStats, QueueStats, SegmentPool, Tagged};
 use parking_lot::Mutex;
@@ -58,6 +59,10 @@ use swan::{
 };
 
 use crate::graph::{GraphBuilder, Node, Partition, DEFAULT_EDGE_CAPACITY, DEFAULT_IO_BATCH};
+use crate::telemetry::{
+    ClassLatency, EdgeTelemetry, LatencyHistogram, TelemetrySnapshot, TelemetrySource,
+    TELEMETRY_VERSION,
+};
 
 // ---------------------------------------------------------------------------
 // Per-edge segment pools.
@@ -120,18 +125,17 @@ impl EdgePools {
         pool
     }
 
-    fn stats(&self) -> Vec<PoolStats> {
-        self.slots.lock().iter().map(|s| (s.stats)()).collect()
-    }
-
-    /// Cross-edge sum of retired-queue counters (see
-    /// [`SegmentPool::retired_queue_stats`]).
-    fn queue_totals(&self) -> QueueStats {
-        let mut total = QueueStats::default();
-        for slot in self.slots.lock().iter() {
-            total.merge(&(slot.queue_totals)());
-        }
-        total
+    /// Per-edge pool + retired-queue counters, in edge creation order —
+    /// one locked walk feeding every aggregate the snapshot derives.
+    fn edge_telemetry(&self) -> Vec<EdgeTelemetry> {
+        self.slots
+            .lock()
+            .iter()
+            .map(|s| EdgeTelemetry {
+                pool: (s.stats)(),
+                queues: (s.queue_totals)(),
+            })
+            .collect()
     }
 
     fn prewarm(&self, depth: usize) {
@@ -418,6 +422,11 @@ pub struct ServiceConfig {
     /// exhausts its budget surfaces a [`JobError`] (whose
     /// [`attempts`](JobError::attempts) then counts every execution).
     pub retry: RetryPolicy,
+    /// Label under which this graph's jobs report their latency
+    /// histogram in [`CompiledGraph::telemetry`] (`hqd` sets the
+    /// workload name). Restricted to `[A-Za-z0-9_-]` on the wire; other
+    /// characters are replaced with `_`. Default `"jobs"`.
+    pub job_class: String,
 }
 
 impl Default for ServiceConfig {
@@ -428,6 +437,7 @@ impl Default for ServiceConfig {
             segment_capacity: DEFAULT_EDGE_CAPACITY,
             io_batch: DEFAULT_IO_BATCH,
             retry: RetryPolicy::none(),
+            job_class: "jobs".to_string(),
         }
     }
 }
@@ -457,6 +467,9 @@ struct JobRequest<I, O> {
     reply: mpsc::Sender<Result<Vec<O>, JobError>>,
     /// 0-based execution attempt; > 0 only for retry re-admissions.
     attempt: u32,
+    /// When the job was first submitted — retries keep the original, so
+    /// the latency histogram measures submit-to-final-outcome.
+    submitted: Instant,
 }
 
 struct ServiceCore<I: Send + 'static, O: Send + 'static> {
@@ -467,6 +480,12 @@ struct ServiceCore<I: Send + 'static, O: Send + 'static> {
     seg_cap: usize,
     io_batch: usize,
     retry: RetryPolicy,
+    /// Submit-to-completion latency (µs), recorded by the dispatcher
+    /// after the job's outcome is known — off the fast path, and
+    /// allocation-free (see [`LatencyHistogram::record`]).
+    latency: LatencyHistogram,
+    /// The job-class label the histogram reports under.
+    job_class: String,
     /// `None` only during shutdown (the graph's Drop takes it). Both
     /// client submission and dispatcher retry re-admission hold this lock
     /// while registering the ticket *and* sending the request, so the
@@ -485,6 +504,7 @@ impl<I: Send + 'static, O: Send + 'static> ServiceCore<I, O> {
         input: Vec<I>,
         reply: mpsc::Sender<Result<Vec<O>, JobError>>,
         attempt: u32,
+        submitted: Instant,
     ) -> bool {
         let submit = self.submit.lock();
         let Some(tx) = submit.as_ref() else {
@@ -496,8 +516,17 @@ impl<I: Send + 'static, O: Send + 'static> ServiceCore<I, O> {
             input,
             reply,
             attempt,
+            submitted,
         })
         .is_ok()
+    }
+
+    /// Folds a finished job into the latency histogram. One relaxed
+    /// `fetch_add`; called only once the outcome (success or terminal
+    /// failure) is settled, never on a retry re-queue.
+    #[inline]
+    fn record_latency(&self, submitted: Instant) {
+        self.latency.record(submitted.elapsed().as_micros() as u64);
     }
     /// Runs one job to completion on the calling thread: instantiate the
     /// plan over pooled edges inside a fresh scope, drain the sink.
@@ -540,6 +569,7 @@ fn dispatcher_loop<I: Clone + Send + 'static, O: Send + 'static>(
         match result {
             // The client may have dropped its handle; that's fine.
             Ok(out) => {
+                core.record_latency(req.submitted);
                 let _ = req.reply.send(Ok(out));
             }
             Err(payload) => match (core.retry.on_failure(req.attempt), retry_input) {
@@ -550,9 +580,10 @@ fn dispatcher_loop<I: Clone + Send + 'static, O: Send + 'static>(
                     // cap backoff, and sleeping here is what bounds the
                     // service's retry pressure.
                     std::thread::sleep(backoff);
-                    if !core.resubmit(input, req.reply.clone(), req.attempt + 1) {
+                    if !core.resubmit(input, req.reply.clone(), req.attempt + 1, req.submitted) {
                         // Shutdown raced the retry: fail it honestly.
                         core.jobs.note_failed();
+                        core.record_latency(req.submitted);
                         let _ = req
                             .reply
                             .send(Err(JobError::from_panic(payload, req.attempt + 1)));
@@ -560,6 +591,7 @@ fn dispatcher_loop<I: Clone + Send + 'static, O: Send + 'static>(
                 }
                 (..) => {
                     core.jobs.note_failed();
+                    core.record_latency(req.submitted);
                     let _ = req
                         .reply
                         .send(Err(JobError::from_panic(payload, req.attempt + 1)));
@@ -595,6 +627,8 @@ impl<I: Clone + Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
             seg_cap: cfg.segment_capacity.max(2),
             io_batch: cfg.io_batch.max(1),
             retry: cfg.retry,
+            latency: LatencyHistogram::new(),
+            job_class: cfg.job_class,
             submit: Mutex::new(Some(tx)),
         });
         let rx = Arc::new(Mutex::new(rx));
@@ -654,6 +688,7 @@ impl<I: Clone + Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
             input,
             reply,
             attempt: 0,
+            submitted: Instant::now(),
         })
         .expect("dispatchers outlive the submit sender");
         Submission::Accepted(JobHandle { id, rx })
@@ -689,14 +724,56 @@ impl<I: Clone + Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
         &self.core.rt
     }
 
+    /// The consolidated observability snapshot (DESIGN.md §6.5): one
+    /// [`TelemetrySnapshot`] carrying the scheduler counters, per-edge
+    /// and aggregate queue/storage counters, the admission gate, and
+    /// this graph's per-job-class latency histogram. This replaces the
+    /// per-layer getters (`job_stats`, `pool_stats`, `storage_stats`,
+    /// `scheduler_stats`), which are deprecated shims over it.
+    ///
+    /// Counter values follow the [`crate::telemetry::read_counter`]
+    /// contract: individually monotonic, approximate while jobs run,
+    /// exact once the graph is idle.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let edges = self.core.pools.edge_telemetry();
+        let mut queues = QueueStats::default();
+        let mut storage = ServiceStorageStats {
+            edges: edges.len(),
+            ..Default::default()
+        };
+        for e in &edges {
+            queues.merge(&e.queues);
+            storage.segments_allocated += e.pool.misses;
+            storage.pool_hits += e.pool.hits;
+            storage.segments_pooled += e.pool.available;
+            storage.segments_returned += e.pool.returned;
+        }
+        TelemetrySnapshot {
+            version: TELEMETRY_VERSION,
+            sched: self.core.rt.metrics(),
+            queues,
+            storage,
+            admission: self.core.jobs.stats(),
+            edges,
+            latency: vec![ClassLatency {
+                class: self.core.job_class.clone(),
+                histogram: self.core.latency.snapshot(),
+            }],
+            ingress: None,
+            journal: None,
+        }
+    }
+
     /// Admission/job counters (see [`swan::JobTableStats`]).
+    #[deprecated(since = "0.3.0", note = "use `telemetry().admission`")]
     pub fn job_stats(&self) -> JobTableStats {
-        self.core.jobs.stats()
+        self.telemetry().admission
     }
 
     /// Per-edge segment-pool counters, in edge creation order.
+    #[deprecated(since = "0.3.0", note = "use `telemetry().edges[i].pool`")]
     pub fn pool_stats(&self) -> Vec<PoolStats> {
-        self.core.pools.stats()
+        self.telemetry().edges.iter().map(|e| e.pool).collect()
     }
 
     /// Tops every edge pool up to `segments_per_edge` parked segments, so
@@ -715,34 +792,32 @@ impl<I: Clone + Send + 'static, O: Send + 'static> CompiledGraph<I, O> {
     /// Aggregate storage counters across all edges; the
     /// `segments_allocated` curve going flat across jobs is the
     /// zero-allocation steady state.
+    #[deprecated(since = "0.3.0", note = "use `telemetry().storage`")]
     pub fn storage_stats(&self) -> ServiceStorageStats {
-        let per_edge = self.core.pools.stats();
-        let mut agg = ServiceStorageStats {
-            edges: per_edge.len(),
-            ..Default::default()
-        };
-        for p in per_edge {
-            agg.segments_allocated += p.misses;
-            agg.pool_hits += p.hits;
-            agg.segments_pooled += p.available;
-            agg.segments_returned += p.returned;
-        }
-        agg
+        self.telemetry().storage
     }
 
-    /// The consolidated observability snapshot: scheduler counters from
-    /// the runtime, retired-queue fast-path totals from every edge,
-    /// aggregate segment storage, and admission — one allocation-free
-    /// [`SchedulerStats`] value (all leaves are `Copy`; taking the
-    /// snapshot performs no heap allocation). This is what the ablations
-    /// harness prints and what the ingress `Stats` frame serializes.
+    /// The pre-telemetry consolidated snapshot: the scheduler, queue,
+    /// storage and admission sections of [`CompiledGraph::telemetry`]
+    /// without the per-edge breakdown or the latency histograms.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `telemetry()`, which adds per-edge and latency sections"
+    )]
     pub fn scheduler_stats(&self) -> SchedulerStats {
+        let t = self.telemetry();
         SchedulerStats {
-            sched: self.core.rt.metrics(),
-            queues: self.core.pools.queue_totals(),
-            storage: self.storage_stats(),
-            admission: self.core.jobs.stats(),
+            sched: t.sched,
+            queues: t.queues,
+            storage: t.storage,
+            admission: t.admission,
         }
+    }
+}
+
+impl<I: Clone + Send + 'static, O: Send + 'static> TelemetrySource for CompiledGraph<I, O> {
+    fn telemetry(&self) -> TelemetrySnapshot {
+        CompiledGraph::telemetry(self)
     }
 }
 
@@ -987,7 +1062,7 @@ mod tests {
                 "job {j} output polluted by a concurrent job"
             );
         }
-        let js = graph.job_stats();
+        let js = graph.telemetry().admission;
         assert_eq!(js.completed, 20);
         assert!(js.high_water_in_flight <= 3, "admission bound violated");
     }
@@ -1002,20 +1077,27 @@ mod tests {
         // 500 items, capacity-8 segments: no schedule can chain more than
         // ceil(500/8) + 2 segments on any edge.
         graph.prewarm(500 / 8 + 3);
-        let warm = graph.storage_stats();
+        let warm = graph.telemetry();
         for _ in 0..10 {
             graph
                 .submit((0..500).collect(), Admission::Unbounded)
                 .expect_accepted()
                 .join();
         }
-        let after = graph.storage_stats();
+        let after = graph.telemetry();
         assert_eq!(
-            after.segments_allocated, warm.segments_allocated,
-            "a warm graph must serve jobs without heap segment allocations: {after:?}"
+            after.storage.segments_allocated, warm.storage.segments_allocated,
+            "a warm graph must serve jobs without heap segment allocations: {:?}",
+            after.storage
         );
-        assert!(after.pool_hits > warm.pool_hits);
-        assert!(after.segments_returned > warm.segments_returned);
+        assert!(after.storage.pool_hits > warm.storage.pool_hits);
+        assert!(after.storage.segments_returned > warm.storage.segments_returned);
+        // The latency histogram saw every completion, without perturbing
+        // the zero-allocation property just asserted above.
+        assert_eq!(after.latency.len(), 1);
+        assert_eq!(after.latency[0].class, "jobs");
+        assert_eq!(after.latency[0].histogram.count(), 11);
+        assert!(after.latency[0].histogram.quantile(0.5) > 0);
     }
 
     #[test]
@@ -1071,7 +1153,7 @@ mod tests {
             .expect_accepted();
         // Wait until the blocker is admitted, so it occupies the in-flight
         // slot rather than the waiting line.
-        while graph.job_stats().in_flight == 0 {
+        while graph.telemetry().admission.in_flight == 0 {
             std::thread::yield_now();
         }
         let bounded = Admission::Bounded { max_queued: 2 };
@@ -1144,7 +1226,7 @@ mod tests {
             .expect_accepted()
             .join();
         assert_eq!(out, vec![13, 14, 15]);
-        let js = graph.job_stats();
+        let js = graph.telemetry().admission;
         assert_eq!(js.retries, 2, "two failed attempts were re-admitted");
         assert_eq!(js.failed, 0);
         // Untouched jobs still run fine alongside.
@@ -1176,7 +1258,7 @@ mod tests {
             .wait()
             .expect_err("a deterministic panic must exhaust the budget");
         assert_eq!(err.attempts(), 3, "initial run + 2 retries");
-        let js = graph.job_stats();
+        let js = graph.telemetry().admission;
         assert_eq!((js.retries, js.failed), (2, 1));
         // The dispatcher pool survives: later jobs run normally.
         let ok = graph
@@ -1194,10 +1276,21 @@ mod tests {
         assert_eq!(out, vec![9]);
         let out = graph.try_run_job(vec![4], 4).expect("under bound").join();
         assert_eq!(out, vec![16]);
+        // The deprecated stats getters are shims over telemetry(): every
+        // one must agree with the sections of the snapshot it mirrors.
+        let t = graph.telemetry();
+        assert_eq!(graph.job_stats(), t.admission);
+        assert_eq!(
+            graph.pool_stats(),
+            t.edges.iter().map(|e| e.pool).collect::<Vec<_>>()
+        );
+        assert_eq!(graph.storage_stats(), t.storage);
+        let s = graph.scheduler_stats();
+        assert_eq!((s.storage, s.admission), (t.storage, t.admission));
     }
 
     #[test]
-    fn scheduler_stats_snapshot_reflects_completed_work() {
+    fn telemetry_snapshot_reflects_completed_work() {
         let (_rt, graph) = square_graph(2, 2);
         graph
             .submit((0..200).collect(), Admission::Unbounded)
@@ -1209,7 +1302,8 @@ mod tests {
             .submit((0..200).collect(), Admission::Unbounded)
             .expect_accepted()
             .join();
-        let stats = graph.scheduler_stats();
+        let stats = graph.telemetry();
+        assert_eq!(stats.version, TELEMETRY_VERSION);
         assert_eq!(stats.admission.completed, 1);
         assert!(
             stats.sched.tasks_executed > 0,
@@ -1221,5 +1315,11 @@ mod tests {
             "edges must have allocated segments: {:?}",
             stats.storage
         );
+        assert_eq!(stats.edges.len(), stats.storage.edges);
+        assert_eq!(stats.latency[0].histogram.count(), 1);
+        // And the wire encoding of a real snapshot round-trips.
+        let back =
+            TelemetrySnapshot::parse_text(&stats.encode_text()).expect("well-formed encoding");
+        assert_eq!(back, stats);
     }
 }

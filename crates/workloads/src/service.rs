@@ -273,7 +273,7 @@ where
     I: Clone + Send + 'static,
     O: Send + 'static,
 {
-    let allocs_before = graph.storage_stats().segments_allocated;
+    let allocs_before = graph.telemetry().storage.segments_allocated;
     let next = AtomicUsize::new(0);
     let completed = AtomicU64::new(0);
     let latencies = parking_lot::Mutex::new(Vec::with_capacity(cfg.jobs));
@@ -305,7 +305,8 @@ where
     let mut lat = latencies.into_inner();
     lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
     let jobs = completed.load(Ordering::Relaxed);
-    let storage = graph.storage_stats();
+    let telemetry = graph.telemetry();
+    let storage = telemetry.storage;
     ServiceReport {
         jobs,
         elapsed,
@@ -316,7 +317,7 @@ where
         max_us: lat.last().copied().unwrap_or(0.0),
         steady_segment_allocs: storage.segments_allocated.saturating_sub(allocs_before),
         storage,
-        admission: graph.job_stats(),
+        admission: telemetry.admission,
     }
 }
 

@@ -58,8 +58,15 @@ fn main() {
         }
     }
 
-    // The protocol also exposes a stats snapshot.
-    println!("server stats: {}", client.stats(99).expect("stats"));
+    // The protocol also exposes a typed telemetry snapshot.
+    let t = client.stats(99).expect("stats");
+    println!(
+        "server telemetry v{}: {} jobs accepted, {} in flight, {} edges",
+        t.version,
+        t.ingress.map_or(0, |i| i.jobs_accepted),
+        t.admission.in_flight,
+        t.storage.edges,
+    );
 
     // Graceful teardown: drain accepted jobs, then quiesce the runtime.
     let stats = server.shutdown();

@@ -41,7 +41,7 @@ fn main() {
         .expect_accepted()
         .join();
     graph.prewarm(cfg.prewarm_depth());
-    let warm = graph.storage_stats();
+    let warm = graph.telemetry().storage;
 
     // Fire a burst of jobs; resize the worker pool while they run.
     let handles: Vec<_> = (0..32)
@@ -68,8 +68,8 @@ fn main() {
         }
     }
 
-    let jobs = graph.job_stats();
-    let storage = graph.storage_stats();
+    let t = graph.telemetry();
+    let (jobs, storage) = (t.admission, t.storage);
     println!(
         "\n{} jobs completed; peak in-flight {} (bound {});",
         jobs.completed, jobs.high_water_in_flight, jobs.max_in_flight

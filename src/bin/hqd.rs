@@ -137,6 +137,8 @@ fn main() {
     let service_cfg = ServiceConfig {
         max_in_flight,
         retry: RetryPolicy::retries(max_retries.min(u32::MAX as usize) as u32),
+        // The workload name labels the latency histogram in telemetry.
+        job_class: workload.clone(),
         ..ServiceConfig::default()
     };
     let ingress_cfg = IngressConfig {

@@ -1,0 +1,344 @@
+//! `hqtop` — a live terminal view of a running `hqd`.
+//!
+//! Connects to the daemon's ingress port, sends one `Subscribe` frame,
+//! and repaints the terminal from the resulting `StatsEvent` stream: per-
+//! edge queue depths, worker steal/park rates, admission depth, journal
+//! lag, and the per-job-class latency histograms — every counter the
+//! paper's evaluation reasons from, read off the live daemon instead of
+//! a post-mortem bench report. Std-only: plain ANSI escapes, no TUI
+//! dependency.
+//!
+//! ```text
+//! hqtop [--addr 127.0.0.1:7171] [--interval-ms 1000] [--frames N]
+//! ```
+//!
+//! `--frames N` (N > 0) is the headless mode CI drives: consume exactly
+//! N StatsEvent frames *without* repainting, verify each parses and that
+//! monotone counters never regress between consecutive frames, then exit
+//! 0 (any malformed frame or counter regression exits nonzero). With
+//! `--frames 0` (the default) it renders until the connection closes or
+//! the terminal kills it.
+
+use pipelines::ingress::{FrameKind, IngressClient};
+use pipelines::telemetry::{HistogramSnapshot, TelemetrySnapshot};
+
+const KNOWN_FLAGS: [&str; 3] = ["--addr", "--interval-ms", "--frames"];
+
+fn validate_args(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let tok = args[i].as_str();
+        if !KNOWN_FLAGS.contains(&tok) {
+            eprintln!("hqtop: unknown argument {tok} (expected one of {KNOWN_FLAGS:?})");
+            std::process::exit(2);
+        }
+        if args.get(i + 1).is_none() {
+            eprintln!("hqtop: {tok} requires a value");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+}
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_u64(args: &[String], key: &str, default: u64) -> u64 {
+    match flag(args, key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("hqtop: {key} expects a non-negative integer, got {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    validate_args(&args);
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let interval_ms = flag_u64(&args, "--interval-ms", 1000).clamp(1, u64::from(u32::MAX)) as u32;
+    let frames = flag_u64(&args, "--frames", 0);
+
+    let mut client = match IngressClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hqtop: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = client.subscribe(1, interval_ms) {
+        eprintln!("hqtop: subscribe failed: {e}");
+        std::process::exit(1);
+    }
+
+    let mut prev: Option<TelemetrySnapshot> = None;
+    let mut tick = 0u64;
+    loop {
+        let frame = match client.recv() {
+            Ok(f) => f,
+            Err(e) => {
+                // Headless runs must see their full quota; an interactive
+                // session ending with the daemon is a normal exit.
+                if frames > 0 {
+                    eprintln!("hqtop: connection lost after {tick} frames: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("hqtop: connection closed ({e})");
+                std::process::exit(0);
+            }
+        };
+        match frame.kind {
+            FrameKind::StatsEvent => {}
+            other => {
+                eprintln!("hqtop: unexpected {other:?} frame on a subscribed connection");
+                std::process::exit(1);
+            }
+        }
+        let text = String::from_utf8_lossy(&frame.body);
+        let snap = match TelemetrySnapshot::parse_text(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hqtop: malformed StatsEvent: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(prev) = &prev {
+            if let Err(e) = check_monotone(prev, &snap) {
+                eprintln!("hqtop: counter regression between frames: {e}");
+                std::process::exit(1);
+            }
+        }
+        tick += 1;
+        if frames == 0 {
+            render(&addr, interval_ms, tick, &snap, prev.as_ref());
+        }
+        prev = Some(snap);
+        if frames > 0 && tick >= frames {
+            println!("hqtop: {tick} well-formed StatsEvent frames, counters monotone");
+            return;
+        }
+    }
+}
+
+/// Counters that must never decrease between two snapshots of the same
+/// daemon — the headless-mode correctness check.
+fn check_monotone(prev: &TelemetrySnapshot, cur: &TelemetrySnapshot) -> Result<(), String> {
+    let check = |name: &str, before: u64, after: u64| {
+        if after < before {
+            Err(format!("{name} went {before} -> {after}"))
+        } else {
+            Ok(())
+        }
+    };
+    check(
+        "sched.tasks_executed",
+        prev.sched.tasks_executed,
+        cur.sched.tasks_executed,
+    )?;
+    check(
+        "admission.submitted",
+        prev.admission.submitted,
+        cur.admission.submitted,
+    )?;
+    check(
+        "admission.completed",
+        prev.admission.completed,
+        cur.admission.completed,
+    )?;
+    check(
+        "queues.segments_allocated",
+        prev.queues.segments_allocated,
+        cur.queues.segments_allocated,
+    )?;
+    if let (Some(p), Some(c)) = (&prev.ingress, &cur.ingress) {
+        check("ingress.frames_in", p.frames_in, c.frames_in)?;
+        check("ingress.bytes_in", p.bytes_in, c.bytes_in)?;
+        check("ingress.jobs_accepted", p.jobs_accepted, c.jobs_accepted)?;
+        check("ingress.stats_events", p.stats_events, c.stats_events)?;
+    }
+    if let (Some(p), Some(c)) = (&prev.journal, &cur.journal) {
+        check("journal.appends", p.stats.appends, c.stats.appends)?;
+        check("journal.fsyncs", p.stats.fsyncs, c.stats.fsyncs)?;
+    }
+    for pc in &prev.latency {
+        if let Some(cc) = cur.latency.iter().find(|c| c.class == pc.class) {
+            check(
+                &format!("latency.{}.count", pc.class),
+                pc.histogram.count(),
+                cc.histogram.count(),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Per-second rate of a counter across one refresh interval.
+fn rate(before: u64, after: u64, interval_ms: u32) -> f64 {
+    let d = after.saturating_sub(before) as f64;
+    d * 1000.0 / f64::from(interval_ms.max(1))
+}
+
+fn render(
+    addr: &str,
+    interval_ms: u32,
+    tick: u64,
+    snap: &TelemetrySnapshot,
+    prev: Option<&TelemetrySnapshot>,
+) {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(4096);
+    // Clear screen, cursor home.
+    s.push_str("\x1b[2J\x1b[H");
+    let _ = writeln!(
+        s,
+        "\x1b[1mhqtop\x1b[0m — {addr} · telemetry v{} · every {interval_ms} ms · frame {tick}",
+        snap.version
+    );
+    let _ = writeln!(s);
+
+    let a = &snap.admission;
+    let _ = writeln!(
+        s,
+        "\x1b[1madmission\x1b[0m   in-flight {:>4}/{:<4}  queued {:>4}  high-water {:>4}  \
+         submitted {:>8}  completed {:>8}  retries {:>4}  failed {:>4}",
+        a.in_flight,
+        a.max_in_flight,
+        a.queued,
+        a.high_water_in_flight,
+        a.submitted,
+        a.completed,
+        a.retries,
+        a.failed,
+    );
+
+    let m = &snap.sched;
+    let (exec_rate, steal_rate, park_rate) = match prev {
+        Some(p) => (
+            rate(p.sched.tasks_executed, m.tasks_executed, interval_ms),
+            rate(p.sched.steals, m.steals, interval_ms),
+            rate(p.sched.parks, m.parks, interval_ms),
+        ),
+        None => (0.0, 0.0, 0.0),
+    };
+    let _ = writeln!(
+        s,
+        "\x1b[1mscheduler\x1b[0m   tasks {:>10} ({exec_rate:>9.1}/s)  steals {:>8} \
+         ({steal_rate:>7.1}/s)  parks {:>8} ({park_rate:>7.1}/s)  helps {:>6}",
+        m.tasks_executed,
+        m.steals,
+        m.parks,
+        m.helps_sync + m.helps_queue,
+    );
+
+    if let Some(i) = &snap.ingress {
+        let (job_rate, byte_rate) = match prev.and_then(|p| p.ingress.as_ref()) {
+            Some(p) => (
+                rate(p.jobs_completed, i.jobs_completed, interval_ms),
+                rate(p.bytes_out, i.bytes_out, interval_ms),
+            ),
+            None => (0.0, 0.0),
+        };
+        let _ = writeln!(
+            s,
+            "\x1b[1mingress\x1b[0m     conns {:>5}  jobs {:>8} done ({job_rate:>8.1}/s)  \
+             retries {:>6}  out {:>9.1} KiB/s  wakeups {:>8}  ticks {:>6} (dropped {})",
+            i.connections,
+            i.jobs_completed,
+            i.retries_sent,
+            byte_rate / 1024.0,
+            i.loop_wakeups,
+            i.stats_events,
+            i.stats_dropped,
+        );
+    }
+
+    if let Some(j) = &snap.journal {
+        let _ = writeln!(
+            s,
+            "\x1b[1mjournal\x1b[0m     lag {:>5} records  appends {:>8}  fsyncs {:>7}  \
+             dir-syncs {:>4}  segments {:>3} live",
+            j.lag,
+            j.stats.appends,
+            j.stats.fsyncs,
+            j.stats.dir_syncs,
+            j.stats.segments_created - j.stats.segments_deleted,
+        );
+    }
+
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "\x1b[1m{:>4}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\x1b[0m",
+        "edge", "seg-alloc", "recycled", "pool-hits", "pool-miss", "available", "locks"
+    );
+    for (idx, e) in snap.edges.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "{idx:>4}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            e.queues.segments_allocated,
+            e.queues.segments_recycled,
+            e.pool.hits,
+            e.pool.misses,
+            e.pool.available,
+            e.queues.lock_acquisitions,
+        );
+    }
+
+    for c in &snap.latency {
+        let h = &c.histogram;
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "\x1b[1mlatency · {}\x1b[0m  count {}  p50 {}  p95 {}  p99 {}  (µs, upper bucket bounds)",
+            c.class,
+            h.count(),
+            format_us(h.quantile(0.50)),
+            format_us(h.quantile(0.95)),
+            format_us(h.quantile(0.99)),
+        );
+        s.push_str(&sparkline(h));
+    }
+    print!("{s}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+}
+
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// One bar row per occupied histogram bucket, scaled to the fullest.
+fn sparkline(h: &HistogramSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let max = h.buckets.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return s;
+    }
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+        let width = ((n as f64 / max as f64) * 40.0).ceil() as usize;
+        let _ = writeln!(
+            s,
+            "  {:>9}–{:<9} {:>8} {}",
+            format_us(lo),
+            format_us(hi.min(99_999_999_999)),
+            n,
+            "#".repeat(width.max(1)),
+        );
+    }
+    s
+}

@@ -207,7 +207,7 @@ fn panicking_stage_fails_only_its_own_job() {
             }
         }
     }
-    let stats = graph.job_stats();
+    let stats = graph.telemetry().admission;
     assert_eq!((stats.retries, stats.failed), (0, 1));
     assert_eq!(
         (stats.in_flight, stats.queued),
@@ -276,7 +276,7 @@ fn flaky_stage_is_retried_per_policy() {
     for (j, h) in handles.into_iter().enumerate() {
         assert_eq!(h.wait().expect("within retry budget"), vec![j as u64 + 1]);
     }
-    let stats = graph.job_stats();
+    let stats = graph.telemetry().admission;
     assert_eq!(
         (stats.retries, stats.failed),
         (12, 0),
@@ -322,7 +322,7 @@ fn exhausted_retries_fail_terminally_without_wedging_the_service() {
     for h in healthy {
         h.join(); // every healthy job still completes
     }
-    let stats = graph.job_stats();
+    let stats = graph.telemetry().admission;
     assert_eq!((stats.retries, stats.failed), (2, 1));
     assert_eq!(
         (stats.in_flight, stats.queued),

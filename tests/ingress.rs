@@ -225,19 +225,17 @@ fn admission_full_turns_into_retry_frames() {
     // Occupy the single in-flight slot…
     a.submit(0, b"block").unwrap();
     assert!(
-        poll_until(Duration::from_secs(5), || probe
-            .stats(90)
-            .unwrap()
-            .contains("\"in_flight\": 1")),
+        poll_until(Duration::from_secs(5), || {
+            probe.stats(90).unwrap().admission.in_flight == 1
+        }),
         "blocker never admitted"
     );
     // …and the single waiting slot.
     a.submit(1, b"queued").unwrap();
     assert!(
-        poll_until(Duration::from_secs(5), || probe
-            .stats(91)
-            .unwrap()
-            .contains("\"queued\": 1")),
+        poll_until(Duration::from_secs(5), || {
+            probe.stats(91).unwrap().admission.queued == 1
+        }),
         "second job never queued"
     );
     // The line is full: an independent connection gets explicit RETRY.
@@ -278,10 +276,10 @@ fn client_disconnect_mid_job_still_drains_the_job() {
         // Wait until the job is truly accepted, then vanish.
         let mut probe = IngressClient::connect(addr).unwrap();
         assert!(
-            poll_until(Duration::from_secs(5), || probe
-                .stats(1)
-                .unwrap()
-                .contains("\"jobs_accepted\": 1")),
+            poll_until(Duration::from_secs(5), || {
+                let snap = probe.stats(1).unwrap();
+                snap.ingress.is_some_and(|i| i.jobs_accepted == 1)
+            }),
             "job never accepted"
         );
     } // both sockets drop here, job still running
@@ -998,4 +996,235 @@ proptest! {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry subscriptions (Subscribe / StatsEvent).
+// ---------------------------------------------------------------------------
+
+use pipelines::telemetry::TelemetrySnapshot;
+
+/// Subscribes, consumes `want` StatsEvent frames, and checks each parses
+/// and that monotone counters never regress between consecutive frames.
+fn drive_subscription(event_loops: usize, want: usize) {
+    let (rt, server) = wordcount_server(
+        2,
+        IngressConfig {
+            event_loops,
+            ..IngressConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let mut client = IngressClient::connect(addr).unwrap();
+    client.subscribe(77, 5).unwrap();
+    let mut prev: Option<TelemetrySnapshot> = None;
+    for tick in 0..want {
+        let frame = client.recv().expect("subscription tick");
+        assert_eq!(
+            (frame.kind, frame.req_id),
+            (FrameKind::StatsEvent, 77),
+            "tick {tick} must be a StatsEvent echoing the Subscribe req_id"
+        );
+        let text = String::from_utf8_lossy(&frame.body);
+        let snap = TelemetrySnapshot::parse_text(&text).expect("tick parses");
+        if let Some(prev) = &prev {
+            assert!(
+                snap.sched.tasks_executed >= prev.sched.tasks_executed,
+                "tasks_executed regressed between ticks"
+            );
+            let (p, c) = (prev.ingress.unwrap(), snap.ingress.unwrap());
+            assert!(c.stats_events >= p.stats_events, "stats_events regressed");
+        }
+        prev = Some(snap);
+    }
+    // Subscribe(0) cancels the stream and doubles as the one-shot the
+    // typed stats() call uses; afterwards the connection still serves
+    // ordinary request/response traffic.
+    let snap = client.stats(78).unwrap();
+    assert!(snap.ingress.unwrap().stats_events >= want as u64);
+    let lines = vec!["after the stream".to_string()];
+    match client
+        .submit_and_wait(79, &encode_lines(&lines), BACKOFF)
+        .unwrap()
+    {
+        JobOutcome::Result(bytes) => assert_eq!(bytes, expected_wordcount_bytes(&lines)),
+        JobOutcome::Failed(m) => panic!("job failed: {m}"),
+    }
+    server.shutdown();
+    rt.quiesce();
+}
+
+#[test]
+fn subscription_streams_stats_events_in_event_mode() {
+    drive_subscription(2, 3);
+}
+
+#[test]
+fn subscription_streams_stats_events_in_fallback_mode() {
+    drive_subscription(0, 3);
+}
+
+/// The FIFO reply contract with a live subscription: on a subscribed
+/// connection running real jobs, the reply substream (everything that is
+/// not a StatsEvent) must be identical to the reply stream of an
+/// unsubscribed control connection submitting the same jobs.
+fn replies_unperturbed_by_ticks(event_loops: usize) {
+    let (rt, server) = wordcount_server(
+        2,
+        IngressConfig {
+            event_loops,
+            ..IngressConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let payloads: Vec<Vec<u8>> = (0..8)
+        .map(|j| {
+            let lines: Vec<String> = (0..4).map(|k| format!("word{j} tick {k} tick")).collect();
+            encode_lines(&lines).to_vec()
+        })
+        .collect();
+
+    // Control: no subscription, replies arrive FIFO by req_id.
+    let mut control = IngressClient::connect(addr).unwrap();
+    let mut expected = Vec::new();
+    for (j, p) in payloads.iter().enumerate() {
+        match control.submit_and_wait(j as u64, p, BACKOFF).unwrap() {
+            JobOutcome::Result(bytes) => expected.push((FrameKind::Result, j as u64, bytes)),
+            JobOutcome::Failed(m) => panic!("control job {j} failed: {m}"),
+        }
+    }
+
+    // Subscribed connection: 1 ms ticks racing the same submissions.
+    let mut subbed = IngressClient::connect(addr).unwrap();
+    subbed.subscribe(1000, 1).unwrap();
+    for (j, p) in payloads.iter().enumerate() {
+        subbed.submit(j as u64, p).unwrap();
+        if j == 4 {
+            // Let ticks pile into the stream mid-burst.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let mut replies = Vec::new();
+    let mut ticks = 0usize;
+    while replies.len() < payloads.len() {
+        let frame = subbed.recv().expect("reply or tick");
+        match frame.kind {
+            FrameKind::StatsEvent => {
+                assert_eq!(frame.req_id, 1000);
+                let text = String::from_utf8_lossy(&frame.body);
+                TelemetrySnapshot::parse_text(&text).expect("interleaved tick parses");
+                ticks += 1;
+            }
+            FrameKind::Retry => {
+                let req_id = frame.req_id;
+                let p = &payloads[req_id as usize];
+                std::thread::sleep(BACKOFF);
+                subbed.submit(req_id, p).unwrap();
+            }
+            kind => replies.push((kind, frame.req_id, frame.body)),
+        }
+    }
+    assert!(ticks >= 1, "no StatsEvent interleaved with the replies");
+    assert_eq!(
+        replies, expected,
+        "reply substream diverged from the unsubscribed control connection"
+    );
+    server.shutdown();
+    rt.quiesce();
+}
+
+#[test]
+fn subscription_ticks_never_corrupt_replies_in_event_mode() {
+    replies_unperturbed_by_ticks(2);
+}
+
+#[test]
+fn subscription_ticks_never_corrupt_replies_in_fallback_mode() {
+    replies_unperturbed_by_ticks(0);
+}
+
+/// Backpressure in event mode: a subscriber that stops reading while big
+/// replies flood its connection must lose *ticks* (counted, not queued),
+/// never replies — and the reply substream stays intact throughout.
+#[test]
+fn slow_subscriber_drops_ticks_not_replies() {
+    let rt = Arc::new(Runtime::with_workers(2));
+    // Tiny submits, huge replies: the graph expands each line 4096x, so
+    // the client's writes never block while the server's write buffer
+    // saturates. (Submitting big payloads instead would deadlock this
+    // single-threaded test: over the write-buffer limit the server stops
+    // *reading* the connection, and an unread 16 MiB submit burst would
+    // wedge the client in write() before it ever starts reading.)
+    let graph = Arc::new(
+        GraphSpec::<String, String>::new()
+            .map(|line: String| line.repeat(4096))
+            .compile(
+                Arc::clone(&rt),
+                ServiceConfig {
+                    max_in_flight: 2,
+                    ..ServiceConfig::default()
+                },
+            ),
+    );
+    let server = IngressServer::bind(
+        "127.0.0.1:0",
+        graph,
+        Arc::new(EchoCodec),
+        IngressConfig {
+            event_loops: 2,
+            write_buf_limit: 4 * 1024, // clamp floor: drops trip fast
+            max_queued: 128,
+            ..IngressConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let jobs = 64usize;
+    // One 64-byte line in, one 256 KiB line out — 16 MiB of replies
+    // total, far beyond any kernel socket buffering.
+    let payload = encode_lines(&["x".repeat(64)]).to_vec();
+    let expected_reply = encode_lines(&["x".repeat(64).repeat(4096)]).to_vec();
+    let mut client = IngressClient::connect(addr).unwrap();
+    client.subscribe(5000, 1).unwrap();
+    for j in 0..jobs {
+        client.submit(j as u64, &payload).unwrap();
+    }
+    // Do NOT read until the server provably dropped a tick under
+    // backpressure (16 MiB of unread replies outgrows any kernel
+    // buffering, and 1 ms ticks keep probing the full buffer).
+    assert!(
+        poll_until(Duration::from_secs(10), || server.stats().stats_dropped
+            >= 1),
+        "no tick was ever dropped: {:?}",
+        server.stats()
+    );
+    let mut results = 0usize;
+    while results < jobs {
+        let frame = client.recv().expect("reply after backpressure");
+        match frame.kind {
+            FrameKind::StatsEvent => {
+                let text = String::from_utf8_lossy(&frame.body);
+                TelemetrySnapshot::parse_text(&text).expect("tick parses after backpressure");
+            }
+            FrameKind::Retry => {
+                let req_id = frame.req_id;
+                std::thread::sleep(BACKOFF);
+                client.submit(req_id, &payload).unwrap();
+            }
+            FrameKind::Result => {
+                assert_eq!(
+                    frame.req_id, results as u64,
+                    "replies must stay FIFO under tick backpressure"
+                );
+                assert_eq!(frame.body, expected_reply, "expanded reply corrupted");
+                results += 1;
+            }
+            other => panic!("unexpected {other:?} frame"),
+        }
+    }
+    let stats = server.shutdown();
+    assert!(stats.stats_dropped >= 1, "drop counter lost at shutdown");
+    assert_eq!(stats.jobs_accepted, stats.jobs_completed);
+    rt.quiesce();
 }

@@ -77,7 +77,7 @@ fn concurrent_jobs_deterministic_on_1_2_8_workers() {
                     "job {j} diverged from its serial elision at {workers}                      workers under {policy:?}"
                 );
             }
-            let stats = graph.job_stats();
+            let stats = graph.telemetry().admission;
             assert_eq!(stats.completed, cfg.jobs as u64);
             assert!(
                 stats.high_water_in_flight <= cfg.max_in_flight,
@@ -117,7 +117,7 @@ fn sustained_jobs_allocate_zero_segments_after_warmup() {
         logstream_digest_serial(&lines0, 0)
     );
     graph.prewarm(cfg.prewarm_depth());
-    let warm = graph.storage_stats();
+    let warm = graph.telemetry().storage;
 
     for j in 1..=jobs {
         let lines = job_lines(&cfg, j);
@@ -130,7 +130,7 @@ fn sustained_jobs_allocate_zero_segments_after_warmup() {
         }
     }
 
-    let after = graph.storage_stats();
+    let after = graph.telemetry().storage;
     assert_eq!(
         after.segments_allocated, warm.segments_allocated,
         "steady state must not allocate segments: {jobs} jobs took \
@@ -144,7 +144,7 @@ fn sustained_jobs_allocate_zero_segments_after_warmup() {
         after.segments_returned > warm.segments_returned,
         "completed jobs must recycle their segment chains: {after:?}"
     );
-    assert_eq!(graph.job_stats().completed, jobs as u64 + 1);
+    assert_eq!(graph.telemetry().admission.completed, jobs as u64 + 1);
 }
 
 #[test]
@@ -173,7 +173,7 @@ fn elastic_resize_between_and_during_jobs_keeps_output_identical() {
         }
         assert_eq!(&h.join(), expect, "job {j} output changed under resize");
     }
-    assert_eq!(graph.job_stats().completed, cfg.jobs as u64);
+    assert_eq!(graph.telemetry().admission.completed, cfg.jobs as u64);
 }
 
 #[test]
@@ -195,7 +195,7 @@ fn admission_is_fifo_and_bounded_under_burst() {
     for h in handles {
         h.join();
     }
-    let stats = graph.job_stats();
+    let stats = graph.telemetry().admission;
     assert_eq!(stats.completed, cfg.jobs as u64);
     assert_eq!(stats.in_flight, 0);
     assert_eq!(stats.queued, 0);
@@ -259,7 +259,7 @@ proptest! {
                 .collect();
             prop_assert_eq!(h.join(), expect);
         }
-        let stats = graph.job_stats();
+        let stats = graph.telemetry().admission;
         prop_assert!(stats.high_water_in_flight <= max_in_flight);
         prop_assert_eq!(stats.completed, sizes.len() as u64);
     }

@@ -1,0 +1,147 @@
+//! Telemetry invariants attacked with proptest: histogram quantile
+//! derivation must bracket the exact sorted-sample quantile for *any*
+//! sample set, and the text encoding must round-trip any snapshot the
+//! encoder can produce (the wire contract of `StatsEvent` frames).
+
+use hyperqueues::pipelines::telemetry::{
+    ClassLatency, EdgeTelemetry, HistogramSnapshot, JournalTelemetry, LatencyHistogram,
+    TelemetrySnapshot,
+};
+use hyperqueues::pipelines::{IngressStats, JournalStats};
+use proptest::prelude::*;
+
+/// The ground truth the histogram approximates: the 1-based rank
+/// `ceil(q·n)` sample of the sorted data.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn histogram_quantiles_bracket_exact_quantiles(
+        samples in prop::collection::vec(any::<u64>(), 1..512),
+        percentiles in prop::collection::vec(1u32..100, 1..8),
+    ) {
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &pct in &percentiles {
+            let q = f64::from(pct) / 100.0;
+            let exact = exact_quantile(&sorted, q);
+            let (lo, hi) = snap.quantile_bounds(q).expect("non-empty histogram");
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q{}: exact {} outside bucket [{}, {}]", q, exact, lo, hi
+            );
+            // The conservative estimate is the bucket's upper bound: it
+            // never understates the exact quantile, and (power-of-two
+            // buckets) never overstates it by more than 2x.
+            prop_assert_eq!(snap.quantile(q), hi);
+            prop_assert!(hi == u64::MAX || hi < exact.saturating_mul(2).max(1));
+        }
+    }
+
+    #[test]
+    fn text_encoding_roundtrips_arbitrary_snapshots(
+        sched_vals in prop::collection::vec(any::<u64>(), 8..9),
+        edge_count in 0usize..5,
+        latency_samples in prop::collection::vec(any::<u64>(), 0..64),
+        with_ingress in any::<bool>(),
+        with_journal in any::<bool>(),
+        lag in any::<u64>(),
+    ) {
+        let mut snap = TelemetrySnapshot::new();
+        snap.sched.tasks_executed = sched_vals[0];
+        snap.sched.steals = sched_vals[1];
+        snap.sched.steal_failures = sched_vals[2];
+        snap.sched.steal_batch_items = sched_vals[3];
+        snap.sched.helps_sync = sched_vals[4];
+        snap.sched.helps_queue = sched_vals[5];
+        snap.sched.parks = sched_vals[6];
+        snap.sched.deferred_tasks = sched_vals[7];
+        snap.queues.segments_allocated = sched_vals[0] ^ 1;
+        snap.queues.lock_acquisitions = sched_vals[1] ^ 2;
+        snap.admission.submitted = sched_vals[2] ^ 3;
+        snap.admission.in_flight = (sched_vals[3] % 1024) as usize;
+        snap.storage.edges = edge_count;
+        snap.storage.pool_hits = sched_vals[4] ^ 4;
+        for i in 0..edge_count {
+            let mut e = EdgeTelemetry::default();
+            e.pool.segment_capacity = 32;
+            e.pool.hits = i as u64;
+            e.queues.segments_allocated = i as u64 + 1;
+            snap.edges.push(e);
+        }
+        if !latency_samples.is_empty() {
+            let h = LatencyHistogram::new();
+            for &s in &latency_samples {
+                h.record(s);
+            }
+            snap.latency.push(ClassLatency {
+                class: "jobs".to_string(),
+                histogram: h.snapshot(),
+            });
+        }
+        if with_ingress {
+            snap.ingress = Some(IngressStats {
+                connections: sched_vals[5] ^ 5,
+                stats_events: sched_vals[6] ^ 6,
+                stats_dropped: sched_vals[7] ^ 7,
+                ..IngressStats::default()
+            });
+        }
+        if with_journal {
+            snap.journal = Some(JournalTelemetry {
+                stats: JournalStats {
+                    appends: sched_vals[0] ^ 8,
+                    dir_syncs: sched_vals[1] ^ 9,
+                    ..JournalStats::default()
+                },
+                lag,
+            });
+        }
+        let text = snap.encode_text();
+        let back = TelemetrySnapshot::parse_text(&text).expect("encoder output must parse");
+        prop_assert_eq!(back, snap);
+    }
+}
+
+#[test]
+fn bucket_bounds_tile_u64_without_gaps() {
+    let mut expect_lo = 0u64;
+    for i in 0..64 {
+        let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+        assert_eq!(lo, expect_lo, "bucket {i} lower bound");
+        assert!(hi >= lo);
+        if i == 63 {
+            assert_eq!(hi, u64::MAX);
+        } else {
+            expect_lo = hi + 1;
+        }
+    }
+}
+
+#[test]
+fn parser_tolerates_future_keys_in_known_and_unknown_sections() {
+    let text = "telemetry_version 1\n\
+                sched.tasks_executed 9\n\
+                sched.keys_from_the_future 1\n\
+                gpu.utilization 87\n\
+                latency.jobs.b3 2\n\
+                latency.jobs.p50_cached 11\n";
+    let snap = TelemetrySnapshot::parse_text(text).expect("forward-compatible parse");
+    assert_eq!(snap.sched.tasks_executed, 9);
+    assert_eq!(snap.latency.len(), 1);
+    assert_eq!(snap.latency[0].histogram.buckets[3], 2);
+    assert_eq!(snap.latency[0].histogram.count(), 2);
+}

@@ -1,0 +1,64 @@
+//! Proof that the latency fast path stays off the allocator.
+//!
+//! `LatencyHistogram::record` runs at job completion inside the service
+//! fast path, so DESIGN.md promises it is allocation-free. This test
+//! swaps in a counting global allocator and records a few thousand
+//! samples across the full value range: the allocation count before and
+//! after must be identical. Kept in its own test binary because a
+//! `#[global_allocator]` is process-wide — the counter must not see
+//! other tests' traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hyperqueues::pipelines::telemetry::LatencyHistogram;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn record_never_allocates() {
+    let h = LatencyHistogram::new();
+    // Warm up outside the measured window (the histogram itself is
+    // inline atomics, but the test harness may lazily allocate).
+    h.record(1);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0u64..10_000 {
+        // Cover every bucket: small values, powers of two, and huge
+        // values that land in the saturating last bucket.
+        h.record(i);
+        h.record(1u64 << (i % 64));
+        h.record(u64::MAX - i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "LatencyHistogram::record allocated {} times",
+        after - before
+    );
+
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), 30_001);
+}
