@@ -64,12 +64,13 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use hyperqueue::{AutoTag, Hyperqueue, PopDep, PushToken, Tagged};
-use swan::Scope;
+use swan::{DepList, Scope};
 
 use crate::reorder::ReorderBuffer;
-use crate::service::PoolCursor;
+use crate::service::{PlacementCursor, PoolCursor};
 
 pub use crate::service::{
     Admission, CompiledGraph, GraphSpec, JobError, JobHandle, SchedulerStats, ServiceConfig,
@@ -128,6 +129,10 @@ pub struct GraphBuilder<'g, 'scope> {
     /// per-edge [`hyperqueue::SegmentPool`]s of a persistent
     /// [`CompiledGraph`] instead of allocating (see [`GraphBuilder::pooled`]).
     pools: Option<&'g PoolCursor<'g>>,
+    /// Service-layer hook: when set, every stage task spawned from this
+    /// builder is pinned to the worker group the cursor assigns it, in
+    /// stage-spawn order (see [`GraphBuilder::placed`]; DESIGN.md §7.1).
+    placement: Option<&'g PlacementCursor<'g>>,
 }
 
 impl<'g, 'scope> GraphBuilder<'g, 'scope> {
@@ -138,6 +143,7 @@ impl<'g, 'scope> GraphBuilder<'g, 'scope> {
             seg_cap: DEFAULT_EDGE_CAPACITY,
             io_batch: DEFAULT_IO_BATCH,
             pools: None,
+            placement: None,
         }
     }
 
@@ -161,6 +167,52 @@ impl<'g, 'scope> GraphBuilder<'g, 'scope> {
     pub fn pooled(mut self, cursor: &'g PoolCursor<'g>) -> Self {
         self.pools = Some(cursor);
         self
+    }
+
+    /// Pins every stage task spawned from this builder to the worker
+    /// group `cursor` assigns it, consuming one assignment per stage in
+    /// spawn order (via [`swan::Scope::spawn_pinned`]; DESIGN.md §7.1).
+    /// Pinning is advisory placement only — the stage graph, queue
+    /// contents and output are untouched, so the determinism contract is
+    /// unaffected. The service layer drives this from a deterministic
+    /// partition of the stage topology; hand-built graphs may pass their
+    /// own cursor.
+    pub fn placed(mut self, cursor: &'g PlacementCursor<'g>) -> Self {
+        self.placement = Some(cursor);
+        self
+    }
+
+    /// Spawns one stage task, pinned to its assigned worker group when a
+    /// placement cursor is installed. Every combinator below routes its
+    /// spawns through here (or [`Self::spawn_stage_replicas`]), keeping
+    /// spawn order — and therefore placement-cursor consumption — equal
+    /// to the stage order of the topology the partitioner saw.
+    fn spawn_stage<D, F>(&self, deps: D, body: F)
+    where
+        D: DepList,
+        D::Guards: 'scope,
+        F: FnOnce(&Scope<'scope>, D::Guards) + Send + 'scope,
+    {
+        match self.placement.and_then(|p| p.next_group()) {
+            Some(g) => self.scope.spawn_pinned(g, deps, body),
+            None => self.scope.spawn(deps, body),
+        }
+    }
+
+    /// [`swan::Scope::spawn_replicas`] routed through
+    /// [`Self::spawn_stage`]: one placed stage per dependency bundle,
+    /// sharing a single body closure, spawned in `deps` order.
+    fn spawn_stage_replicas<D, F>(&self, deps: impl IntoIterator<Item = D>, body: F)
+    where
+        D: DepList,
+        D::Guards: 'scope,
+        F: Fn(&Scope<'scope>, usize, D::Guards) + Send + Sync + 'scope,
+    {
+        let body = Arc::new(body);
+        for (idx, d) in deps.into_iter().enumerate() {
+            let b = Arc::clone(&body);
+            self.spawn_stage(d, move |s, guards| b(s, idx, guards));
+        }
     }
 
     fn edge<T: Send + 'static>(&self) -> Hyperqueue<T> {
@@ -192,7 +244,7 @@ impl<'g, 'scope> GraphBuilder<'g, 'scope> {
         F: FnOnce(&mut PushToken<T>) + Send + 'scope,
     {
         let q = self.edge::<T>();
-        self.scope.spawn((q.pushdep(),), move |_, (mut push,)| {
+        self.spawn_stage((q.pushdep(),), move |_, (mut push,)| {
             producer(&mut push);
         });
         Node { gb: self, q }
@@ -216,7 +268,7 @@ impl<'g, 'scope> GraphBuilder<'g, 'scope> {
         F: FnOnce(&mut AutoTag<T, PushToken<Tagged<T>>>) + Send + 'scope,
     {
         let q = self.edge::<Tagged<T>>();
-        self.scope.spawn((q.pushdep(),), move |_, (push,)| {
+        self.spawn_stage((q.pushdep(),), move |_, (push,)| {
             let mut tagger = AutoTag::with_start(push, start);
             producer(&mut tagger);
         });
@@ -266,7 +318,7 @@ impl<'g, 'scope, T: Send + 'static> Node<'g, 'scope, T> {
         let gb = self.gb;
         let out = gb.edge::<U>();
         let batch = gb.io_batch;
-        gb.scope.spawn(
+        gb.spawn_stage(
             (self.q.popdep(), out.pushdep()),
             move |_, (mut c, mut p)| {
                 let mut vals = Vec::with_capacity(batch);
@@ -289,7 +341,7 @@ impl<'g, 'scope, T: Send + 'static> Node<'g, 'scope, T> {
         let gb = self.gb;
         let out = gb.edge::<U>();
         let batch = gb.io_batch;
-        gb.scope.spawn(
+        gb.spawn_stage(
             (self.q.popdep(), out.pushdep()),
             move |_, (mut c, mut p)| {
                 let mut vals = Vec::with_capacity(batch);
@@ -312,7 +364,7 @@ impl<'g, 'scope, T: Send + 'static> Node<'g, 'scope, T> {
         let batch = gb.io_batch;
         let outs: Vec<Hyperqueue<Tagged<T>>> = (0..degree).map(|_| gb.edge()).collect();
         let pushes: Vec<_> = outs.iter().map(|q| q.pushdep()).collect();
-        gb.scope.spawn(
+        gb.spawn_stage(
             (self.q.popdep(), pushes),
             move |_, (mut input, mut pushes)| {
                 let mut seq = 0u64;
@@ -360,7 +412,7 @@ impl<'g, 'scope, T: Send + 'static> Node<'g, 'scope, T> {
         let batch = gb.io_batch;
         let outs: Vec<Hyperqueue<T>> = (0..n).map(|_| gb.edge()).collect();
         let pushes: Vec<_> = outs.iter().map(|q| q.pushdep()).collect();
-        gb.scope.spawn(
+        gb.spawn_stage(
             (self.q.popdep(), pushes),
             move |_, (mut input, mut pushes)| {
                 let mut vals = Vec::with_capacity(batch);
@@ -380,7 +432,7 @@ impl<'g, 'scope, T: Send + 'static> Node<'g, 'scope, T> {
     /// `out`. The vector is complete when the enclosing scope returns.
     pub fn collect_into(self, out: &'scope mut Vec<T>) {
         let batch = self.gb.io_batch;
-        self.gb.scope.spawn((self.q.popdep(),), move |_, (mut c,)| {
+        self.gb.spawn_stage((self.q.popdep(),), move |_, (mut c,)| {
             // Appends straight into the destination: no intermediate copy.
             while c.pop_batch_into(batch, out) > 0 {}
         });
@@ -393,7 +445,7 @@ impl<'g, 'scope, T: Send + 'static> Node<'g, 'scope, T> {
         F: FnMut(T) + Send + 'scope,
     {
         let batch = self.gb.io_batch;
-        self.gb.scope.spawn((self.q.popdep(),), move |_, (mut c,)| {
+        self.gb.spawn_stage((self.q.popdep(),), move |_, (mut c,)| {
             let mut vals = Vec::with_capacity(batch);
             while c.pop_batch_into(batch, &mut vals) > 0 {
                 vals.drain(..).for_each(&mut f);
@@ -454,13 +506,12 @@ impl<'g, 'scope, T: Send + 'static> Fanout<'g, 'scope, T> {
             .zip(outs.iter())
             .map(|(n, out)| (n.q.popdep(), out.pushdep()))
             .collect();
-        gb.scope
-            .spawn_replicas(deps, move |_, _idx, (mut c, mut p)| {
-                let mut vals = Vec::with_capacity(batch);
-                while c.pop_batch_into(batch, &mut vals) > 0 {
-                    p.push_iter(vals.drain(..).map(|t| t.map(&f)));
-                }
-            });
+        gb.spawn_stage_replicas(deps, move |_, _idx, (mut c, mut p)| {
+            let mut vals = Vec::with_capacity(batch);
+            while c.pop_batch_into(batch, &mut vals) > 0 {
+                p.push_iter(vals.drain(..).map(|t| t.map(&f)));
+            }
+        });
         Fanout {
             gb,
             edges: outs.into_iter().map(|q| Node { gb, q }).collect(),
@@ -490,22 +541,21 @@ impl<'g, 'scope, T: Send + 'static> Fanout<'g, 'scope, T> {
             .zip(outs.iter())
             .map(|(n, out)| (n.q.popdep(), out.pushdep()))
             .collect();
-        gb.scope
-            .spawn_replicas(deps, move |_, idx, (mut c, mut p)| {
-                let mut state = init(idx);
-                let mut vals = Vec::with_capacity(batch);
-                let mut emit = Vec::new();
-                while c.pop_batch_into(batch, &mut vals) > 0 {
-                    for t in vals.drain(..) {
-                        step(&mut state, t, &mut emit);
-                    }
-                    if !emit.is_empty() {
-                        p.push_iter(emit.drain(..));
-                    }
+        gb.spawn_stage_replicas(deps, move |_, idx, (mut c, mut p)| {
+            let mut state = init(idx);
+            let mut vals = Vec::with_capacity(batch);
+            let mut emit = Vec::new();
+            while c.pop_batch_into(batch, &mut vals) > 0 {
+                for t in vals.drain(..) {
+                    step(&mut state, t, &mut emit);
                 }
-                finish(state, &mut emit);
-                p.push_iter(emit);
-            });
+                if !emit.is_empty() {
+                    p.push_iter(emit.drain(..));
+                }
+            }
+            finish(state, &mut emit);
+            p.push_iter(emit);
+        });
         Shards {
             gb,
             edges: outs.into_iter().map(|q| Node { gb, q }).collect(),
@@ -539,41 +589,40 @@ impl<'g, 'scope, T: Send + 'static> Fanout<'g, 'scope, T> {
         let window = window.max(1);
         let out = gb.edge::<T>();
         let pops: Vec<_> = self.edges.into_iter().map(|n| n.q.popdep()).collect();
-        gb.scope
-            .spawn((pops, out.pushdep()), move |_, (mut pops, mut push)| {
-                let n = pops.len();
-                let mut done = vec![false; n];
-                let mut live = n;
-                let mut buf = ReorderBuffer::with_start(0);
-                let mut vals: Vec<Tagged<T>> = Vec::with_capacity(window);
-                let mut ready: Vec<T> = Vec::new();
-                while live > 0 {
-                    for (i, pop) in pops.iter_mut().enumerate() {
-                        if done[i] {
-                            continue;
-                        }
-                        // Blocks until this edge shows data or closes —
-                        // safe: the graph is acyclic, so the edge's
-                        // producer never waits on this merge.
-                        if pop.pop_batch_into(window, &mut vals) == 0 {
-                            done[i] = true;
-                            live -= 1;
-                            continue;
-                        }
-                        for t in vals.drain(..) {
-                            buf.insert(t.seq, t.value);
-                        }
-                        if buf.drain_ready(&mut ready) > 0 {
-                            push.push_iter(ready.drain(..));
-                        }
+        gb.spawn_stage((pops, out.pushdep()), move |_, (mut pops, mut push)| {
+            let n = pops.len();
+            let mut done = vec![false; n];
+            let mut live = n;
+            let mut buf = ReorderBuffer::with_start(0);
+            let mut vals: Vec<Tagged<T>> = Vec::with_capacity(window);
+            let mut ready: Vec<T> = Vec::new();
+            while live > 0 {
+                for (i, pop) in pops.iter_mut().enumerate() {
+                    if done[i] {
+                        continue;
+                    }
+                    // Blocks until this edge shows data or closes —
+                    // safe: the graph is acyclic, so the edge's
+                    // producer never waits on this merge.
+                    if pop.pop_batch_into(window, &mut vals) == 0 {
+                        done[i] = true;
+                        live -= 1;
+                        continue;
+                    }
+                    for t in vals.drain(..) {
+                        buf.insert(t.seq, t.value);
+                    }
+                    if buf.drain_ready(&mut ready) > 0 {
+                        push.push_iter(ready.drain(..));
                     }
                 }
-                assert_eq!(
-                    buf.parked(),
-                    0,
-                    "fan-out merge saw a sequence gap: a split edge dropped values"
-                );
-            });
+            }
+            assert_eq!(
+                buf.parked(),
+                0,
+                "fan-out merge saw a sequence gap: a split edge dropped values"
+            );
+        });
         Node { gb, q: out }
     }
 
@@ -611,56 +660,55 @@ impl<'g, 'scope, T: Send + 'static> Shards<'g, 'scope, T> {
         let window = window.max(1);
         let out = gb.edge::<T>();
         let pops: Vec<_> = self.edges.into_iter().map(|n| n.q.popdep()).collect();
-        gb.scope
-            .spawn((pops, out.pushdep()), move |_, (mut pops, mut push)| {
-                let n = pops.len();
-                // Keys are computed once per value at refill time and ride
-                // along in the read-ahead buffers, so the selection scan
-                // below costs comparisons only.
-                let mut bufs: Vec<VecDeque<(K, T)>> = (0..n).map(|_| VecDeque::new()).collect();
-                let mut done = vec![false; n];
-                let mut vals: Vec<T> = Vec::with_capacity(window);
-                let mut staged: Vec<T> = Vec::new();
-                loop {
-                    // Refill every exhausted live edge (each refill blocks
-                    // until that edge shows data or closes).
-                    for (i, pop) in pops.iter_mut().enumerate() {
-                        if done[i] || !bufs[i].is_empty() {
-                            continue;
-                        }
-                        if pop.pop_batch_into(window, &mut vals) == 0 {
-                            done[i] = true;
-                        } else {
-                            bufs[i].extend(vals.drain(..).map(|v| (key(&v), v)));
-                        }
+        gb.spawn_stage((pops, out.pushdep()), move |_, (mut pops, mut push)| {
+            let n = pops.len();
+            // Keys are computed once per value at refill time and ride
+            // along in the read-ahead buffers, so the selection scan
+            // below costs comparisons only.
+            let mut bufs: Vec<VecDeque<(K, T)>> = (0..n).map(|_| VecDeque::new()).collect();
+            let mut done = vec![false; n];
+            let mut vals: Vec<T> = Vec::with_capacity(window);
+            let mut staged: Vec<T> = Vec::new();
+            loop {
+                // Refill every exhausted live edge (each refill blocks
+                // until that edge shows data or closes).
+                for (i, pop) in pops.iter_mut().enumerate() {
+                    if done[i] || !bufs[i].is_empty() {
+                        continue;
                     }
-                    if bufs.iter().all(|b| b.is_empty()) {
-                        break; // every edge done and drained
+                    if pop.pop_batch_into(window, &mut vals) == 0 {
+                        done[i] = true;
+                    } else {
+                        bufs[i].extend(vals.drain(..).map(|v| (key(&v), v)));
                     }
-                    // Emit while the global minimum is certain: every live
-                    // edge has a buffered head (its own future minimum).
-                    while (0..n).all(|i| done[i] || !bufs[i].is_empty()) {
-                        let mut best: Option<usize> = None;
-                        for (i, buf) in bufs.iter().enumerate() {
-                            let Some((k, _)) = buf.front() else { continue };
-                            best = match best {
-                                Some(j) if bufs[j][0].0 <= *k => Some(j),
-                                _ => Some(i),
-                            };
-                        }
-                        let Some(i) = best else { break };
-                        staged.push(bufs[i].pop_front().expect("front checked").1);
-                        if staged.len() >= window {
-                            push.push_iter(staged.drain(..));
-                        }
+                }
+                if bufs.iter().all(|b| b.is_empty()) {
+                    break; // every edge done and drained
+                }
+                // Emit while the global minimum is certain: every live
+                // edge has a buffered head (its own future minimum).
+                while (0..n).all(|i| done[i] || !bufs[i].is_empty()) {
+                    let mut best: Option<usize> = None;
+                    for (i, buf) in bufs.iter().enumerate() {
+                        let Some((k, _)) = buf.front() else { continue };
+                        best = match best {
+                            Some(j) if bufs[j][0].0 <= *k => Some(j),
+                            _ => Some(i),
+                        };
                     }
-                    // Publish before blocking on a refill again.
-                    if !staged.is_empty() {
+                    let Some(i) = best else { break };
+                    staged.push(bufs[i].pop_front().expect("front checked").1);
+                    if staged.len() >= window {
                         push.push_iter(staged.drain(..));
                     }
                 }
-                push.push_iter(staged);
-            });
+                // Publish before blocking on a refill again.
+                if !staged.is_empty() {
+                    push.push_iter(staged.drain(..));
+                }
+            }
+            push.push_iter(staged);
+        });
         Node { gb, q: out }
     }
 

@@ -125,7 +125,10 @@ mod conn;
 #[cfg(target_os = "linux")]
 #[path = "loop.rs"]
 mod evloop;
+pub mod router;
 mod wire;
+
+pub use router::{Router, RouterConfig, RouterStats};
 
 pub use wire::{
     encode_frame, retry_delay, Frame, FrameDecoder, FrameError, FrameKind, JobCodec, QueryStatus,
@@ -1091,7 +1094,7 @@ impl Drop for IngressServer {
 /// live ones registered. A long-lived daemon churns through many
 /// short-lived connections; without this the handle list (and each dead
 /// thread's retained exit state) would grow without bound.
-fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
+pub(crate) fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
     let finished: Vec<JoinHandle<()>> = {
         let mut live = conns.lock();
         let mut done = Vec::new();
@@ -1229,6 +1232,30 @@ pub struct IngressClient {
     stream: TcpStream,
     dec: FrameDecoder,
     chunk: Vec<u8>,
+    /// The connected peer, remembered so the durable path can reconnect
+    /// after a daemon crash and resume via Query (see
+    /// [`IngressClient::submit_durable_and_wait`]).
+    peer: SocketAddr,
+    max_frame_len: u32,
+}
+
+/// Reconnect attempts [`IngressClient::submit_durable_and_wait`] makes
+/// per disconnect before giving up and surfacing the error.
+const DURABLE_RECONNECT_ATTEMPTS: u32 = 10;
+
+/// True for the error class that means "the connection died", as opposed
+/// to a protocol or application error: the class the durable resume path
+/// recovers from. ECONNRESET is what a SIGKILLed daemon's kernel sends;
+/// UnexpectedEof is the orderly-FIN flavor of the same event.
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected
+    )
 }
 
 impl IngressClient {
@@ -1248,11 +1275,43 @@ impl IngressClient {
     ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        let peer = stream.peer_addr()?;
         Ok(IngressClient {
             stream,
             dec: FrameDecoder::new(max_frame_len),
             chunk: vec![0u8; 16 * 1024],
+            peer,
+            max_frame_len,
         })
+    }
+
+    /// Replaces a dead connection with a fresh one to the same peer,
+    /// discarding any half-parsed inbound bytes (they belong to the dead
+    /// connection's reply stream and can never complete).
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        stream.set_nodelay(true).ok();
+        self.stream = stream;
+        self.dec = FrameDecoder::new(self.max_frame_len);
+        Ok(())
+    }
+
+    /// Reconnects with the jittered [`retry_delay`] schedule, up to
+    /// [`DURABLE_RECONNECT_ATTEMPTS`] tries; surfaces `cause` if the
+    /// daemon never comes back.
+    fn reconnect_with_backoff(
+        &mut self,
+        seed: u64,
+        backoff: Duration,
+        cause: std::io::Error,
+    ) -> std::io::Result<()> {
+        for attempt in 0..DURABLE_RECONNECT_ATTEMPTS {
+            std::thread::sleep(retry_delay(backoff, seed, attempt));
+            if self.reconnect().is_ok() {
+                return Ok(());
+            }
+        }
+        Err(cause)
     }
 
     /// Sends one frame. Exposed raw (any kind, any body) so tests can
@@ -1301,6 +1360,12 @@ impl IngressClient {
     /// exponential backoff with deterministic per-request jitter, so a
     /// herd of refused clients spreads out instead of resubmitting in
     /// lockstep forever.
+    ///
+    /// A dropped connection is **fatal** here, deliberately: a
+    /// non-durable job has no server-side identity to resume, so blindly
+    /// resubmitting could run it twice. Use
+    /// [`IngressClient::submit_durable_and_wait`] for crash-safe
+    /// submission — its id is journaled, so it reconnects and resumes.
     pub fn submit_and_wait(
         &mut self,
         req_id: u64,
@@ -1392,6 +1457,16 @@ impl IngressClient {
     /// job resolves. Safe to call again on a fresh connection after a
     /// crash — a duplicate id returns the journaled result instead of
     /// re-running.
+    ///
+    /// Unlike the non-durable loop, a **dropped connection is not
+    /// fatal**: the job id is journaled server-side, so the client
+    /// reconnects (up to [`DURABLE_RECONNECT_ATTEMPTS`] tries on the
+    /// same backoff schedule) and resumes via [`IngressClient::query`] —
+    /// a `Done` id yields its journaled bytes without re-running, an
+    /// `InFlight` id is awaited, and an `Unknown` id (the crash ate the
+    /// submit) is resubmitted. This is the documented crash-resume
+    /// protocol (DESIGN.md §6.4) performed automatically; only a daemon
+    /// that never comes back surfaces the I/O error.
     pub fn submit_durable_and_wait(
         &mut self,
         job_id: u64,
@@ -1400,8 +1475,21 @@ impl IngressClient {
     ) -> std::io::Result<JobOutcome> {
         let mut attempt = 0u32;
         loop {
-            self.submit_durable(job_id, payload)?;
-            let frame = self.recv()?;
+            let reply = self
+                .submit_durable(job_id, payload)
+                .and_then(|()| self.recv());
+            let frame = match reply {
+                Ok(frame) => frame,
+                Err(e) if is_disconnect(&e) => {
+                    self.reconnect_with_backoff(job_id, retry_backoff, e)?;
+                    match self.resume_durable(job_id, retry_backoff)? {
+                        Some(outcome) => return Ok(outcome),
+                        // Unknown id: the crash ate the submit; resend it.
+                        None => continue,
+                    }
+                }
+                Err(e) => return Err(e),
+            };
             if frame.req_id != job_id {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -1425,6 +1513,42 @@ impl IngressClient {
                         format!("unexpected {other:?} frame for durable submit {job_id}"),
                     ))
                 }
+            }
+        }
+    }
+
+    /// The post-reconnect resume loop: polls `job_id`'s durable status
+    /// until it is terminal. `Ok(None)` means the id is unknown to the
+    /// journal — the caller must resubmit. Disconnects during the poll
+    /// re-enter the same bounded reconnect schedule.
+    fn resume_durable(
+        &mut self,
+        job_id: u64,
+        retry_backoff: Duration,
+    ) -> std::io::Result<Option<JobOutcome>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.query(job_id) {
+                Ok((QueryStatus::Done, bytes)) => return Ok(Some(JobOutcome::Result(bytes))),
+                Ok((QueryStatus::Failed, msg)) => {
+                    return Ok(Some(JobOutcome::Failed(
+                        String::from_utf8_lossy(&msg).into_owned(),
+                    )))
+                }
+                Ok((QueryStatus::Unknown, _)) => return Ok(None),
+                Ok((QueryStatus::Acked, _)) => {
+                    return Ok(Some(JobOutcome::Failed(format!(
+                        "durable job {job_id} already acknowledged; its result was released"
+                    ))))
+                }
+                Ok((QueryStatus::InFlight, _)) => {
+                    std::thread::sleep(retry_delay(retry_backoff, job_id, attempt));
+                    attempt = attempt.saturating_add(1);
+                }
+                Err(e) if is_disconnect(&e) => {
+                    self.reconnect_with_backoff(job_id, retry_backoff, e)?;
+                }
+                Err(e) => return Err(e),
             }
         }
     }

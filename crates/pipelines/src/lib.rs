@@ -35,6 +35,7 @@ pub mod bounded;
 pub mod graph;
 pub mod ingress;
 pub mod journal;
+pub mod partition;
 pub mod reorder;
 pub mod service;
 pub mod spsc;
@@ -45,10 +46,14 @@ pub use bounded::{channel, Receiver, Sender};
 pub use graph::{Fanout, GraphBuilder, Node, Partition, Shards};
 pub use ingress::{
     IngressClient, IngressConfig, IngressServer, IngressStats, JobCodec, QueryStatus,
-    RecoveryReport,
+    RecoveryReport, Router, RouterConfig, RouterStats,
 };
 pub use journal::{
     JobReplayStatus, Journal, JournalConfig, JournalStats, RecordKind, Replay, ReplayedJob,
+};
+pub use partition::{
+    partition, rendezvous_route, GraphTopology, Hyperedge, Hypergraph, PartitionConfig,
+    PartitionResult,
 };
 pub use reorder::{ReorderBuffer, ReorderQueue};
 pub use service::{

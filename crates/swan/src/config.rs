@@ -116,6 +116,16 @@ pub struct RuntimeConfig {
     /// `HQ_SCHED` environment variable (see
     /// [`SchedulerPolicy::from_env`]).
     pub scheduler: SchedulerPolicy,
+    /// Number of worker groups for partition pinning (DESIGN.md §7.1).
+    /// Worker `idx` belongs to group `idx % worker_groups`; tasks spawned
+    /// with [`crate::Scope::spawn_pinned`] enqueue to their group's
+    /// injector and are preferred by that group's workers. Pinning is
+    /// *advisory*: a group with no eligible work falls back to foreign
+    /// groups (counted in
+    /// [`crate::MetricsSnapshot::cross_group_steals`]), so liveness and
+    /// the scale-free determinism guarantee are unaffected. Default 1
+    /// (grouping off).
+    pub worker_groups: usize,
     /// Maximum depth of nested "help" execution a blocked worker will stack
     /// before falling back to passive waiting. Bounds stack growth of the
     /// help-first scheduling discipline (see DESIGN.md §3.1).
@@ -158,6 +168,13 @@ impl RuntimeConfig {
     /// Selects the worker-loop scheduler.
     pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
         self.scheduler = policy;
+        self
+    }
+
+    /// Sets the number of worker groups for partition pinning (min 1;
+    /// 1 disables grouping). See [`crate::Scope::spawn_pinned`].
+    pub fn worker_groups(mut self, groups: usize) -> Self {
+        self.worker_groups = groups.max(1);
         self
     }
 
@@ -205,6 +222,7 @@ impl Default for RuntimeConfig {
             workers,
             max_workers: workers,
             scheduler: SchedulerPolicy::from_env().unwrap_or(SchedulerPolicy::HelpFirst),
+            worker_groups: 1,
             max_help_depth: 64,
             park_timeout: Duration::from_micros(200),
             chaos: None,

@@ -53,6 +53,11 @@ pub(crate) struct RtInner {
     pub(crate) config: RuntimeConfig,
     pub(crate) registry: Registry,
     pub(crate) injector: Injector,
+    /// One injector per worker group when grouping is on (DESIGN.md
+    /// §7.1): pinned tasks enqueue to their group's injector, and worker
+    /// `idx` (group `idx % len`) drains its own group's injector ahead of
+    /// the global one. Empty when `worker_groups <= 1`.
+    pub(crate) group_injectors: Vec<Injector>,
     pub(crate) queues: Vec<WorkerQueue>,
     pub(crate) sleeper: Sleeper,
     pub(crate) metrics: Metrics,
@@ -81,6 +86,30 @@ impl RtInner {
             self.injector.push(id.0);
         }
         self.sleeper.notify_all();
+    }
+
+    /// [`RtInner::enqueue`] with a worker-group pin: a pinned task lands
+    /// in the local queue only if the current worker belongs to the
+    /// task's group; otherwise it rides the group's injector so a
+    /// same-group worker picks it up first (DESIGN.md §7.1). Unpinned
+    /// tasks (or ungrouped runtimes) take the plain path.
+    pub(crate) fn enqueue_to(&self, id: FrameId, group: Option<u32>) {
+        let n = self.group_injectors.len();
+        if n > 1 {
+            if let Some(g) = group {
+                let g = g as usize % n;
+                let pushed = WORKER_INDEX.with(|w| match w.get() {
+                    Some(idx) if idx % n == g => self.queues[idx].push(id.0).is_ok(),
+                    _ => false,
+                });
+                if !pushed {
+                    self.group_injectors[g].push(id.0);
+                }
+                self.sleeper.notify_all();
+                return;
+            }
+        }
+        self.enqueue(id);
     }
 
     fn chaos_delay(&self, id: FrameId) {
@@ -118,8 +147,8 @@ impl RtInner {
             }
         }
         let now_ready = self.registry.complete(task.id);
-        for id in now_ready {
-            self.enqueue(id);
+        for (id, group) in now_ready {
+            self.enqueue_to(id, group);
         }
         if let Some(parent) = &frame.parent {
             if let Some(payload) = frame.take_panic() {
@@ -232,18 +261,28 @@ impl RtInner {
     /// * **steal-first** — steal-half batches before the injector. An
     ///   idle worker first rebalances in-flight work (the Cilk regime),
     ///   touching the shared injector only when every victim probe fails.
+    ///
+    /// With worker groups on: pinned work bound for this worker's own
+    /// group comes right after the local queue, and foreign groups'
+    /// injectors are the liveness fallback of last resort (counted as
+    /// cross-group steals; keeps pinned work flowing even when its group
+    /// is unstaffed, e.g. after an elastic shrink).
     fn find_task(&self, idx: usize, rng: &mut XorShift64) -> Option<RunnableTask> {
         while let Some(id) = self.queues[idx].pop() {
             if let Some(task) = self.registry.claim(id) {
                 return Some(task);
             }
         }
-        match self.config.scheduler {
+        if let Some(task) = self.pop_own_group_injector(idx) {
+            return Some(task);
+        }
+        let found = match self.config.scheduler {
             SchedulerPolicy::HelpFirst => self.pop_injector().or_else(|| self.steal(idx, rng, 1)),
             SchedulerPolicy::StealFirst { steal_batch } => self
                 .steal(idx, rng, steal_batch.max(1))
                 .or_else(|| self.pop_injector()),
-        }
+        };
+        found.or_else(|| self.pop_foreign_group_injectors(idx))
     }
 
     /// Claims the next runnable task from the global injector.
@@ -256,18 +295,62 @@ impl RtInner {
         None
     }
 
+    /// Claims the next runnable task pinned to this worker's own group.
+    fn pop_own_group_injector(&self, idx: usize) -> Option<RunnableTask> {
+        let n = self.group_injectors.len();
+        if n <= 1 {
+            return None;
+        }
+        while let Some(id) = self.group_injectors[idx % n].pop() {
+            if let Some(task) = self.registry.claim(id) {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Last-resort scan of the other groups' injectors, in ring order
+    /// from this worker's group. Each success counts as a cross-group
+    /// steal: nonzero means the placement left some group idle while
+    /// another had a backlog.
+    fn pop_foreign_group_injectors(&self, idx: usize) -> Option<RunnableTask> {
+        let n = self.group_injectors.len();
+        if n <= 1 {
+            return None;
+        }
+        let own = idx % n;
+        for off in 1..n {
+            let g = (own + off) % n;
+            while let Some(id) = self.group_injectors[g].pop() {
+                if let Some(task) = self.registry.claim(id) {
+                    Metrics::incr(&self.metrics.cross_group_steals);
+                    return Some(task);
+                }
+            }
+        }
+        None
+    }
+
     /// Random victim probes (a couple of rounds; the worker loop
     /// retries). Steals up to `batch` ids per successful probe; extras
-    /// land in this worker's own queue.
+    /// land in this worker's own queue. With worker groups on, the first
+    /// round of probes stays inside this worker's group — cross-group
+    /// steals are a fallback and counted as such (DESIGN.md §7.1).
     fn steal(&self, idx: usize, rng: &mut XorShift64, batch: usize) -> Option<RunnableTask> {
         let n = self.queues.len();
         if n <= 1 {
             return None;
         }
-        for _ in 0..(2 * n) {
+        let groups = self.group_injectors.len();
+        let probes = if groups > 1 { 3 * n } else { 2 * n };
+        for probe in 0..probes {
             let victim = rng.next_below(n);
             if victim == idx {
                 continue;
+            }
+            let cross = groups > 1 && victim % groups != idx % groups;
+            if cross && probe < n {
+                continue; // first round: same-group victims only
             }
             let (first, stolen) = self.queues[victim].steal_batch_into(&self.queues[idx], batch);
             let Some(first) = first else {
@@ -276,6 +359,9 @@ impl RtInner {
             };
             Metrics::incr(&self.metrics.steals);
             Metrics::add(&self.metrics.steal_batch_items, stolen as u64);
+            if cross {
+                Metrics::incr(&self.metrics.cross_group_steals);
+            }
             if let Some(task) = self.registry.claim(first) {
                 return Some(task);
             }
@@ -362,10 +448,19 @@ impl Runtime {
                 }
             })
             .collect();
+        // Worker groups beyond the queue count would be permanently
+        // unstaffed; clamp so every group owns at least one worker slot.
+        let groups = config.worker_groups.clamp(1, max_workers);
+        let group_injectors = if groups > 1 {
+            (0..groups).map(|_| Injector::new()).collect()
+        } else {
+            Vec::new()
+        };
         let inner = Arc::new(RtInner {
             config,
             registry: Registry::new(),
             injector: Injector::new(),
+            group_injectors,
             queues,
             sleeper: Sleeper::new(),
             metrics: Metrics::default(),
@@ -422,6 +517,12 @@ impl Runtime {
     /// The worker-loop scheduling policy this runtime runs.
     pub fn scheduler(&self) -> SchedulerPolicy {
         self.inner.config.scheduler
+    }
+
+    /// Number of worker groups available for partition pinning (1 when
+    /// grouping is off; see [`crate::RuntimeConfig::worker_groups`]).
+    pub fn worker_groups(&self) -> usize {
+        self.inner.group_injectors.len().max(1)
     }
 
     /// Elastically grows or shrinks the worker pool to `n` threads
@@ -925,6 +1026,105 @@ mod tests {
             });
         });
         assert_eq!(counter.load(Ordering::SeqCst), 2000);
+    }
+
+    #[test]
+    fn pinned_tasks_run_on_grouped_runtimes() {
+        for (workers, groups) in [(4usize, 2usize), (2, 2), (1, 2), (4, 4)] {
+            let rt = Runtime::new(RuntimeConfig::new().workers(workers).worker_groups(groups));
+            assert_eq!(rt.worker_groups(), groups.min(workers).max(1));
+            let counter = AtomicUsize::new(0);
+            rt.scope(|s| {
+                for i in 0..64u32 {
+                    s.spawn_pinned(i % groups as u32, (), |_, ()| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(
+                counter.load(Ordering::SeqCst),
+                64,
+                "workers={workers} groups={groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn pinning_is_advisory_on_ungrouped_runtimes() {
+        let rt = Runtime::with_workers(2);
+        assert_eq!(rt.worker_groups(), 1);
+        let counter = AtomicUsize::new(0);
+        rt.scope(|s| {
+            for _ in 0..16 {
+                s.spawn_pinned(7, (), |_, ()| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn children_inherit_the_group_pin() {
+        let rt = Runtime::new(RuntimeConfig::new().workers(4).worker_groups(2));
+        let counter = AtomicUsize::new(0);
+        rt.scope(|s| {
+            s.spawn_pinned(1, (), |s, ()| {
+                assert_eq!(s.frame().group, Some(1));
+                for _ in 0..8 {
+                    s.spawn((), |s, ()| {
+                        assert_eq!(s.frame().group, Some(1), "children inherit the pin");
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn unstaffed_group_work_is_rescued_cross_group() {
+        // Two groups but a single worker (group 0): everything pinned to
+        // group 1 must still run, via the foreign-injector fallback, and
+        // the cross-group counter must show it.
+        let rt = Runtime::new(RuntimeConfig::new().workers(1..=2).worker_groups(2));
+        let counter = AtomicUsize::new(0);
+        rt.scope(|s| {
+            for _ in 0..32 {
+                s.spawn_pinned(1, (), |_, ()| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        assert!(
+            rt.metrics().cross_group_steals > 0,
+            "rescuing group-1 work from the lone group-0 worker must count"
+        );
+    }
+
+    #[test]
+    fn grouped_steal_first_completes_fork_join() {
+        let rt = Runtime::new(
+            RuntimeConfig::new()
+                .workers(4)
+                .worker_groups(2)
+                .scheduler(SchedulerPolicy::StealFirst { steal_batch: 4 }),
+        );
+        let out = AtomicU64::new(0);
+        let out_ref = &out;
+        rt.scope(|s| {
+            for g in 0..2u32 {
+                s.spawn_pinned(g, (), move |s, ()| {
+                    for i in 0..16u64 {
+                        s.spawn((), move |_, ()| {
+                            out_ref.fetch_add(i, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(out.load(Ordering::SeqCst), 2 * (0..16).sum::<u64>());
     }
 
     #[test]

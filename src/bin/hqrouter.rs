@@ -1,0 +1,142 @@
+//! `hqrouter` — the sharding front door for a fleet of `hqd` daemons.
+//!
+//! Listens on one address speaking the ingress framed protocol and fans
+//! requests out over N backends by rendezvous hashing on the request id
+//! (`pipelines::ingress::Router`; the determinism and failure-containment
+//! arguments live in DESIGN.md §7.2). Clients talk to it exactly as they
+//! would to a single `hqd` — per-connection reply streams come back
+//! byte-identical to the single-daemon run.
+//!
+//! ```text
+//! hqrouter --backend HOST:PORT [--backend HOST:PORT ...]
+//!          [--addr 127.0.0.1:7270]
+//!          [--max-frame-len N]   frame cap, both directions; match the
+//!                                backends' setting (default 8 MiB)
+//!          [--run-secs N]        serve for N seconds, then drain and exit;
+//!                                0 (default) = serve until stdin closes or
+//!                                a "quit" line arrives
+//! ```
+//!
+//! Backend order is the shard map: keep it stable across restarts, or
+//! durable job ids will re-route away from the journals that own them.
+//! Backends may be down at startup and may die while serving — their
+//! shard's requests get Retry/Error refusals while the others are
+//! untouched, and the router reconnects once a backend returns.
+
+use std::time::Duration;
+
+use pipelines::ingress::{Router, RouterConfig, DEFAULT_MAX_FRAME_LEN};
+
+const KNOWN_FLAGS: [&str; 4] = ["--addr", "--backend", "--max-frame-len", "--run-secs"];
+
+/// Rejects unknown flags and flags without values up front, same policy
+/// as `hqd`: a router that silently ignores a misspelled option routes
+/// with a shard map the operator did not ask for.
+fn validate_args(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let tok = args[i].as_str();
+        if !KNOWN_FLAGS.contains(&tok) {
+            eprintln!("hqrouter: unknown argument {tok} (expected one of {KNOWN_FLAGS:?})");
+            std::process::exit(2);
+        }
+        if args.get(i + 1).is_none() {
+            eprintln!("hqrouter: {tok} requires a value");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+}
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_usize(args: &[String], key: &str, default: usize) -> usize {
+    match flag(args, key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("hqrouter: {key} expects a non-negative integer, got {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// `--backend` repeats; position in the list is the shard index.
+fn backends(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--backend" {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+        }
+        i += 2;
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    validate_args(&args);
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7270".to_string());
+    let run_secs = flag_usize(&args, "--run-secs", 0);
+    let max_frame_len = flag_usize(&args, "--max-frame-len", DEFAULT_MAX_FRAME_LEN as usize);
+    let backends = backends(&args);
+    if backends.is_empty() {
+        eprintln!("hqrouter: at least one --backend HOST:PORT is required");
+        std::process::exit(2);
+    }
+
+    let cfg = RouterConfig {
+        max_frame_len: max_frame_len.min(u32::MAX as usize) as u32,
+        ..RouterConfig::to(backends.iter().cloned())
+    };
+    let router = match Router::bind(&addr, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hqrouter: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "hqrouter: routing on {} over {} shard{} [{}]",
+        router.local_addr(),
+        backends.len(),
+        if backends.len() == 1 { "" } else { "s" },
+        backends.join(", "),
+    );
+
+    if run_secs > 0 {
+        std::thread::sleep(Duration::from_secs(run_secs as u64));
+    } else {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) => break, // EOF
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    println!("hqrouter: draining…");
+    let stats = router.shutdown();
+    println!(
+        "hqrouter: drained. connections {}, frames in {}, replies out {}, \
+         retries synthesized {}, errors synthesized {}, reconnects {}, \
+         shard failures {}",
+        stats.connections,
+        stats.frames_in,
+        stats.replies_out,
+        stats.retries_synthesized,
+        stats.errors_synthesized,
+        stats.reconnects,
+        stats.shard_failures,
+    );
+}

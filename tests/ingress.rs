@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 
 use pipelines::graph::{GraphSpec, ServiceConfig};
 use pipelines::ingress::{
-    encode_frame, FrameKind, IngressClient, IngressConfig, IngressServer, JobCodec, JobOutcome,
-    QueryStatus, RecoveryReport,
+    encode_frame, FrameDecoder, FrameKind, IngressClient, IngressConfig, IngressServer, JobCodec,
+    JobOutcome, QueryStatus, RecoveryReport,
 };
 use pipelines::journal::{replay_dir, JobReplayStatus, Journal, JournalConfig, RecordKind};
 use proptest::prelude::*;
@@ -1227,4 +1227,128 @@ fn slow_subscriber_drops_ticks_not_replies() {
     assert!(stats.stats_dropped >= 1, "drop counter lost at shutdown");
     assert_eq!(stats.jobs_accepted, stats.jobs_completed);
     rt.quiesce();
+}
+
+// ---------------------------------------------------------------------------
+// Durable clients vs. dropped connections (DESIGN.md §6.4).
+//
+// A fake daemon built from a raw listener lets these tests drop the
+// connection at the exact moment a real crash would: after the
+// SubmitDurable is on the wire but before any reply. The regression they
+// pin: `submit_durable_and_wait` used to surface that ECONNRESET as
+// fatal, abandoning a job the server-side journal still owned.
+// ---------------------------------------------------------------------------
+
+/// Reads one client frame off a raw socket, however it was chunked.
+fn read_client_frame(conn: &mut std::net::TcpStream) -> pipelines::ingress::Frame {
+    use std::io::Read as _;
+    let mut dec = FrameDecoder::new(1 << 20);
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(frame) = dec.next_frame().expect("well-formed client frame") {
+            return frame;
+        }
+        let n = conn.read(&mut buf).expect("client readable");
+        assert!(n > 0, "client hung up mid-frame");
+        dec.extend(&buf[..n]);
+    }
+}
+
+#[test]
+fn durable_wait_survives_a_dropped_connection_via_query_resume() {
+    use std::io::{Read as _, Write as _};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake daemon");
+    let addr = listener.local_addr().expect("addr");
+    let result_bytes = b"journaled result".to_vec();
+    let expected = result_bytes.clone();
+
+    let daemon = std::thread::spawn(move || {
+        // Connection 1: accept the durable submit, then vanish without a
+        // reply — exactly what a crash mid-job looks like to the client.
+        let (mut conn, _) = listener.accept().expect("conn 1");
+        let frame = read_client_frame(&mut conn);
+        assert_eq!((frame.kind, frame.req_id), (FrameKind::SubmitDurable, 42));
+        drop(conn);
+        // Connection 2: the client reconnects and resumes with Query.
+        // Report the job still in flight once (forcing a re-query), then
+        // Done with the journaled bytes.
+        let (mut conn, _) = listener.accept().expect("conn 2");
+        let frame = read_client_frame(&mut conn);
+        assert_eq!((frame.kind, frame.req_id), (FrameKind::Query, 42));
+        let mut reply = Vec::new();
+        encode_frame(
+            FrameKind::QueryOk,
+            42,
+            &[QueryStatus::InFlight as u8],
+            &mut reply,
+        );
+        conn.write_all(&reply).expect("write InFlight");
+        let frame = read_client_frame(&mut conn);
+        assert_eq!((frame.kind, frame.req_id), (FrameKind::Query, 42));
+        let mut body = vec![QueryStatus::Done as u8];
+        body.extend_from_slice(&result_bytes);
+        reply.clear();
+        encode_frame(FrameKind::QueryOk, 42, &body, &mut reply);
+        conn.write_all(&reply).expect("write Done");
+        // Hold the connection open until the client finishes reading.
+        let _ = conn.read(&mut [0u8; 16]);
+    });
+
+    let mut client = IngressClient::connect(addr).expect("connect");
+    let outcome = client
+        .submit_durable_and_wait(42, b"payload\n", BACKOFF)
+        .expect("durable wait must survive the dropped connection");
+    assert_eq!(outcome, JobOutcome::Result(expected));
+    drop(client);
+    daemon.join().expect("fake daemon");
+}
+
+#[test]
+fn durable_wait_resubmits_when_resume_finds_no_trace() {
+    use std::io::{Read as _, Write as _};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake daemon");
+    let addr = listener.local_addr().expect("addr");
+
+    let daemon = std::thread::spawn(move || {
+        // Connection 1: the submit never made it into the journal — drop
+        // before replying, remember nothing.
+        let (mut conn, _) = listener.accept().expect("conn 1");
+        let frame = read_client_frame(&mut conn);
+        assert_eq!((frame.kind, frame.req_id), (FrameKind::SubmitDurable, 7));
+        let payload = frame.body.clone();
+        drop(conn);
+        // Connection 2: Query finds no trace → Unknown. The client must
+        // resubmit the identical payload on the same connection.
+        let (mut conn, _) = listener.accept().expect("conn 2");
+        let frame = read_client_frame(&mut conn);
+        assert_eq!((frame.kind, frame.req_id), (FrameKind::Query, 7));
+        let mut reply = Vec::new();
+        encode_frame(
+            FrameKind::QueryOk,
+            7,
+            &[QueryStatus::Unknown as u8],
+            &mut reply,
+        );
+        conn.write_all(&reply).expect("write Unknown");
+        let frame = read_client_frame(&mut conn);
+        assert_eq!(
+            (frame.kind, frame.req_id, frame.body),
+            (FrameKind::SubmitDurable, 7, payload),
+            "resubmit must carry the original payload"
+        );
+        reply.clear();
+        encode_frame(FrameKind::Result, 7, b"fresh run", &mut reply);
+        conn.write_all(&reply).expect("write Result");
+        let _ = conn.read(&mut [0u8; 16]);
+    });
+
+    let mut client = IngressClient::connect(addr).expect("connect");
+    let outcome = client
+        .submit_durable_and_wait(7, b"payload\n", BACKOFF)
+        .expect("durable wait must resubmit after an Unknown resume");
+    assert_eq!(outcome, JobOutcome::Result(b"fresh run".to_vec()));
+    drop(client);
+    daemon.join().expect("fake daemon");
 }

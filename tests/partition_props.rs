@@ -1,0 +1,170 @@
+//! Property sweep pinning the partitioner's determinism contract
+//! (DESIGN.md §7): over arbitrary hypergraphs, `pipelines::partition`
+//! must produce **byte-identical** output at any thread count, honor the
+//! balance bound, and never cut worse than the trivial round-robin
+//! placement. The rendezvous router shares the determinism bar: stable
+//! shard choice, minimal remap when the fleet grows.
+//!
+//! These properties are what let the sharding layer treat placement as
+//! configuration rather than state: any daemon, any thread count, any
+//! run derives the same placement from the same graph.
+
+use pipelines::partition::{
+    partition, rendezvous_route, Hyperedge, Hypergraph, PartitionConfig, PartitionResult,
+};
+use proptest::prelude::*;
+
+/// Arbitrary small hypergraphs: 1–39 vertices with weights in 1–99, up
+/// to 30 hyperedges of 1–4 pins each (pins folded into range, so
+/// self-loops and duplicate pins occur — the partitioner must tolerate
+/// both).
+fn hypergraph_strategy() -> impl Strategy<Value = Hypergraph> {
+    (
+        1usize..40,
+        prop::collection::vec(1u64..100, 40..41),
+        prop::collection::vec((prop::collection::vec(0u32..4096, 1..5), 1u64..100), 1..31),
+    )
+        .prop_map(|(n, weights, raw_edges)| {
+            let vertex_weights = weights[..n].to_vec();
+            let edges = raw_edges
+                .into_iter()
+                .map(|(pins, weight)| Hyperedge {
+                    pins: pins.into_iter().map(|p| p % n as u32).collect(),
+                    weight,
+                })
+                .collect();
+            Hypergraph {
+                vertex_weights,
+                edges,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The tentpole property: the full `PartitionResult` — assignment,
+    /// cut, load, round count — is bit-identical whether the refinement
+    /// rounds ran on 1, 2, or 8 threads.
+    #[test]
+    fn partitioning_is_bit_identical_at_any_thread_count(
+        g in hypergraph_strategy(),
+        parts in prop::sample::select(vec![2usize, 3, 4]),
+    ) {
+        let runs: Vec<PartitionResult> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                partition(
+                    &g,
+                    &PartitionConfig {
+                        parts,
+                        threads,
+                        ..PartitionConfig::default()
+                    },
+                )
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1], "threads=1 vs threads=2 diverged");
+        prop_assert_eq!(&runs[0], &runs[2], "threads=1 vs threads=8 diverged");
+
+        // The self-reported metrics must match recomputation from the
+        // assignment — otherwise "identical results" could hide wrong ones.
+        let r = &runs[0];
+        prop_assert_eq!(r.assignment.len(), g.len());
+        prop_assert!(r.assignment.iter().all(|&p| (p as usize) < parts));
+        prop_assert_eq!(r.cut, g.cut(&r.assignment));
+        prop_assert_eq!(
+            r.max_part_weight,
+            g.part_loads(&r.assignment, parts).into_iter().max().unwrap_or(0)
+        );
+    }
+
+    /// Every part's load stays within the advertised balance bound.
+    #[test]
+    fn partitions_honor_the_balance_bound(
+        g in hypergraph_strategy(),
+        parts in prop::sample::select(vec![2usize, 3, 4]),
+    ) {
+        let cfg = PartitionConfig { parts, ..PartitionConfig::default() };
+        let r = partition(&g, &cfg);
+        let bound = g.balance_bound(parts, cfg.epsilon_permille);
+        prop_assert!(
+            r.max_part_weight <= bound,
+            "max part weight {} exceeds balance bound {bound}",
+            r.max_part_weight
+        );
+    }
+
+    /// Whenever round-robin placement is itself balanced, the optimizer
+    /// must not lose to it — the guard that keeps refinement regressions
+    /// from ever shipping a worse-than-trivial placement.
+    #[test]
+    fn cut_is_never_worse_than_round_robin(
+        g in hypergraph_strategy(),
+        parts in prop::sample::select(vec![2usize, 3, 4]),
+    ) {
+        let cfg = PartitionConfig { parts, ..PartitionConfig::default() };
+        let r = partition(&g, &cfg);
+        let rr: Vec<u32> = (0..g.len() as u32).map(|v| v % parts as u32).collect();
+        let bound = g.balance_bound(parts, cfg.epsilon_permille);
+        if g.part_loads(&rr, parts).into_iter().all(|l| l <= bound) {
+            let rr_cut = g.cut(&rr);
+            prop_assert!(
+                r.cut <= rr_cut,
+                "cut {} worse than round-robin's {rr_cut}",
+                r.cut
+            );
+        }
+    }
+
+    /// Rendezvous routing: in range, deterministic, and growing the
+    /// fleet from N to N+1 shards only ever moves ids *to* the new shard
+    /// — ids staying put is what keeps durable jobs on the journals that
+    /// own them across fleet changes.
+    #[test]
+    fn rendezvous_routing_is_deterministic_and_minimally_disruptive(
+        ids in prop::collection::vec(any::<u64>(), 1..64),
+        n in prop::sample::select(vec![1usize, 2, 3, 5, 8]),
+    ) {
+        for &id in &ids {
+            let shard = rendezvous_route(id, n);
+            prop_assert!(shard < n);
+            prop_assert_eq!(shard, rendezvous_route(id, n), "routing must be stable");
+            let grown = rendezvous_route(id, n + 1);
+            if grown != shard {
+                prop_assert_eq!(
+                    grown, n,
+                    "id {id} moved between existing shards when shard {n} was added"
+                );
+            }
+        }
+    }
+}
+
+/// Degenerate inputs must stay total (the service layer can hand the
+/// partitioner a single-stage graph or ask for more parts than stages).
+#[test]
+fn degenerate_graphs_partition_cleanly() {
+    let empty = Hypergraph::default();
+    let r = partition(&empty, &PartitionConfig::default());
+    assert!(r.assignment.is_empty());
+    assert_eq!((r.cut, r.max_part_weight), (0, 0));
+
+    let single = Hypergraph {
+        vertex_weights: vec![7],
+        edges: vec![Hyperedge {
+            pins: vec![0, 0],
+            weight: 3,
+        }],
+    };
+    let r = partition(
+        &single,
+        &PartitionConfig {
+            parts: 4,
+            ..PartitionConfig::default()
+        },
+    );
+    assert_eq!(r.assignment.len(), 1);
+    assert_eq!(r.cut, 0, "a one-vertex graph has nothing to cut");
+    assert_eq!(r.max_part_weight, 7);
+}
